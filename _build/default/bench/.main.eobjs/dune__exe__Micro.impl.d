@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl Instance Int List Measure Mood Mood_catalog Mood_funcmgr Mood_model Mood_sql Mood_util Mood_workload Printf Staged String Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/reports.ml: Format Hashtbl List Mood Mood_algebra Mood_catalog Mood_cost Mood_model Mood_optimizer Mood_sql Mood_storage Mood_util Mood_workload Option Printf String

@@ -1,0 +1,1 @@
+bench/sweeps.ml: Array Float Format List Mood Mood_catalog Mood_cost Mood_executor Mood_model Mood_optimizer Mood_sql Mood_storage Mood_util Mood_workload Option Printf String

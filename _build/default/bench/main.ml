@@ -1,0 +1,23 @@
+(* The MOOD benchmark harness: regenerates every table and figure of
+   the paper (the reports), runs the evaluation sweeps and ablations,
+   and times the kernel's hot paths with Bechamel.
+
+   Run everything:        dune exec bench/main.exe
+   Only one section:      dune exec bench/main.exe -- reports|sweeps|micro *)
+
+let () =
+  let sections =
+    match Array.to_list Sys.argv with
+    | _ :: rest when rest <> [] -> rest
+    | _ -> [ "reports"; "sweeps"; "micro" ]
+  in
+  List.iter
+    (fun section ->
+      match section with
+      | "reports" -> Reports.all ()
+      | "sweeps" -> Sweeps.all ()
+      | "micro" -> Micro.run_benchmarks ()
+      | other ->
+          Printf.eprintf "unknown section %S (expected reports, sweeps or micro)\n" other;
+          exit 2)
+    sections

@@ -1,0 +1,100 @@
+(* Bechamel microbenchmarks: wall-clock timings of the kernel's hot
+   paths, including the paper's motivating Function Manager comparison
+   (compiled-and-linked vs interpreted method bodies, Section 2). *)
+
+open Bechamel
+open Toolkit
+
+module Db = Mood.Db
+module Fm = Mood_funcmgr.Function_manager
+module Catalog = Mood_catalog.Catalog
+module Value = Mood_model.Value
+module Heap = Mood_util.Heap
+module Prng = Mood_util.Prng
+
+let heading title =
+  Printf.printf "\n================ %s ================\n" title
+
+(* ---------------- fixtures ---------------- *)
+
+let funcmgr_fixture () =
+  let db = Db.create () in
+  Mood_workload.Vehicle.define_schema (Db.catalog db);
+  (match
+     Db.exec db
+       "DEFINE METHOD Vehicle::lbweight () Integer { return weight * 2 + weight % 7 - 1; }"
+   with
+  | Ok _ -> ()
+  | Error m -> failwith m);
+  let oid =
+    Db.insert db ~class_name:"Vehicle"
+      (Value.Tuple [ ("id", Value.Int 1); ("weight", Value.Int 1350) ])
+  in
+  (db, oid)
+
+let query_fixture () =
+  let db = Db.create ~buffer_capacity:4096 () in
+  Mood_workload.Vehicle.define_schema (Db.catalog db);
+  ignore (Mood_workload.Vehicle.generate ~catalog:(Db.catalog db) ~scale:0.01 ());
+  Db.analyze db;
+  db
+
+let tests () =
+  let db_f, oid = funcmgr_fixture () in
+  let scope = Db.scope db_f in
+  let funcs = Db.functions db_f in
+  let db_q = query_fixture () in
+  let paper_db = Db.create () in
+  Mood_workload.Vehicle.define_schema (Db.catalog paper_db);
+  Db.set_stats paper_db (Mood_workload.Vehicle.paper_stats ());
+  let sort_input =
+    let rng = Prng.create ~seed:4 in
+    List.init 2000 (fun _ -> Prng.int rng ~bound:1_000_000)
+  in
+  [ Test.make ~name:"funcmgr: compiled+linked invoke"
+      (Staged.stage (fun () ->
+           ignore (Fm.invoke funcs ~scope ~self:oid ~function_name:"lbweight" ~args:[])));
+    Test.make ~name:"funcmgr: interpreted invoke"
+      (Staged.stage (fun () ->
+           ignore (Fm.invoke_interpreted funcs ~self:oid ~function_name:"lbweight" ~args:[])));
+    Test.make ~name:"parser: Example 8.1"
+      (Staged.stage (fun () ->
+           ignore (Mood_sql.Parser.parse Mood_workload.Vehicle.example_81)));
+    Test.make ~name:"optimizer: Example 8.1 (Tables 13-15 stats)"
+      (Staged.stage (fun () -> ignore (Db.optimize paper_db Mood_workload.Vehicle.example_81)));
+    Test.make ~name:"executor: Example 8.2 @ scale 0.01"
+      (Staged.stage (fun () -> ignore (Db.query db_q Mood_workload.Vehicle.example_82)));
+    Test.make ~name:"algebra: heap sort with merging (2000 elems)"
+      (Staged.stage (fun () ->
+           ignore (Heap.sort_with_runs ~cmp:Int.compare ~run_length:256 sort_input)))
+  ]
+
+(* ---------------- driver ---------------- *)
+
+let run_benchmarks () =
+  heading "Microbenchmarks (Bechamel, monotonic clock)";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let grouped = Test.make_grouped ~name:"mood" ~fmt:"%s %s" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure per_test ->
+      if String.equal measure (Measure.label Instance.monotonic_clock) then begin
+        let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) per_test [] in
+        List.iter
+          (fun (name, result) ->
+            match Analyze.OLS.estimates result with
+            | Some [ ns_per_run ] -> Printf.printf "%-55s %12.1f ns/run\n" name ns_per_run
+            | Some _ | None -> Printf.printf "%-55s (no estimate)\n" name)
+          (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+      end)
+    merged;
+  print_endline
+    "\n(the compiled-vs-interpreted gap is the paper's Section 2 argument for the\n\
+    \ Function Manager: interpretation re-preprocesses, re-lexes and re-parses the\n\
+    \ body on every call)"

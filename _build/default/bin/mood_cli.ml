@@ -1,0 +1,138 @@
+(* The MOOD command-line shell: an interactive MOODSQL session over the
+   kernel, plus shortcuts for the MoodView text panels.
+
+   Commands inside the REPL:
+     .schema            class hierarchy browser
+     .class <Name>      class designer panel
+     .explain <SELECT>  optimizer plan + dictionaries
+     .admin             administration panel
+     .history           query history
+     .quit
+   Anything else is executed as a MOODSQL statement. *)
+
+module Db = Mood.Db
+module View = Mood_moodview.Moodview
+module Qm = Mood_moodview.Query_manager
+
+let starts_with prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let strip s = String.trim s
+
+let repl ~with_demo () =
+  let db = Db.create () in
+  if with_demo then begin
+    Mood_workload.Vehicle.define_schema (Db.catalog db);
+    ignore (Mood_workload.Vehicle.generate ~catalog:(Db.catalog db) ~scale:0.01 ());
+    Db.analyze db;
+    print_endline "Loaded the vehicle demo database (200 vehicles)."
+  end;
+  let view = View.create db in
+  let qm = View.query_manager view in
+  print_string (View.initial_window view);
+  print_endline "MOOD interactive shell. Statements end at end of line; .quit exits.";
+  let rec loop () =
+    print_string "mood> ";
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+        let line = strip line in
+        if line = "" then loop ()
+        else if line = ".quit" || line = ".exit" then ()
+        else begin
+          begin
+            if line = ".schema" then print_string (View.schema_browser view)
+            else if starts_with ".class " line then
+              print_string
+                (View.class_designer view (strip (String.sub line 7 (String.length line - 7))))
+            else if starts_with ".explain " line then begin
+              match
+                Db.explain db (strip (String.sub line 9 (String.length line - 9)))
+              with
+              | text -> print_endline text
+              | exception e -> Printf.printf "error: %s\n" (Printexc.to_string e)
+            end
+            else if line = ".admin" then print_string (View.admin_panel view)
+            else if line = ".dump" then print_string (Db.dump_schema db)
+            else if line = ".history" then
+              List.iteri (fun i q -> Printf.printf "%2d: %s\n" i q) (Qm.history qm)
+            else print_endline (Qm.run qm line)
+          end;
+          loop ()
+        end
+  in
+  loop ()
+
+open Cmdliner
+
+let demo_flag =
+  Arg.(value & flag & info [ "demo" ] ~doc:"Preload the paper's vehicle database.")
+
+let repl_cmd =
+  let run demo = repl ~with_demo:demo () in
+  Cmd.v (Cmd.info "repl" ~doc:"Interactive MOODSQL shell") Term.(const run $ demo_flag)
+
+let plans_cmd =
+  let run () =
+    let db = Db.create () in
+    Mood_workload.Vehicle.define_schema (Db.catalog db);
+    Db.set_stats db (Mood_workload.Vehicle.paper_stats ());
+    List.iter
+      (fun (name, q) ->
+        Printf.printf "--- %s ---\n%s\n\n%s\n\n" name q (Db.explain db q))
+      [ ("Example 8.1", Mood_workload.Vehicle.example_81);
+        ("Example 8.2", Mood_workload.Vehicle.example_82)
+      ]
+  in
+  Cmd.v
+    (Cmd.info "plans" ~doc:"Print the paper's Example 8.1/8.2 access plans")
+    Term.(const run $ const ())
+
+let script_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MOODSQL script")
+  in
+  let run demo file =
+    let db = Db.create () in
+    if demo then begin
+      Mood_workload.Vehicle.define_schema (Db.catalog db);
+      ignore (Mood_workload.Vehicle.generate ~catalog:(Db.catalog db) ~scale:0.01 ());
+      Db.analyze db
+    end;
+    let source = In_channel.with_open_text file In_channel.input_all in
+    match Db.exec_script db source with
+    | Ok results ->
+        Printf.printf "%d statement(s) executed\n" (List.length results);
+        List.iter
+          (function
+            | Db.Rows r ->
+                List.iter
+                  (fun v -> print_endline (Mood_model.Value.to_string v))
+                  (Mood_executor.Executor.result_values r)
+            | _ -> ())
+          results
+    | Error m ->
+        prerr_endline ("error " ^ m);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a MOODSQL script file")
+    Term.(const run $ demo_flag $ file)
+
+let dump_cmd =
+  let run () =
+    let db = Db.create () in
+    Mood_workload.Vehicle.define_schema (Db.catalog db);
+    print_string (Db.dump_schema db)
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Print the demo schema as a replayable MOODSQL script")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "mood" ~version:"1.0.0"
+       ~doc:"METU Object-Oriented DBMS (MOOD) — an OCaml reproduction")
+    [ repl_cmd; plans_cmd; script_cmd; dump_cmd ]
+
+let () = exit (Cmd.eval main)

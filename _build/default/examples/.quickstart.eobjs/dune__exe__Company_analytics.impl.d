@@ -1,0 +1,1 @@
+examples/company_analytics.ml: Array List Mood Mood_catalog Mood_executor Mood_model Mood_moodview Mood_util Mood_workload Printf

@@ -1,0 +1,1 @@
+examples/media_library.ml: List Mood Mood_algebra Mood_catalog Mood_executor Mood_model Mood_moodview Option Printf

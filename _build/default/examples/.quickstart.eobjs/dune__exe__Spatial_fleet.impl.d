@@ -1,0 +1,1 @@
+examples/spatial_fleet.ml: Array List Mood Mood_model Mood_moodview Mood_storage Mood_util Printf String

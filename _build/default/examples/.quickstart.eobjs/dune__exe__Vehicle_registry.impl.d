@@ -1,0 +1,1 @@
+examples/vehicle_registry.ml: Array List Mood Mood_catalog Mood_executor Mood_model Mood_moodview Mood_optimizer Mood_storage Mood_workload Printf

@@ -1,0 +1,128 @@
+(* Complex and multimedia objects (Section 9.3): classes with Set/List
+   constructors, navigation through set-valued references, the MOOD
+   algebra's conversion operators (Unnest / Nest / Flatten / asSet /
+   asExtent) applied directly, and MoodView's generic object-graph
+   display of the results.
+
+   Run with: dune exec examples/media_library.exe *)
+
+module Db = Mood.Db
+module Catalog = Mood_catalog.Catalog
+module Collection = Mood_algebra.Collection
+module Ops = Mood_algebra.Ops
+module Eval = Mood_executor.Eval
+module Qm = Mood_moodview.Query_manager
+module Value = Mood_model.Value
+module Mtype = Mood_model.Mtype
+
+let heading title = Printf.printf "\n=== %s ===\n" title
+
+let run qm src =
+  print_endline ("mood> " ^ src);
+  print_endline (Qm.run qm src);
+  print_newline ()
+
+let () =
+  let db = Db.create () in
+  let cat = Db.catalog db in
+  let qm = Qm.create db in
+
+  heading "A multimedia schema with Set and List constructors";
+  ignore
+    (Catalog.define_class cat ~name:"Image"
+       ~attributes:
+         [ ("format", Mtype.Basic (Mtype.String 8));
+           ("width", Mtype.Basic Mtype.Integer);
+           ("height", Mtype.Basic Mtype.Integer)
+         ]
+       ());
+  ignore
+    (Catalog.define_class cat ~name:"Track"
+       ~attributes:
+         [ ("title", Mtype.Basic (Mtype.String 48)); ("seconds", Mtype.Basic Mtype.Integer) ]
+       ());
+  ignore
+    (Catalog.define_class cat ~name:"Album"
+       ~attributes:
+         [ ("title", Mtype.Basic (Mtype.String 48));
+           ("year", Mtype.Basic Mtype.Integer);
+           (* an ordered List of tracks and a Set of cover images *)
+           ("tracks", Mtype.List (Mtype.Reference "Track"));
+           ("covers", Mtype.Set (Mtype.Reference "Image"))
+         ]
+       ());
+  print_endline "classes: Image, Track, Album (tracks : LIST(REFERENCE(Track)),";
+  print_endline "                              covers : SET(REFERENCE(Image)))";
+
+  heading "Populating albums";
+  let image fmt w h =
+    Db.insert db ~class_name:"Image"
+      (Value.Tuple
+         [ ("format", Value.Str fmt); ("width", Value.Int w); ("height", Value.Int h) ])
+  in
+  let track title seconds =
+    Db.insert db ~class_name:"Track"
+      (Value.Tuple [ ("title", Value.Str title); ("seconds", Value.Int seconds) ])
+  in
+  let album title year tracks covers =
+    Db.insert db ~class_name:"Album"
+      (Value.Tuple
+         [ ("title", Value.Str title);
+           ("year", Value.Int year);
+           ("tracks", Value.List (List.map (fun t -> Value.Ref t) tracks));
+           ("covers", Value.set (List.map (fun i -> Value.Ref i) covers))
+         ])
+  in
+  let a1 =
+    album "Anadolu Pop" 1972
+      [ track "Intro" 95; track "Uzun Hava" 341; track "Finale" 188 ]
+      [ image "gif" 320 320 ]
+  in
+  let _a2 =
+    album "Saz and Synth" 1986
+      [ track "Drift" 252; track "Bozkir" 410 ]
+      [ image "tiff" 512 512; image "gif" 100 100 ]
+  in
+  Db.analyze db;
+  Printf.printf "2 albums, 5 tracks, 3 images stored\n";
+
+  heading "Set/list navigation in MOODSQL (existential semantics)";
+  run qm "SELECT a.title FROM Album a WHERE a.tracks.seconds > 400";
+  run qm "SELECT a.title, COUNT(*) FROM Album a GROUP BY a.year ORDER BY a.title";
+  run qm "SELECT a.title FROM Album a, Image i WHERE a.covers = i AND i.width > 400";
+
+  heading "The conversion operators on the stored collections (Section 3.2)";
+  let ctx = Eval.ctx (Db.executor_env db) in
+  let albums =
+    Collection.of_objects
+      (List.filter_map
+         (fun oid -> Option.map (fun v -> (oid, v)) (Catalog.get_object cat oid))
+         (Catalog.extent_oids cat "Album"))
+  in
+  (* Unnest multiplies each album row per track *)
+  let unnested = Ops.unnest ctx albums ~attr:"tracks" in
+  Printf.printf "Unnest(albums, tracks): %d rows from %d albums\n"
+    (Collection.cardinality unnested) (Collection.cardinality albums);
+  (* Nest groups them back *)
+  let nested = Ops.nest ctx unnested ~attr:"tracks" in
+  Printf.printf "Nest(Unnest(albums))  : %d rows (inverse recovered)\n"
+    (Collection.cardinality nested);
+  (* Flatten the covers sets into one Set of image identifiers *)
+  let cover_sets = Ops.project ctx albums [ "covers" ] in
+  let flattened = Ops.flatten ctx cover_sets in
+  Printf.printf "Flatten(covers)       : %s of %d image identifier(s)\n"
+    (Collection.kind_name (Collection.kind flattened))
+    (Collection.cardinality flattened);
+  (* asExtent dereferences them into objects again *)
+  let images = Ops.as_extent ctx flattened in
+  Printf.printf "asExtent(Flatten)     : %d image objects\n" (Collection.cardinality images);
+  (* DupElim under deep equality: the two gif images differ in size, so
+     all three survive *)
+  let distinct = Ops.dup_elim ctx images in
+  Printf.printf "DupElim (deep)        : %d distinct images\n" (Collection.cardinality distinct);
+
+  heading "MoodView's generic display of a complex object graph";
+  print_string (Mood_moodview.Object_browser.render_object ~max_depth:1 db a1);
+
+  heading "Sort: heap sort with merging over the track list";
+  run qm "SELECT t.title, t.seconds FROM Track t ORDER BY t.seconds DESC"

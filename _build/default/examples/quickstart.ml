@@ -1,0 +1,49 @@
+(* Quickstart: open a database, define a schema in MOODSQL, store
+   objects, define a method body at run time, and query — everything
+   through the kernel's SQL interface.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let run db src =
+  print_endline ("mood> " ^ src);
+  print_endline (Mood_moodview.Query_manager.run (Mood_moodview.Query_manager.create db) src);
+  print_newline ()
+
+let () =
+  let db = Mood.Db.create () in
+
+  (* 1. Data definition: classes with attributes, references and
+        method signatures (Section 3.1's DDL). *)
+  run db "CREATE CLASS Department TUPLE (name String(32), budget Integer)";
+  run db
+    "CREATE CLASS Employee TUPLE (name String(32), age Integer, \
+     dept REFERENCE (Department)) METHODS: seniority () Integer";
+  run db "CREATE CLASS Manager INHERITS FROM Employee TUPLE (reports Integer)";
+
+  (* 2. Objects: the paper's [new C <...>] positional constructor. *)
+  run db "new Department <'Kernel', 1000>";
+  run db "new Department <'MoodView', 500>";
+  run db "new Employee <'Asuman', 45, NULL>";
+  run db "new Employee <'Cetin', 31, NULL>";
+  run db "new Manager <'Budak', 38, NULL, 4>";
+
+  (* Wire references through UPDATE (references can also be built
+     programmatically via Mood.Db.insert). *)
+  run db "UPDATE Employee e SET age = e.age + 1 WHERE e.name = 'Cetin'";
+
+  (* 3. A method body, compiled and dynamically linked at run time by
+        the Function Manager (Section 2). *)
+  run db "DEFINE METHOD Employee::seniority () Integer { return age - 18; }";
+
+  (* 4. Queries: selections, method calls, inheritance (the Manager is
+        an Employee by IS-A), ordering. *)
+  run db "SELECT e.name, e.age FROM Employee e WHERE e.age > 30 ORDER BY e.age DESC";
+  run db "SELECT e.name, e.seniority() FROM Employee e WHERE e.seniority() > 15";
+  run db "SELECT m.name FROM Manager m";
+  run db "SELECT e.name FROM EVERY Employee - Manager e";
+
+  (* 5. The optimizer at work: EXPLAIN shows the access plan and the
+        selection dictionaries of Section 7. *)
+  print_endline "mood> EXPLAIN SELECT e FROM Employee e WHERE e.age > 30 AND e.name = 'Asuman'";
+  print_endline
+    (Mood.Db.explain db "SELECT e FROM Employee e WHERE e.age > 30 AND e.name = 'Asuman'")

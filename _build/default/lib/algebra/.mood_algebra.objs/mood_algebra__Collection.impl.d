@@ -1,0 +1,1 @@
+lib/algebra/collection.ml: Format List Mood_model Option

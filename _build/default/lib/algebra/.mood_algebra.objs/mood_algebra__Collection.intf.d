@@ -1,0 +1,1 @@
+lib/algebra/collection.mli: Format Mood_model

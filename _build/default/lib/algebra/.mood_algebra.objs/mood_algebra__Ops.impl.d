@@ -1,0 +1,1 @@
+lib/algebra/ops.ml: Collection Format Hashtbl List Mood_model Mood_util Option String

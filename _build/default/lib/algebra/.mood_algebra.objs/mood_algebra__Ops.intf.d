@@ -1,0 +1,1 @@
+lib/algebra/ops.mli: Collection Hashtbl Mood_model

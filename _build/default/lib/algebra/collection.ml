@@ -1,0 +1,76 @@
+module Oid = Mood_model.Oid
+module Value = Mood_model.Value
+
+type item = { oid : Oid.t option; value : Value.t }
+
+type t =
+  | Extent of item list
+  | Set of Oid.t list
+  | List of Oid.t list
+  | Named of Oid.t
+
+type kind = K_extent | K_set | K_list | K_named
+
+let kind = function
+  | Extent _ -> K_extent
+  | Set _ -> K_set
+  | List _ -> K_list
+  | Named _ -> K_named
+
+let kind_name = function
+  | K_extent -> "Extent"
+  | K_set -> "Set"
+  | K_list -> "List"
+  | K_named -> "Named Obj."
+
+let set_of oids = Set (List.sort_uniq Oid.compare oids)
+
+let item_of_object oid value = { oid = Some oid; value }
+
+let of_objects objects = Extent (List.map (fun (oid, value) -> item_of_object oid value) objects)
+
+let of_values values = Extent (List.map (fun value -> { oid = None; value }) values)
+
+let oids = function
+  | Extent items -> List.filter_map (fun i -> i.oid) items
+  | Set os | List os -> os
+  | Named o -> [ o ]
+
+let cardinality = function
+  | Extent items -> List.length items
+  | Set os | List os -> List.length os
+  | Named _ -> 1
+
+let is_empty t = cardinality t = 0
+
+type ctx = { deref : Oid.t -> Value.t option; type_of : Oid.t -> int }
+
+let items ctx = function
+  | Extent items -> items
+  | Set os | List os ->
+      List.filter_map
+        (fun oid -> Option.map (fun value -> { oid = Some oid; value }) (ctx.deref oid))
+        os
+  | Named oid -> begin
+      match ctx.deref oid with
+      | Some value -> [ { oid = Some oid; value } ]
+      | None -> []
+    end
+
+let pp ppf t =
+  match t with
+  | Extent items ->
+      Format.fprintf ppf "Extent[%d]{%a}" (List.length items)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf i -> Value.pp ppf i.value))
+        items
+  | Set os ->
+      Format.fprintf ppf "Set{%a}"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Oid.pp)
+        os
+  | List os ->
+      Format.fprintf ppf "List[%a]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Oid.pp)
+        os
+  | Named o -> Format.fprintf ppf "Named(%a)" Oid.pp o

@@ -1,0 +1,57 @@
+(** Run-time collections of the MOOD algebra (Section 3.2).
+
+    Operands are one of four kinds: an {b Extent} (objects, possibly
+    transient tuple values without identity, e.g. [Project] output), a
+    {b Set} of object identifiers, a {b List} of object identifiers, or
+    a {b Named Object}. The operator tables (Tables 1–7) dictate the
+    kind of every result; the implementations in {!Ops} follow them
+    cell by cell. *)
+
+type item = { oid : Mood_model.Oid.t option; value : Mood_model.Value.t }
+(** An extent element: a stored object carries its OID; a transient
+    value (projection result) does not. *)
+
+type t =
+  | Extent of item list
+  | Set of Mood_model.Oid.t list  (** canonical: sorted, duplicate-free *)
+  | List of Mood_model.Oid.t list
+  | Named of Mood_model.Oid.t
+
+type kind = K_extent | K_set | K_list | K_named
+
+val kind : t -> kind
+
+val kind_name : kind -> string
+(** ["Extent"], ["Set"], ["List"], ["Named Obj."] — the table
+    spellings. *)
+
+val set_of : Mood_model.Oid.t list -> t
+(** Canonicalizes. *)
+
+val of_objects : (Mood_model.Oid.t * Mood_model.Value.t) list -> t
+(** An extent of stored objects. *)
+
+val of_values : Mood_model.Value.t list -> t
+(** An extent of transient values. *)
+
+val item_of_object : Mood_model.Oid.t -> Mood_model.Value.t -> item
+
+val oids : t -> Mood_model.Oid.t list
+(** The identifiers present (transient extent items contribute none). *)
+
+val cardinality : t -> int
+
+val is_empty : t -> bool
+
+(** Evaluation context: how the algebra reaches stored objects. *)
+type ctx = {
+  deref : Mood_model.Oid.t -> Mood_model.Value.t option;
+  type_of : Mood_model.Oid.t -> int;
+      (** the paper's [TypeId(o)]; -1 when unknown *)
+}
+
+val items : ctx -> t -> item list
+(** Materializes any collection as extent items, dereferencing Set/List
+    members and the named object. Dangling references are dropped. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,327 @@
+module Oid = Mood_model.Oid
+module Value = Mood_model.Value
+module Heap = Mood_util.Heap
+open Collection
+
+exception Not_applicable of string
+
+let not_applicable fmt = Format.kasprintf (fun m -> raise (Not_applicable m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* General operators                                                   *)
+
+let obj_id (item : item) = item.oid
+
+let type_id ctx (item : item) =
+  match item.oid with Some oid -> ctx.type_of oid | None -> -1
+
+let deref ctx oid = ctx.deref oid
+
+let bind env arg name =
+  Hashtbl.replace env name arg;
+  arg
+
+(* ------------------------------------------------------------------ *)
+(* Select (Table 1)                                                    *)
+
+let select ctx t pred =
+  match t with
+  | Extent items -> Extent (List.filter pred items)
+  | Set os ->
+      Set
+        (List.filter
+           (fun oid ->
+             match ctx.deref oid with
+             | Some value -> pred { oid = Some oid; value }
+             | None -> false)
+           os)
+  | List os ->
+      List
+        (List.filter
+           (fun oid ->
+             match ctx.deref oid with
+             | Some value -> pred { oid = Some oid; value }
+             | None -> false)
+           os)
+  | Named oid -> begin
+      match ctx.deref oid with
+      | Some value when pred { oid = Some oid; value } -> Named oid
+      | Some _ | None -> Set []
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Project                                                             *)
+
+let project ctx t attrs =
+  let rows = items ctx t in
+  let projected =
+    List.filter_map
+      (fun (item : item) ->
+        match item.value with
+        | Value.Tuple fields ->
+            Some
+              (Value.Tuple
+                 (List.filter_map
+                    (fun attr ->
+                      Option.map (fun v -> (attr, v)) (List.assoc_opt attr fields))
+                    attrs))
+        | Value.Null | Value.Int _ | Value.Long _ | Value.Float _ | Value.Str _
+        | Value.Char _ | Value.Bool _ | Value.Set _ | Value.List _ | Value.Ref _ ->
+            None)
+      rows
+  in
+  if List.length projected <> List.length rows then
+    not_applicable "Project requires a tuple collection";
+  of_values projected
+
+(* ------------------------------------------------------------------ *)
+(* Join (Table 2)                                                      *)
+
+let binding_value (item : item) =
+  match item.oid with Some oid -> Value.Ref oid | None -> item.value
+
+(* Combine two binding tuples: an item that is already a binding tuple
+   (transient tuple of named references) is spliced, so multi-way joins
+   accumulate flat <v, c, d, ...> rows. *)
+let combine left_name left right_name right =
+  let fields_of name (item : item) =
+    match item.oid, item.value with
+    | None, Value.Tuple fields when List.for_all (fun (n, _) -> n <> "") fields ->
+        fields
+    | _, _ -> [ (name, binding_value item) ]
+  in
+  let merged = fields_of left_name left @ fields_of right_name right in
+  (* Later bindings of the same name shadow earlier ones. *)
+  let rec dedup seen = function
+    | [] -> []
+    | (n, v) :: rest ->
+        if List.mem n seen then dedup seen rest else (n, v) :: dedup (n :: seen) rest
+  in
+  { oid = None; value = Value.Tuple (dedup [] merged) }
+
+(* The paper's [join_method] argument selects among the optimizer's
+   four physical strategies; at algebra level those differ only in how
+   the operands were produced, so the operator itself is logical. The
+   executor realizes the physical methods (see Mood_executor). *)
+let join ctx left right pred ~left_name ~right_name =
+  let lk = kind left and rk = kind right in
+  let left_items = items ctx left and right_items = items ctx right in
+  match lk, rk with
+  | K_extent, _ | _, K_extent ->
+      let rows =
+        List.concat_map
+          (fun l ->
+            List.filter_map
+              (fun r -> if pred l r then Some (combine left_name l right_name r) else None)
+              right_items)
+          left_items
+      in
+      Extent rows
+  | (K_set | K_list | K_named), (K_set | K_list | K_named) ->
+      (* Semi-join keeping left identifiers; kind per Table 2. *)
+      let survivors =
+        List.filter_map
+          (fun (l : item) ->
+            if List.exists (fun r -> pred l r) right_items then l.oid else None)
+          left_items
+      in
+      begin
+        match lk, rk with
+        | K_named, K_named -> begin
+            match survivors with [ o ] -> Named o | _ -> Set []
+          end
+        | K_list, (K_list | K_named) -> List survivors
+        | K_named, K_list -> List survivors
+        | (K_set | K_list | K_named), (K_set | K_list | K_named) -> set_of survivors
+        | K_extent, _ | _, K_extent -> assert false
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Partition                                                           *)
+
+let rebuild_like original member_items =
+  match original with
+  | Extent _ -> Extent member_items
+  | Set _ -> set_of (List.filter_map (fun (i : item) -> i.oid) member_items)
+  | List _ -> List (List.filter_map (fun (i : item) -> i.oid) member_items)
+  | Named _ -> begin
+      match member_items with
+      | [ { oid = Some o; _ } ] -> Named o
+      | _ -> set_of (List.filter_map (fun (i : item) -> i.oid) member_items)
+    end
+
+let partition ctx t key =
+  let rows = items ctx t in
+  let groups : (Value.t * item list ref) list ref = ref [] in
+  List.iter
+    (fun item ->
+      let k = key item in
+      match List.find_opt (fun (k', _) -> Value.equal k k') !groups with
+      | Some (_, members) -> members := item :: !members
+      | None -> groups := (k, ref [ item ]) :: !groups)
+    rows;
+  List.rev_map (fun (k, members) -> (k, rebuild_like t (List.rev !members))) !groups
+
+(* ------------------------------------------------------------------ *)
+(* Sort: heap sort with merging                                        *)
+
+let sort ctx t ?(run_length = 1024) cmp =
+  let sorted = Heap.sort_with_runs ~cmp ~run_length (items ctx t) in
+  match t with
+  | Extent _ -> Extent sorted
+  | Set _ -> Set (List.filter_map (fun (i : item) -> i.oid) sorted)
+  | List _ -> List (List.filter_map (fun (i : item) -> i.oid) sorted)
+  | Named _ -> t
+
+(* ------------------------------------------------------------------ *)
+(* DupElim (Table 3)                                                   *)
+
+let dup_elim ctx t =
+  match t with
+  | Set _ -> not_applicable "DupElim on a Set (already duplicate-free)"
+  | List os -> List (List.sort_uniq Oid.compare os)
+  | Named _ -> t
+  | Extent items_ ->
+      let deep_eq a b =
+        Value.deep_equal ~deref:ctx.deref a.value b.value
+      in
+      let rec keep seen = function
+        | [] -> List.rev seen
+        | item :: rest ->
+            if List.exists (deep_eq item) seen then keep seen rest
+            else keep (item :: seen) rest
+      in
+      Extent (keep [] items_)
+
+(* ------------------------------------------------------------------ *)
+(* Union / Intersection / Difference (Table 4)                         *)
+
+let require_set_or_list name t =
+  match t with
+  | Set os | List os -> os
+  | Extent _ | Named _ -> not_applicable "%s requires Set or List arguments" name
+
+let both_lists a b = match a, b with List _, List _ -> true | _, _ -> false
+
+let union _ctx a b =
+  let xa = require_set_or_list "Union" a and xb = require_set_or_list "Union" b in
+  if both_lists a b then List (xa @ xb) (* array concatenation *)
+  else set_of (xa @ xb)
+
+let intersection _ctx a b =
+  let xa = require_set_or_list "Intersection" a
+  and xb = require_set_or_list "Intersection" b in
+  let result = List.filter (fun o -> List.exists (Oid.equal o) xb) xa in
+  if both_lists a b then List result else set_of result
+
+let difference _ctx a b =
+  let xa = require_set_or_list "Difference" a
+  and xb = require_set_or_list "Difference" b in
+  let result = List.filter (fun o -> not (List.exists (Oid.equal o) xb)) xa in
+  if both_lists a b then List result else set_of result
+
+(* ------------------------------------------------------------------ *)
+(* Conversions (Tables 5-7)                                            *)
+
+let as_set t =
+  match t with
+  | Extent items -> set_of (List.filter_map (fun (i : item) -> i.oid) items)
+  | Set _ -> t
+  | List os -> set_of os
+  | Named o -> Set [ o ]
+
+let as_list t =
+  match t with
+  | Extent items -> List (List.filter_map (fun (i : item) -> i.oid) items)
+  | Set os -> List os
+  | List _ -> t
+  | Named o -> List [ o ]
+
+let as_extent ctx t =
+  match t with
+  | Set _ | List _ -> Extent (items ctx t)
+  | Extent _ | Named _ -> not_applicable "asExtent requires a Set or a List"
+
+let element_values ctx v =
+  match v with
+  | Value.Set xs | Value.List xs -> xs
+  | Value.Ref oid -> begin
+      match ctx.deref oid with Some _ -> [ v ] | None -> []
+    end
+  | Value.Null -> []
+  | Value.Int _ | Value.Long _ | Value.Float _ | Value.Str _ | Value.Char _
+  | Value.Bool _ | Value.Tuple _ ->
+      [ v ]
+
+let unnest ctx t ~attr =
+  let rows = items ctx t in
+  let unnest_row (item : item) =
+    match item.value with
+    | Value.Tuple fields -> begin
+        match List.assoc_opt attr fields with
+        | None -> not_applicable "Unnest: no attribute %s" attr
+        | Some v ->
+            List.map
+              (fun element ->
+                { oid = None;
+                  value =
+                    Value.Tuple
+                      (List.map
+                         (fun (n, old) ->
+                           (n, if String.equal n attr then element else old))
+                         fields)
+                })
+              (element_values ctx v)
+      end
+    | Value.Null | Value.Int _ | Value.Long _ | Value.Float _ | Value.Str _
+    | Value.Char _ | Value.Bool _ | Value.Set _ | Value.List _ | Value.Ref _ ->
+        not_applicable "Unnest requires a tuple collection"
+  in
+  Extent (List.concat_map unnest_row rows)
+
+let nest ctx t ~attr =
+  let rows = items ctx t in
+  let key (item : item) =
+    match item.value with
+    | Value.Tuple fields -> Value.Tuple (List.filter (fun (n, _) -> n <> attr) fields)
+    | _ -> not_applicable "Nest requires a tuple collection"
+  in
+  let groups = partition ctx (Extent rows) key in
+  let rebuild (k, group) =
+    let members =
+      match group with
+      | Extent items ->
+          List.filter_map
+            (fun (i : item) ->
+              match i.value with
+              | Value.Tuple fields -> List.assoc_opt attr fields
+              | _ -> None)
+            items
+      | Set _ | List _ | Named _ -> []
+    in
+    match k with
+    | Value.Tuple fields ->
+        { oid = None; value = Value.Tuple (fields @ [ (attr, Value.set members) ]) }
+    | _ -> assert false
+  in
+  Extent (List.map rebuild groups)
+
+let flatten _ctx t =
+  let rec oids_of_value v =
+    match v with
+    | Value.Ref oid -> [ oid ]
+    | Value.Set xs | Value.List xs -> List.concat_map oids_of_value xs
+    | Value.Tuple fields -> List.concat_map (fun (_, v) -> oids_of_value v) fields
+    | Value.Null | Value.Int _ | Value.Long _ | Value.Float _ | Value.Str _
+    | Value.Char _ | Value.Bool _ ->
+        []
+  in
+  match t with
+  | Set _ | List _ -> set_of (oids t)
+  | Named o -> Set [ o ]
+  | Extent items_ ->
+      set_of
+        (List.concat_map
+           (fun (i : item) ->
+             match i.oid with Some o -> [ o ] | None -> oids_of_value i.value)
+           items_)

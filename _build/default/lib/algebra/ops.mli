@@ -1,0 +1,100 @@
+(** The MOOD algebra operators (Section 3.2), with the return-type
+    discipline of Tables 1–7.
+
+    General operators take or return single objects; collection
+    operators consume whole collections; conversion operators move
+    between kinds. Predicates and comparison keys arrive as OCaml
+    functions — the executor compiles MOODSQL predicates down to
+    these. *)
+
+open Collection
+
+exception Not_applicable of string
+(** Raised where a table cell says "not applicable" (e.g.
+    [DupElim] on a Set) or an argument kind is outside the operator's
+    domain. *)
+
+(** {1 General operators} *)
+
+val obj_id : item -> Mood_model.Oid.t option
+(** [ObjId(o)]. *)
+
+val type_id : ctx -> item -> int
+(** [TypeId(o)]: the creating class for stored objects, -1 for
+    transient values. *)
+
+val deref : ctx -> Mood_model.Oid.t -> Mood_model.Value.t option
+(** [Deref(oid)]. *)
+
+val bind : (string, t) Hashtbl.t -> t -> string -> t
+(** [Bind(arg, aName)]: registers [arg] under [aName] in the naming
+    environment and returns it. *)
+
+(** {1 Collection operators} *)
+
+val select : ctx -> t -> (item -> bool) -> t
+(** Table 1: Extent→Extent, Set→Set, List→List, Named→Named (an empty
+    Set when the named object fails the predicate or is dangling). *)
+
+val project : ctx -> t -> string list -> t
+(** Tuple collections only ([Not_applicable] otherwise): the extent of
+    the tuple values projected onto the attribute list; Set/List
+    arguments are dereferenced first. *)
+
+val join :
+  ctx ->
+  t -> t ->
+  (item -> item -> bool) ->
+  left_name:string ->
+  right_name:string ->
+  t
+(** Table 2. When either argument is an Extent the result is an Extent
+    of binding tuples [<left_name: l, right_name: r>] (stored objects
+    appear as references, transient values inline). For Set/List/Named
+    combinations the result keeps the identifiers of the *left*
+    argument that join (semi-join), with the kind given by Table 2. *)
+
+val partition : ctx -> t -> (item -> Mood_model.Value.t) -> (Mood_model.Value.t * t) list
+(** [Partition]: groups by key; each group has the kind of the
+    argument. *)
+
+val sort : ctx -> t -> ?run_length:int -> (item -> item -> int) -> t
+(** [Sort] via heap sort with merging, no duplicate elimination. Sorted
+    Set stays a Set of ordered identifiers, List a List, Extent an
+    Extent (Section 3.2). *)
+
+val dup_elim : ctx -> t -> t
+(** Table 3: Set is [Not_applicable]; List gives ordered distinct
+    identifiers; Extent eliminates duplicates under deep equality. *)
+
+val union : ctx -> t -> t -> t
+val intersection : ctx -> t -> t -> t
+val difference : ctx -> t -> t -> t
+(** Table 4: arguments Set or List ([Not_applicable] otherwise);
+    List×List yields List (union = concatenation), anything involving a
+    Set yields Set. *)
+
+(** {1 Conversion operators} *)
+
+val as_set : t -> t
+(** Table 5. *)
+
+val as_list : t -> t
+(** Table 5; an Extent's transient items contribute nothing (no
+    identifiers). *)
+
+val as_extent : ctx -> t -> t
+(** Table 6: Set/List only. *)
+
+val unnest : ctx -> t -> attr:string -> t
+(** Table 7: tuple collections only. Rows multiply per element of the
+    set/list/reference-valued attribute [attr]; rows whose [attr] is
+    empty disappear (1NF unnest). *)
+
+val nest : ctx -> t -> attr:string -> t
+(** Inverse of [Unnest]: groups rows agreeing on every attribute except
+    [attr] and collects the [attr] values into a set. *)
+
+val flatten : ctx -> t -> t
+(** Converts a set/list of collections (or of objects) into the Set of
+    object identifiers of the leaves. Always a Set. *)

@@ -1,0 +1,1 @@
+lib/catalog/catalog.ml: Buffer Format Hashtbl List Mood_model Mood_storage Option Printf String

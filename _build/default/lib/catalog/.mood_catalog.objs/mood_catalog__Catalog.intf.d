@@ -1,0 +1,1 @@
+lib/catalog/catalog.mli: Mood_model Mood_storage

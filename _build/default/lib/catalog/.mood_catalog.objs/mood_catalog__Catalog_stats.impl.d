@@ -1,0 +1,1 @@
+lib/catalog/catalog_stats.ml: Catalog Float List Mood_cost Mood_model Mood_storage String

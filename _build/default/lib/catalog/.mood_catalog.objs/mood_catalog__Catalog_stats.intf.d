@@ -1,0 +1,1 @@
+lib/catalog/catalog_stats.mli: Catalog Mood_cost

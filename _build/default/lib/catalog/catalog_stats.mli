@@ -1,0 +1,14 @@
+(** Derivation of cost-model statistics (Table 8) from stored data.
+
+    Scans every class extent and produces a {!Mood_cost.Stats.t}
+    snapshot: cardinalities, page counts, object sizes, per-attribute
+    dist/max/min/notnull, per-reference fan/totref, plus index
+    statistics (Table 9) for every B+-tree index the catalog holds.
+    Binary-join-index statistics are registered under the attribute key
+    ["#join:<attr>"], the convention the optimizer looks up. *)
+
+val compute : Catalog.t -> Mood_cost.Stats.t
+(** Statistics reflect *deep* extents (a class's statistics include its
+    subclasses' instances, matching how queries range over classes).
+    The scan does charge the simulated disk — callers measuring query
+    I/O should [Store.reset_io] afterwards. *)

@@ -1,0 +1,1 @@
+lib/core/db.ml: Buffer List Mood_algebra Mood_catalog Mood_cost Mood_executor Mood_funcmgr Mood_model Mood_optimizer Mood_sql Mood_storage Option Printf String

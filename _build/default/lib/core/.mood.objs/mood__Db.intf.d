@@ -1,0 +1,1 @@
+lib/core/db.mli: Mood_catalog Mood_cost Mood_executor Mood_funcmgr Mood_model Mood_optimizer Mood_storage

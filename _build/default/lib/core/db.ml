@@ -1,0 +1,471 @@
+module Ast = Mood_sql.Ast
+module Parser = Mood_sql.Parser
+module Typecheck = Mood_sql.Typecheck
+module Value = Mood_model.Value
+module Oid = Mood_model.Oid
+module Store = Mood_storage.Store
+module Wal = Mood_storage.Wal
+module Lock = Mood_storage.Lock_manager
+module Catalog = Mood_catalog.Catalog
+module Catalog_stats = Mood_catalog.Catalog_stats
+module Stats = Mood_cost.Stats
+module Io_cost = Mood_cost.Io_cost
+module Fm = Mood_funcmgr.Function_manager
+module Optimizer = Mood_optimizer.Optimizer
+module Dicts = Mood_optimizer.Dicts
+module Plan = Mood_optimizer.Plan
+module Executor = Mood_executor.Executor
+module Eval = Mood_executor.Eval
+
+type t = {
+  st : Store.t;
+  cat : Catalog.t;
+  funcs : Fm.t;
+  mutable statistics : Stats.t;
+  mutable session_scope : Fm.scope;
+  mutable next_txn : int;
+}
+
+type exec_result =
+  | Rows of Executor.result
+  | Class_created of string
+  | Index_created of string * string
+  | Object_created of Oid.t
+  | Updated of int
+  | Deleted of int
+  | Method_defined of string * string
+  | Method_dropped of string * string
+  | Object_named of string * Oid.t
+  | Name_dropped of string
+
+let create ?disk_params ?buffer_capacity () =
+  let st = Store.create ?disk_params ?buffer_capacity () in
+  let cat = Catalog.create ~store:st in
+  let funcs = Fm.create ~catalog:cat in
+  { st;
+    cat;
+    funcs;
+    statistics = Stats.create ();
+    session_scope = Fm.enter_scope funcs;
+    next_txn = 1
+  }
+
+let store t = t.st
+let catalog t = t.cat
+let functions t = t.funcs
+let stats t = t.statistics
+
+let analyze t =
+  t.statistics <- Catalog_stats.compute t.cat;
+  Store.reset_io t.st
+
+let set_stats t stats = t.statistics <- stats
+
+let optimizer_env t =
+  { Dicts.catalog = t.cat; stats = t.statistics; params = Io_cost.default_params }
+
+let executor_env t = { Eval.catalog = t.cat; funcs = t.funcs; scope = t.session_scope }
+
+let io_elapsed t = Store.io_elapsed t.st
+
+let reset_io t = Store.reset_io t.st
+
+let scope t = t.session_scope
+
+let new_scope t =
+  Fm.exit_scope t.funcs t.session_scope;
+  t.session_scope <- Fm.enter_scope t.funcs
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution                                                 *)
+
+let method_signature (decl : Ast.method_decl) =
+  { Catalog.method_name = decl.Ast.m_name;
+    parameters = decl.Ast.m_params;
+    return_type = decl.Ast.m_return
+  }
+
+let eval_standalone t row e = Eval.expr (executor_env t) row e
+
+let exec_create_class t ~cc_name ~cc_supers ~cc_attrs ~cc_methods =
+  ignore
+    (Catalog.define_class t.cat ~name:cc_name ~superclasses:cc_supers
+       ~attributes:cc_attrs
+       ~methods:(List.map method_signature cc_methods)
+       ());
+  Class_created cc_name
+
+let exec_new t ~no_class ~no_values =
+  let attrs = Catalog.attributes t.cat no_class in
+  let values = List.map (eval_standalone t []) no_values in
+  let fields =
+    List.mapi (fun i (name, _) -> (name, Option.value ~default:Value.Null (List.nth_opt values i))) attrs
+  in
+  Object_created (Catalog.insert_object t.cat ~class_name:no_class (Value.Tuple fields))
+
+let matching_oids t ~class_name ~var ~where =
+  let env = executor_env t in
+  let out = ref [] in
+  Catalog.scan_extent t.cat ~every:true class_name ~f:(fun oid value ->
+      let row = [ (var, { Mood_algebra.Collection.oid = Some oid; value }) ] in
+      let keep = match where with None -> true | Some p -> Eval.predicate env row p in
+      if keep then out := oid :: !out);
+  List.rev !out
+
+let exec_update t ~up_class ~up_var ~up_set ~up_where =
+  let env = executor_env t in
+  let victims = matching_oids t ~class_name:up_class ~var:up_var ~where:up_where in
+  let touched = ref 0 in
+  List.iter
+    (fun oid ->
+      match Catalog.get_object t.cat oid with
+      | None -> ()
+      | Some value ->
+          let row = [ (up_var, { Mood_algebra.Collection.oid = Some oid; value }) ] in
+          let updated =
+            List.fold_left
+              (fun acc (attr, e) -> Value.tuple_set acc attr (Eval.expr env row e))
+              value up_set
+          in
+          if Catalog.update_object t.cat oid updated then incr touched)
+    victims;
+  Updated !touched
+
+let exec_delete t ~de_class ~de_var ~de_where =
+  let victims = matching_oids t ~class_name:de_class ~var:de_var ~where:de_where in
+  let removed =
+    List.fold_left
+      (fun acc oid -> if Catalog.delete_object t.cat oid then acc + 1 else acc)
+      0 victims
+  in
+  Deleted removed
+
+let optimize t source =
+  let q = Parser.parse_query source in
+  Optimizer.optimize (optimizer_env t) q
+
+let exec_statement t stmt =
+  Typecheck.check_statement ~catalog:t.cat stmt;
+  match stmt with
+  | Ast.Select q ->
+      let optimized = Optimizer.optimize (optimizer_env t) q in
+      Rows (Executor.run (executor_env t) optimized.Optimizer.plan)
+  | Ast.Create_class { cc_name; cc_supers; cc_attrs; cc_methods } ->
+      exec_create_class t ~cc_name ~cc_supers ~cc_attrs ~cc_methods
+  | Ast.Create_index { ci_class; ci_attr; ci_kind } ->
+      ignore
+        (Catalog.create_index t.cat ~class_name:ci_class ~attr:ci_attr ~kind:ci_kind ());
+      Index_created (ci_class, ci_attr)
+  | Ast.New_object { no_class; no_values } -> exec_new t ~no_class ~no_values
+  | Ast.Update { up_class; up_var; up_set; up_where } ->
+      exec_update t ~up_class ~up_var ~up_set ~up_where
+  | Ast.Delete { de_class; de_var; de_where } -> exec_delete t ~de_class ~de_var ~de_where
+  | Ast.Define_method { dm_class; dm_decl; dm_body } ->
+      Fm.define t.funcs ~class_name:dm_class ~signature:(method_signature dm_decl)
+        (Fm.Moodc dm_body);
+      Method_defined (dm_class, dm_decl.Ast.m_name)
+  | Ast.Drop_method { xm_class; xm_name } ->
+      Fm.drop t.funcs ~class_name:xm_class ~function_name:xm_name;
+      Method_dropped (xm_class, xm_name)
+  | Ast.Name_object { nm_name; nm_query } -> begin
+      let optimized = Optimizer.optimize (optimizer_env t) nm_query in
+      let result = Executor.run (executor_env t) optimized.Optimizer.plan in
+      match Executor.result_oids result with
+      | [ oid ] ->
+          Catalog.name_object t.cat ~name:nm_name oid;
+          Object_named (nm_name, oid)
+      | [] -> failwith "NAME: the query selected no object"
+      | _ :: _ :: _ -> failwith "NAME: the query selected more than one object"
+    end
+  | Ast.Drop_name name ->
+      ignore (Catalog.drop_name t.cat name);
+      Name_dropped name
+
+(* Statement-granularity two-phase locking: a SELECT shares the extents
+   it ranges over, DML takes them exclusively; everything is released
+   when the statement finishes. Single-session use never conflicts with
+   itself — conflicts surface against administrative locks (or the
+   Function Manager's shared-object rebuilds, which use the same lock
+   manager). *)
+let statement_locks t stmt =
+  let deep cls = cls :: Catalog.descendants t.cat cls in
+  match stmt with
+  | Ast.Select q | Ast.Name_object { nm_query = q; _ } ->
+      List.concat_map
+        (fun (item : Ast.from_item) ->
+          if item.Ast.named then []
+          else List.map (fun c -> (c, Lock.Shared)) (deep item.Ast.class_name))
+        q.Ast.from
+  | Ast.New_object { no_class; _ } -> [ (no_class, Lock.Exclusive) ]
+  | Ast.Update { up_class; _ } ->
+      List.map (fun c -> (c, Lock.Exclusive)) (deep up_class)
+  | Ast.Delete { de_class; _ } ->
+      List.map (fun c -> (c, Lock.Exclusive)) (deep de_class)
+  | Ast.Create_class _ | Ast.Create_index _ | Ast.Define_method _ | Ast.Drop_method _
+  | Ast.Drop_name _ ->
+      []
+
+let with_statement_locks t stmt run =
+  let locks = Store.locks t.st in
+  let wanted = statement_locks t stmt in
+  if wanted = [] then run ()
+  else begin
+    let txn = Lock.begin_txn locks in
+    let release () = Lock.release_all locks txn in
+    let granted =
+      List.for_all
+        (fun (cls, mode) ->
+          match Lock.acquire locks txn ("extent:" ^ cls) mode with
+          | Lock.Granted -> true
+          | Lock.Would_block | Lock.Deadlock -> false)
+        wanted
+    in
+    if not granted then begin
+      release ();
+      failwith "extent is locked by another transaction"
+    end;
+    match run () with
+    | result ->
+        release ();
+        result
+    | exception e ->
+        release ();
+        raise e
+  end
+
+let exec t source =
+  match
+    (let stmt = Parser.parse source in
+     with_statement_locks t stmt (fun () -> exec_statement t stmt))
+  with
+  | result -> Ok result
+  | exception Parser.Parse_error m -> Error ("parse error: " ^ m)
+  | exception Typecheck.Type_error m -> Error ("type error: " ^ m)
+  | exception Catalog.Schema_error m -> Error ("schema error: " ^ m)
+  | exception Eval.Eval_error m -> Error ("run-time error: " ^ m)
+  | exception Fm.Mood_exception { class_name; function_name; message } ->
+      Error (Printf.sprintf "exception in %s::%s: %s" class_name function_name message)
+  | exception Mood_model.Operand.Type_error m -> Error ("run-time type error: " ^ m)
+  | exception Failure m -> Error m
+
+let query t source =
+  match exec t source with
+  | Ok (Rows r) -> r
+  | Ok _ -> failwith "query: not a SELECT statement"
+  | Error m -> failwith m
+
+let explain t source =
+  let optimized = optimize t source in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Plan.render ~label_joins:true optimized.Optimizer.plan);
+  Buffer.add_string buf "\n\nImmSelInfo:\n";
+  List.iter
+    (fun (_, entries) ->
+      if entries <> [] then begin
+        Buffer.add_string buf (Dicts.render_imm entries);
+        Buffer.add_char buf '\n'
+      end)
+    optimized.Optimizer.trace.Optimizer.t_imm;
+  Buffer.add_string buf "\nPathSelInfo:\n";
+  Buffer.add_string buf (Dicts.render_path optimized.Optimizer.trace.Optimizer.t_paths);
+  (match optimized.Optimizer.trace.Optimizer.t_others with
+  | [] -> ()
+  | others ->
+      Buffer.add_string buf "\n\nOtherSelInfo:\n";
+      Buffer.add_string buf (Dicts.render_other others));
+  Buffer.add_string buf
+    (Printf.sprintf "\n\nAND-terms: %d, estimated cost: %.3f s\n"
+       optimized.Optimizer.trace.Optimizer.t_and_terms
+       optimized.Optimizer.trace.Optimizer.t_est_cost);
+  Buffer.contents buf
+
+let insert t ?txn ~class_name value = Catalog.insert_object t.cat ?txn ~class_name value
+
+(* ------------------------------------------------------------------ *)
+(* Schema dump and scripts                                             *)
+
+let system_classes = [ "MoodsType"; "MoodsAttribute"; "MoodsFunction"; "MoodsName" ]
+
+let dump_schema t =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (info : Catalog.class_info) ->
+      let name = info.Catalog.class_name in
+      if not (List.mem name system_classes) then begin
+        pr "CREATE CLASS %s" name;
+        (match info.Catalog.superclasses with
+        | [] -> ()
+        | supers -> pr " INHERITS FROM %s" (String.concat ", " supers));
+        (match info.Catalog.own_attributes with
+        | [] -> ()
+        | attrs ->
+            pr " TUPLE (%s)"
+              (String.concat ", "
+                 (List.map
+                    (fun (a, ty) -> a ^ " " ^ Mood_model.Mtype.to_string ty)
+                    attrs)));
+        (match Catalog.own_methods t.cat name with
+        | [] -> ()
+        | methods ->
+            pr " METHODS: %s"
+              (String.concat ", "
+                 (List.map
+                    (fun (m : Catalog.method_signature) ->
+                      Printf.sprintf "%s (%s) %s" m.Catalog.method_name
+                        (String.concat ", "
+                           (List.map
+                              (fun (p, ty) -> p ^ " " ^ Mood_model.Mtype.to_string ty)
+                              m.Catalog.parameters))
+                        (Mood_model.Mtype.to_string m.Catalog.return_type))
+                    methods)));
+        pr ";\n"
+      end)
+    (Catalog.all_classes t.cat);
+  List.iter
+    (fun (cls, fn, source) ->
+      match Catalog.find_method t.cat ~class_name:cls ~method_name:fn with
+      | Some m ->
+          pr "DEFINE METHOD %s::%s (%s) %s %s;\n" cls fn
+            (String.concat ", "
+               (List.map
+                  (fun (p, ty) -> p ^ " " ^ Mood_model.Mtype.to_string ty)
+                  m.Catalog.parameters))
+            (Mood_model.Mtype.to_string m.Catalog.return_type)
+            source
+      | None -> ())
+    (Fm.moodc_sources t.funcs);
+  List.iter
+    (fun (cls, attr, kind) ->
+      pr "CREATE %s INDEX ON %s (%s);\n"
+        (match kind with `Btree -> "BTREE" | `Hash -> "HASH")
+        cls attr)
+    (Catalog.indexes_list t.cat);
+  Buffer.contents buf
+
+(* Splits a script at top-level ';' — brace depth and quotes aware, so
+   MoodC bodies and string literals survive intact. *)
+let split_statements source =
+  let n = String.length source in
+  let out = ref [] and start = ref 0 in
+  let depth = ref 0 and in_string = ref false in
+  for i = 0 to n - 1 do
+    match source.[i] with
+    | '\'' -> in_string := not !in_string
+    | '{' when not !in_string -> incr depth
+    | '}' when not !in_string -> decr depth
+    | ';' when (not !in_string) && !depth = 0 ->
+        out := String.sub source !start (i - !start) :: !out;
+        start := i + 1
+    | _ -> ()
+  done;
+  if !start < n then out := String.sub source !start (n - !start) :: !out;
+  List.rev !out
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let exec_script t source =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | stmt :: rest -> begin
+        match exec t stmt with
+        | Ok r -> go (r :: acc) rest
+        | Error m -> Error (Printf.sprintf "in %S: %s" stmt m)
+      end
+  in
+  go [] (split_statements source)
+
+(* ------------------------------------------------------------------ *)
+(* Backup / restore                                                    *)
+
+type snapshot = (string * (int * Value.t) list) list
+
+let snapshot t =
+  List.filter_map
+    (fun (info : Catalog.class_info) ->
+      if info.Catalog.kind = Catalog.Class then begin
+        let ext = Catalog.own_extent t.cat info.Catalog.class_name in
+        let contents =
+          Mood_storage.Extent.fold ext ~init:[] ~f:(fun acc slot v -> (slot, v) :: acc)
+        in
+        Some (info.Catalog.class_name, List.rev contents)
+      end
+      else None)
+    (Catalog.all_classes t.cat)
+
+let restore t snap =
+  (* Validate the schema covers the snapshot before touching anything. *)
+  List.iter (fun (cls, _) -> ignore (Catalog.own_extent t.cat cls)) snap;
+  (* Classes present in the database but absent from the snapshot are
+     emptied too: restore means "back to exactly that state". *)
+  List.iter
+    (fun (info : Catalog.class_info) ->
+      if info.Catalog.kind = Catalog.Class then
+        Catalog.replace_extent_contents t.cat info.Catalog.class_name
+          (Option.value ~default:[] (List.assoc_opt info.Catalog.class_name snap)))
+    (Catalog.all_classes t.cat);
+  Catalog.rebuild_indexes t.cat;
+  analyze t
+
+(* Undo helpers: find the extent owning a heap file and compensate
+   using the slot recorded inside the logged payload. *)
+let extent_of_file t file =
+  List.find_map
+    (fun (info : Catalog.class_info) ->
+      if info.Catalog.kind = Catalog.Class then begin
+        let ext = Catalog.own_extent t.cat info.Catalog.class_name in
+        if Mood_storage.Heap_file.file_id (Mood_storage.Extent.heap ext) = file then
+          Some ext
+        else None
+      end
+      else None)
+    (Catalog.all_classes t.cat)
+
+let slot_of_payload payload =
+  match Mood_model.Codec.decode payload with
+  | Value.Tuple [ ("#slot", Value.Int slot); ("#value", value) ] -> (slot, value)
+  | _ -> failwith "Db: corrupt WAL payload"
+
+let undo_insert t ~file ~payload =
+  match extent_of_file t file with
+  | None -> ()
+  | Some ext ->
+      let slot, _ = slot_of_payload payload in
+      ignore (Mood_storage.Extent.delete ext slot)
+
+let undo_delete t ~file ~before =
+  match extent_of_file t file with
+  | None -> ()
+  | Some ext ->
+      let slot, value = slot_of_payload before in
+      (try Mood_storage.Extent.insert_at ext ~slot value with Invalid_argument _ -> ())
+
+let undo_update t ~file ~before =
+  match extent_of_file t file with
+  | None -> ()
+  | Some ext ->
+      let slot, value = slot_of_payload before in
+      ignore (Mood_storage.Extent.update ext ~slot value)
+
+let transaction t f =
+  let txn = t.next_txn in
+  t.next_txn <- txn + 1;
+  let wal = Store.wal t.st in
+  ignore (Wal.append wal (Wal.Begin txn));
+  match f txn with
+  | result ->
+      ignore (Wal.append wal (Wal.Commit txn));
+      Wal.flush wal;
+      result
+  | exception e ->
+      (* Compensate the transaction's logged effects, newest first. *)
+      List.iter
+        (fun record ->
+          match record with
+          | Wal.Insert { file; payload; _ } -> undo_insert t ~file ~payload
+          | Wal.Delete { file; before; _ } -> undo_delete t ~file ~before
+          | Wal.Update { file; before; _ } -> undo_update t ~file ~before
+          | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _ -> ())
+        (Wal.undo_records wal txn);
+      ignore (Wal.append wal (Wal.Abort txn));
+      raise e

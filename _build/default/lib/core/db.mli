@@ -1,0 +1,114 @@
+(** The MOOD database handle: the public entry point of the system.
+
+    A [t] owns one storage manager (simulated disk, buffer pool, lock
+    manager, log), the catalog, the Function Manager and a statistics
+    snapshot for the optimizer. MOODSQL statements go through [exec]
+    (or [query]/[explain] for SELECTs); programmatic access to the
+    sub-systems is available through the accessors.
+
+    Interfaces access the database through SQL statements interpreted
+    by the kernel (Section 2's uniform architecture) — the text
+    MoodView drives everything through [exec]. *)
+
+type t
+
+type exec_result =
+  | Rows of Mood_executor.Executor.result   (** SELECT *)
+  | Class_created of string
+  | Index_created of string * string
+  | Object_created of Mood_model.Oid.t      (** [new C <...>] *)
+  | Updated of int                          (** objects touched *)
+  | Deleted of int
+  | Method_defined of string * string
+  | Method_dropped of string * string
+  | Object_named of string * Mood_model.Oid.t  (** [NAME x AS SELECT ...] *)
+  | Name_dropped of string
+
+val create :
+  ?disk_params:Mood_storage.Disk.params -> ?buffer_capacity:int -> unit -> t
+
+val store : t -> Mood_storage.Store.t
+val catalog : t -> Mood_catalog.Catalog.t
+val functions : t -> Mood_funcmgr.Function_manager.t
+
+val stats : t -> Mood_cost.Stats.t
+(** The optimizer's current statistics snapshot. Before the first
+    [analyze]/[set_stats], an empty snapshot (the optimizer then sees
+    zero cardinalities and falls back to trivial plans). *)
+
+val analyze : t -> unit
+(** Recomputes statistics from the stored data ([Catalog_stats]) and
+    resets the I/O ledger so the collection scan does not pollute
+    measurements. *)
+
+val set_stats : t -> Mood_cost.Stats.t -> unit
+(** Installs an explicit snapshot (e.g. the paper's Tables 13–15). *)
+
+val optimizer_env : t -> Mood_optimizer.Dicts.env
+val executor_env : t -> Mood_executor.Eval.env
+
+val exec : t -> string -> (exec_result, string) result
+(** Parses, checks, optimizes and executes one MOODSQL statement.
+    Returns [Error message] for parse/type/schema/run-time errors
+    (the kernel's Exception class behaviour: failures are reported, the
+    server survives). *)
+
+val query : t -> string -> Mood_executor.Executor.result
+(** [exec] for SELECTs; raises [Failure] on errors or non-SELECTs. *)
+
+val explain : t -> string -> string
+(** The optimizer's output for a SELECT: the access plan (with the
+    paper's T-labelled join temporaries) followed by the ImmSelInfo and
+    PathSelInfo dictionaries. *)
+
+val optimize : t -> string -> Mood_optimizer.Optimizer.optimized
+(** The raw optimizer result for a SELECT source text. *)
+
+val dump_schema : t -> string
+(** The user schema as a MOODSQL script: CREATE CLASS statements in
+    definition order (attributes, inheritance, method signatures)
+    followed by DEFINE METHOD statements for every MoodC body the
+    Function Manager holds, and CREATE INDEX statements. Executing the
+    script against a fresh database recreates the schema — the SQL
+    analogue of MoodView's "convert class hierarchy graph into C++
+    code". *)
+
+val exec_script : t -> string -> (exec_result list, string) result
+(** Executes a ';'-separated script, stopping at the first error
+    (statements already executed stay). DEFINE METHOD bodies may
+    contain ';' freely — splitting is brace-aware. *)
+
+type snapshot
+(** A full-database backup: every extent's objects (system classes
+    included, so object names survive), slot-faithful. *)
+
+val snapshot : t -> snapshot
+(** The ESM "backup" function at the facade level. The schema itself is
+    not part of the snapshot: [restore] requires the same classes to
+    exist (restore into the same or an identically-defined database). *)
+
+val restore : t -> snapshot -> unit
+(** Replaces every extent's contents with the snapshot's and rebuilds
+    all indexes; statistics are re-derived. Raises [Schema_error] when
+    the snapshot mentions a class the database lacks. *)
+
+val transaction : t -> (int -> 'a) -> 'a
+(** Runs the callback with a fresh transaction id; object operations
+    given this id are WAL-logged. Commit (with log force) on return,
+    abort — compensating logged operations — on exception, which is
+    re-raised. *)
+
+val insert : t -> ?txn:int -> class_name:string -> Mood_model.Value.t -> Mood_model.Oid.t
+(** Programmatic object creation (type-checked against the catalog). *)
+
+val io_elapsed : t -> float
+(** Modeled I/O seconds since the last reset — the measurement the
+    benches compare against the cost model. *)
+
+val reset_io : t -> unit
+
+val scope : t -> Mood_funcmgr.Function_manager.scope
+(** The session scope: loaded functions stay cached here until
+    [new_scope] replaces it (the paper's scope-change unloading). *)
+
+val new_scope : t -> unit

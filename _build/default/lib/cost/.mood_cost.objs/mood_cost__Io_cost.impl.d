@@ -1,0 +1,1 @@
+lib/cost/io_cost.ml: Float Format Mood_storage Mood_util Stats

@@ -1,0 +1,1 @@
+lib/cost/io_cost.mli: Format Mood_storage Stats

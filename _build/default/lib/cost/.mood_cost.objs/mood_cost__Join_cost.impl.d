@@ -1,0 +1,1 @@
+lib/cost/join_cost.ml: Float Format Io_cost List Mood_util Stats

@@ -1,0 +1,1 @@
+lib/cost/join_cost.mli: Format Io_cost Stats

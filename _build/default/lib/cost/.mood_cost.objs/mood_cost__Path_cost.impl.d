@@ -1,0 +1,1 @@
+lib/cost/path_cost.ml: Join_cost Selectivity

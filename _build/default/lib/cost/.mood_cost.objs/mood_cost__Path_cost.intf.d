@@ -1,0 +1,1 @@
+lib/cost/path_cost.mli: Io_cost Selectivity Stats

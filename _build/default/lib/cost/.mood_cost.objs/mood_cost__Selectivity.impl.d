@@ -1,0 +1,1 @@
+lib/cost/selectivity.ml: Float List Mood_util Stats

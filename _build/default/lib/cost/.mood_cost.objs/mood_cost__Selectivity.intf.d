@@ -1,0 +1,1 @@
+lib/cost/selectivity.mli: Stats

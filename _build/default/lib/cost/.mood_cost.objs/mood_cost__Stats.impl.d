@@ -1,0 +1,1 @@
+lib/cost/stats.ml: Format Hashtbl List String

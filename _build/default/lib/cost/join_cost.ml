@@ -1,0 +1,89 @@
+module Combinat = Mood_util.Combinat
+
+type edge = { cls : string; attr : string; source_in_memory : bool }
+
+type method_choice = Forward_traversal | Backward_traversal | Binary_join_index | Hash_partition
+
+let fan stats (e : edge) =
+  match Stats.ref_stats stats ~cls:e.cls ~attr:e.attr with
+  | Some r -> r.Stats.fan
+  | None -> 0.
+
+let totref stats (e : edge) =
+  match Stats.ref_stats stats ~cls:e.cls ~attr:e.attr with
+  | Some r -> r.Stats.totref
+  | None -> 0
+
+let target stats (e : edge) =
+  match Stats.ref_stats stats ~cls:e.cls ~attr:e.attr with
+  | Some r -> r.Stats.target
+  | None -> ""
+
+(* nbpages(X) * (1 - (1 - 1/nbpages(X))^hits) for fractional hits. *)
+let distinct_pages pages hits =
+  if pages <= 0 || hits <= 0. then 0.
+  else
+    let p = float_of_int pages in
+    p *. (1. -. ((1. -. (1. /. p)) ** hits))
+
+let forward params stats e ~k_c =
+  let source =
+    if e.source_in_memory then 0.
+    else Io_cost.rndcost params (distinct_pages (Stats.nbpages stats e.cls) k_c)
+  in
+  source +. Io_cost.rndcost params (k_c *. fan stats e)
+
+let backward params stats e ~k_c ~k_d ~d_accessed =
+  let scan_c = Io_cost.seqcost params (Stats.nbpages stats e.cls) in
+  let cpu = k_c *. fan stats e *. k_d *. params.Io_cost.cpu_cost in
+  let scan_d =
+    if d_accessed then 0. else Io_cost.seqcost params (Stats.nbpages stats (target stats e))
+  in
+  scan_c +. cpu +. scan_d
+
+let binary_join_index params ~index ~k =
+  match index with
+  | Some ix -> Some (Io_cost.indcost params ix ~k:(int_of_float (ceil k)))
+  | None -> None
+
+let hash_partition params stats e ~k_c =
+  let c_card = float_of_int (Stats.cardinality stats e.cls) in
+  let fraction = if c_card > 0. then k_c /. c_card else 1. in
+  let partition = 3. *. fraction *. Io_cost.seqcost params (Stats.nbpages stats e.cls) in
+  let alpha =
+    Combinat.c_approx
+      ~n:(int_of_float (Float.max 1. (c_card *. fan stats e)))
+      ~m:(max 1 (totref stats e))
+      ~r:(int_of_float (Float.max 1. (Float.round (k_c *. fan stats e))))
+  in
+  let nbpg = distinct_pages (Stats.nbpages stats (target stats e)) alpha in
+  partition +. Io_cost.rndcost params nbpg
+
+let cheapest params stats e ~k_c ~k_d ~d_accessed ~join_index =
+  let candidates =
+    [ (Forward_traversal, Some (forward params stats e ~k_c));
+      (Binary_join_index, binary_join_index params ~index:join_index ~k:k_c);
+      (Hash_partition, Some (hash_partition params stats e ~k_c));
+      (Backward_traversal, Some (backward params stats e ~k_c ~k_d ~d_accessed))
+    ]
+  in
+  let best =
+    List.fold_left
+      (fun acc (m, cost) ->
+        match cost, acc with
+        | None, _ -> acc
+        | Some c, None -> Some (m, c)
+        | Some c, Some (_, best_c) -> if c < best_c then Some (m, c) else acc)
+      None candidates
+  in
+  match best with
+  | Some choice -> choice
+  | None -> assert false (* forward and hash are always available *)
+
+let pp_method ppf m =
+  Format.pp_print_string ppf
+    (match m with
+    | Forward_traversal -> "FORWARD_TRAVERSAL"
+    | Backward_traversal -> "BACKWARD_TRAVERSAL"
+    | Binary_join_index -> "BINARY_JOIN_INDEX"
+    | Hash_partition -> "HASH_PARTITION")

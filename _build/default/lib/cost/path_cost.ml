@@ -1,0 +1,18 @@
+let forward_path params stats ~hops ~k =
+  let rec go cost k prefix = function
+    | [] -> cost
+    | (hop : Selectivity.hop) :: rest ->
+        let edge =
+          { Join_cost.cls = hop.Selectivity.cls;
+            attr = hop.Selectivity.attr;
+            source_in_memory = false
+          }
+        in
+        let hop_cost = Join_cost.forward params stats edge ~k_c:k in
+        let prefix = prefix @ [ hop ] in
+        let k_next = Selectivity.fref stats ~hops:prefix ~k in
+        go (cost +. hop_cost) k_next prefix rest
+  in
+  go 0. k [] hops
+
+let rank ~f ~s = if s >= 1. then infinity else f /. (1. -. s)

@@ -1,0 +1,14 @@
+(** Forward-traversal cost of a whole path expression — the [F_i] of
+    Algorithm 8.1 and the "Forward Traversal Cost" column of Table 16. *)
+
+val forward_path :
+  Io_cost.params -> Stats.t -> hops:Selectivity.hop list -> k:float -> float
+(** Cost of traversing all reference hops starting from [k] objects of
+    the head class: the sum of per-hop forward-traversal costs
+    ([Join_cost.forward]) where the number of source objects of hop
+    [i+1] is [fref] of the prefix — the expected distinct objects
+    reached. *)
+
+val rank : f:float -> s:float -> float
+(** The ordering key [F / (1 - s)] of Algorithm 8.1; [infinity] when
+    [s >= 1]. *)

@@ -1,0 +1,61 @@
+module Combinat = Mood_util.Combinat
+
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type atomic_predicate =
+  | Compare of comparison * float
+  | Between of float * float
+
+let clamp f = Float.max 0. (Float.min 1. f)
+
+let equality_selectivity (s : Stats.attr_stats) =
+  if s.Stats.dist <= 0 then 1. else 1. /. float_of_int s.Stats.dist
+
+let atomic (s : Stats.attr_stats) predicate =
+  let range_selectivity f =
+    match s.Stats.max_value, s.Stats.min_value with
+    | Some max_v, Some min_v when max_v > min_v -> clamp (f max_v min_v)
+    | Some _, Some _ | Some _, None | None, Some _ | None, None ->
+        (* No usable range: fall back to the equality estimate. *)
+        equality_selectivity s
+  in
+  match predicate with
+  | Compare (Eq, _) -> clamp (equality_selectivity s)
+  | Compare (Ne, _) -> clamp (1. -. equality_selectivity s)
+  | Compare (Gt, c) | Compare (Ge, c) ->
+      range_selectivity (fun max_v min_v -> (max_v -. c) /. (max_v -. min_v))
+  | Compare (Lt, c) | Compare (Le, c) ->
+      range_selectivity (fun max_v min_v -> (c -. min_v) /. (max_v -. min_v))
+  | Between (c1, c2) ->
+      range_selectivity (fun max_v min_v -> (c2 -. c1) /. (max_v -. min_v))
+
+type hop = { cls : string; attr : string }
+
+let fref stats ~hops ~k =
+  let step acc { cls; attr } =
+    match Stats.ref_stats stats ~cls ~attr with
+    | None -> 0.
+    | Some r ->
+        let totlinks = Stats.totlinks stats ~cls ~attr in
+        let reached = acc *. r.Stats.fan in
+        Combinat.c_approx
+          ~n:(int_of_float (Float.max 1. totlinks))
+          ~m:(max 1 r.Stats.totref)
+          ~r:(int_of_float (Float.max 1. (Float.round reached)))
+  in
+  List.fold_left step k hops
+
+let path stats ~hops ~terminal_cls ~terminal_selectivity ?(apply_hitprb = true) () =
+  match List.rev hops with
+  | [] -> clamp terminal_selectivity
+  | last :: _ ->
+      let k_m = float_of_int (Stats.cardinality stats terminal_cls) *. terminal_selectivity in
+      let x = fref stats ~hops ~k:1. in
+      let hit = if apply_hitprb then Stats.hitprb stats ~cls:last.cls ~attr:last.attr else 1. in
+      let y = k_m *. hit in
+      let t =
+        match Stats.ref_stats stats ~cls:last.cls ~attr:last.attr with
+        | Some r -> r.Stats.totref
+        | None -> 0
+      in
+      clamp (Combinat.overlap_probability ~t ~x ~y)

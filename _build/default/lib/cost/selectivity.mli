@@ -1,0 +1,53 @@
+(** Selectivity estimation (Section 4.1).
+
+    Atomic selectivities assume uniformly distributed values; path
+    selectivities propagate expected reference counts forward with the
+    [c(n,m,r)] color approximation and close with the overlap
+    probability [o(t,x,y)]. *)
+
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type atomic_predicate =
+  | Compare of comparison * float  (** [A θ constant], numeric view *)
+  | Between of float * float       (** [A BETWEEN c1 AND c2] *)
+
+val atomic : Stats.attr_stats -> atomic_predicate -> float
+(** [f_s] of an atomic predicate:
+    [=] gives [1/dist]; [>] gives [(max - c) / (max - min)] (and the
+    mirrored forms for [<], [>=], [<=]); [<>] gives [1 - 1/dist];
+    BETWEEN gives [(c2 - c1) / (max - min)]. Falls back to [1/dist]
+    when min/max are unavailable for an inequality. Results are clamped
+    to [0, 1]. *)
+
+(** One step of a path expression: attribute [attr] of class [cls]
+    referencing class [target] (statistics looked up in [Stats.t]). *)
+type hop = { cls : string; attr : string }
+
+val fref : Stats.t -> hops:hop list -> k:float -> float
+(** Expected number of distinct objects of the final class reached by
+    forward-traversing [hops] starting from [k] objects of the first
+    class (the paper's [fref(p.A1...Ai, k)]):
+    [fref = k] for no hops, else
+    [c(totlinks_i, totref_i, fref(prefix) * fan_i)]. *)
+
+val path :
+  Stats.t ->
+  hops:hop list ->
+  terminal_cls:string ->
+  terminal_selectivity:float ->
+  ?apply_hitprb:bool ->
+  unit ->
+  float
+(** Selectivity of the single-path-expression predicate
+    [p.A1...Am θ c]: with [k_m = |C_m| * f_s(A_m θ c)] and
+    [x = fref(hops, 1)], returns
+    [o(totref_(m-1), x, k_m * hitprb(A_(m-1), C_(m-1), C_m))].
+    [hops] are the m-1 reference steps; the terminal atomic comparison
+    enters through [terminal_selectivity].
+
+    [apply_hitprb] defaults to [true] (the formula as printed in
+    Section 4.1). The paper's own Table 16 entry for
+    [v.company.name = 'BMW'] (5.00e-5) corresponds to omitting the
+    [hitprb] factor — pass [false] to reproduce that reading (see
+    EXPERIMENTS.md). With no hops the terminal selectivity is returned
+    unchanged. *)

@@ -1,0 +1,83 @@
+type class_stats = { cardinality : int; nbpages : int; obj_size : int }
+
+type attr_stats = {
+  dist : int;
+  max_value : float option;
+  min_value : float option;
+  notnull : float;
+}
+
+type ref_stats = { target : string; fan : float; totref : int }
+
+type index_stats = {
+  order : int;
+  levels : int;
+  leaves : int;
+  key_size : int;
+  unique : bool;
+}
+
+type t = {
+  class_tbl : (string, class_stats) Hashtbl.t;
+  attr_tbl : (string * string, attr_stats) Hashtbl.t;
+  ref_tbl : (string * string, ref_stats) Hashtbl.t;
+  index_tbl : (string * string, index_stats) Hashtbl.t;
+}
+
+let create () =
+  { class_tbl = Hashtbl.create 16;
+    attr_tbl = Hashtbl.create 32;
+    ref_tbl = Hashtbl.create 16;
+    index_tbl = Hashtbl.create 8
+  }
+
+let set_class t name s = Hashtbl.replace t.class_tbl name s
+let set_attr t ~cls ~attr s = Hashtbl.replace t.attr_tbl (cls, attr) s
+let set_ref t ~cls ~attr s = Hashtbl.replace t.ref_tbl (cls, attr) s
+let set_index t ~cls ~attr s = Hashtbl.replace t.index_tbl (cls, attr) s
+
+let class_stats t name = Hashtbl.find_opt t.class_tbl name
+let attr_stats t ~cls ~attr = Hashtbl.find_opt t.attr_tbl (cls, attr)
+let ref_stats t ~cls ~attr = Hashtbl.find_opt t.ref_tbl (cls, attr)
+let index_stats t ~cls ~attr = Hashtbl.find_opt t.index_tbl (cls, attr)
+
+let cardinality t name =
+  match class_stats t name with Some s -> s.cardinality | None -> 0
+
+let nbpages t name = match class_stats t name with Some s -> s.nbpages | None -> 0
+
+let totlinks t ~cls ~attr =
+  match ref_stats t ~cls ~attr with
+  | Some r -> r.fan *. float_of_int (cardinality t cls)
+  | None -> 0.
+
+let hitprb t ~cls ~attr =
+  match ref_stats t ~cls ~attr with
+  | Some r ->
+      let d = cardinality t r.target in
+      if d = 0 then 0. else float_of_int r.totref /. float_of_int d
+  | None -> 0.
+
+let classes t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.class_tbl []
+  |> List.sort String.compare
+
+let pp ppf t =
+  let classes = classes t in
+  List.iter
+    (fun name ->
+      match class_stats t name with
+      | Some s ->
+          Format.fprintf ppf "%s: |C|=%d nbpages=%d size=%d@." name s.cardinality
+            s.nbpages s.obj_size
+      | None -> ())
+    classes;
+  Hashtbl.iter
+    (fun (cls, attr) (s : attr_stats) ->
+      Format.fprintf ppf "%s.%s: dist=%d notnull=%.2f@." cls attr s.dist s.notnull)
+    t.attr_tbl;
+  Hashtbl.iter
+    (fun (cls, attr) (r : ref_stats) ->
+      Format.fprintf ppf "%s.%s -> %s: fan=%.2f totref=%d totlinks=%.0f hitprb=%.3f@."
+        cls attr r.target r.fan r.totref (totlinks t ~cls ~attr) (hitprb t ~cls ~attr))
+    t.ref_tbl

@@ -1,0 +1,66 @@
+(** Database statistics: the cost-model parameters of Table 8 plus the
+    B+-tree parameters of Table 9.
+
+    A [t] is a snapshot keyed by class name, (class, attribute) and
+    reference edges. It can be filled explicitly (the paper's Tables
+    13–15) or derived from stored data by [Mood_catalog.Catalog_stats].
+    Derived quantities follow the paper:
+    [totlinks(A,C,D) = fan(A,C,D) * |C|] and
+    [hitprb(A,C,D) = totref(A,C,D) / |D|]. *)
+
+type class_stats = {
+  cardinality : int;  (** |C| *)
+  nbpages : int;      (** nbpages(C) *)
+  obj_size : int;     (** size(C), bytes *)
+}
+
+type attr_stats = {
+  dist : int;                 (** dist(A,C) *)
+  max_value : float option;   (** max(A,C), numeric attributes *)
+  min_value : float option;   (** min(A,C) *)
+  notnull : float;            (** notnull(A,C), in [0,1] *)
+}
+
+type ref_stats = {
+  target : string;  (** class D referenced through the attribute *)
+  fan : float;      (** fan(A,C,D) *)
+  totref : int;     (** totref(A,C,D) *)
+}
+
+type index_stats = {
+  order : int;
+  levels : int;
+  leaves : int;
+  key_size : int;
+  unique : bool;
+}
+
+type t
+
+val create : unit -> t
+
+val set_class : t -> string -> class_stats -> unit
+val set_attr : t -> cls:string -> attr:string -> attr_stats -> unit
+val set_ref : t -> cls:string -> attr:string -> ref_stats -> unit
+val set_index : t -> cls:string -> attr:string -> index_stats -> unit
+
+val class_stats : t -> string -> class_stats option
+val attr_stats : t -> cls:string -> attr:string -> attr_stats option
+val ref_stats : t -> cls:string -> attr:string -> ref_stats option
+val index_stats : t -> cls:string -> attr:string -> index_stats option
+
+val cardinality : t -> string -> int
+(** 0 for unknown classes. *)
+
+val nbpages : t -> string -> int
+
+val totlinks : t -> cls:string -> attr:string -> float
+(** [fan * |C|]; 0 when the edge is unknown. *)
+
+val hitprb : t -> cls:string -> attr:string -> float
+(** [totref / |D|]; 0 when the edge or |D| is unknown. *)
+
+val classes : t -> string list
+(** Classes with registered statistics, sorted. *)
+
+val pp : Format.formatter -> t -> unit

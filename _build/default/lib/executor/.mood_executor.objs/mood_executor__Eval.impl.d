@@ -1,0 +1,1 @@
+lib/executor/eval.ml: Format Int64 List Mood_algebra Mood_catalog Mood_funcmgr Mood_model Mood_sql String

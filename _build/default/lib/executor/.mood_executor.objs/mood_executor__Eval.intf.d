@@ -1,0 +1,1 @@
+lib/executor/eval.mli: Mood_algebra Mood_catalog Mood_funcmgr Mood_model Mood_sql

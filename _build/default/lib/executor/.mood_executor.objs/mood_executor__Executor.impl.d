@@ -1,0 +1,1 @@
+lib/executor/executor.ml: Eval Hashtbl List Mood_algebra Mood_catalog Mood_cost Mood_model Mood_optimizer Mood_sql Mood_storage Mood_util Option Printf String

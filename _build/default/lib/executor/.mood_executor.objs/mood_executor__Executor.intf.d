@@ -1,0 +1,1 @@
+lib/executor/executor.mli: Eval Mood_model Mood_optimizer Mood_sql

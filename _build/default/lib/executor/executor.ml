@@ -1,0 +1,560 @@
+module Ast = Mood_sql.Ast
+module Value = Mood_model.Value
+module Oid = Mood_model.Oid
+module Catalog = Mood_catalog.Catalog
+module Collection = Mood_algebra.Collection
+module Plan = Mood_optimizer.Plan
+module Dicts = Mood_optimizer.Dicts
+module Optimizer = Mood_optimizer.Optimizer
+module Join_cost = Mood_cost.Join_cost
+module Heap = Mood_util.Heap
+module Btree = Mood_storage.Btree
+module Hash_index = Mood_storage.Hash_index
+
+type result = { rows : Eval.row list; projected : Value.t list option }
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+
+let item_of env oid =
+  Option.map
+    (fun value -> { Collection.oid = Some oid; value })
+    (Catalog.get_object env.Eval.catalog oid)
+
+let refs_of_field = function
+  | Value.Ref o -> [ o ]
+  | Value.Set xs | Value.List xs ->
+      List.filter_map (function Value.Ref o -> Some o | _ -> None) xs
+  | Value.Null | Value.Int _ | Value.Long _ | Value.Float _ | Value.Str _
+  | Value.Char _ | Value.Bool _ | Value.Tuple _ ->
+      []
+
+(* A "simple" right side of a join: one class access with an optional
+   residual predicate, which pointer-chasing joins can evaluate lazily
+   per fetched object instead of pre-scanning the extent. *)
+type simple_source = {
+  s_class : string;
+  s_var : string;
+  s_minus : string list;
+  s_pred : Ast.predicate option;
+}
+
+let rec as_simple = function
+  | Plan.Bind { class_name; var; minus; every = _ } ->
+      Some { s_class = class_name; s_var = var; s_minus = minus; s_pred = None }
+  | Plan.Select { source; pred; var = _ } -> begin
+      match as_simple source with
+      | Some ({ s_pred = None; _ } as s) -> Some { s with s_pred = Some pred }
+      | Some _ | None -> None
+    end
+  | Plan.Named_obj _ | Plan.Ind_sel _ | Plan.Path_ind_sel _ | Plan.Join _
+  | Plan.Project _ | Plan.Group _ | Plan.Sort _ | Plan.Union _ ->
+      None
+
+let class_matches env ~class_name ~minus oid =
+  match Catalog.class_of_object env.Eval.catalog oid with
+  | None -> false
+  | Some info ->
+      Catalog.is_subclass_of env.Eval.catalog ~sub:info.Catalog.class_name
+        ~super:class_name
+      && not
+           (List.exists
+              (fun m ->
+                Catalog.is_subclass_of env.Eval.catalog ~sub:info.Catalog.class_name
+                  ~super:m)
+              minus)
+
+(* Fetch a referenced object through a simple source: class membership
+   plus the residual predicate. *)
+let fetch_simple env (s : simple_source) oid =
+  if not (class_matches env ~class_name:s.s_class ~minus:s.s_minus oid) then None
+  else
+    match item_of env oid with
+    | None -> None
+    | Some item -> begin
+        match s.s_pred with
+        | None -> Some item
+        | Some pred ->
+            if Eval.predicate env [ (s.s_var, item) ] pred then Some item else None
+      end
+
+(* The pointer shape of a join predicate: [lv.attr = rv.self]. *)
+let pointer_pred = function
+  | Ast.Cmp (Ast.Eq, Ast.Path (lv, (_ :: _ as path)), Ast.Path (rv, [])) ->
+      Some (lv, path, rv)
+  | Ast.Cmp (Ast.Eq, Ast.Path (rv, []), Ast.Path (lv, (_ :: _ as path))) ->
+      Some (lv, path, rv)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Plan evaluation                                                     *)
+
+let rec rows_of env node : Eval.row list =
+  match node with
+  | Plan.Bind { class_name; var; every = _; minus } ->
+      let out = ref [] in
+      Catalog.scan_extent env.Eval.catalog ~every:true ~minus class_name
+        ~f:(fun oid value ->
+          out := [ (var, { Collection.oid = Some oid; value }) ] :: !out);
+      List.rev !out
+  | Plan.Named_obj { name; var } -> begin
+      match Catalog.named_object env.Eval.catalog name with
+      | None -> failwith (Printf.sprintf "unknown named object %s" name)
+      | Some oid -> begin
+          match item_of env oid with
+          | Some item -> [ [ (var, item) ] ]
+          | None -> []
+        end
+    end
+  | Plan.Ind_sel { source; preds } -> begin
+      match as_simple source with
+      | None -> failwith "Ind_sel over a non-class source"
+      | Some s ->
+          let probe (p : Plan.indexed_pred) =
+            match
+              Catalog.find_index env.Eval.catalog ~class_name:s.s_class
+                ~attr:p.Plan.ip_attr
+            with
+            | None -> None
+            | Some index -> Some (probe_index index p)
+          in
+          let oid_sets = List.filter_map probe preds in
+          let candidates =
+            match oid_sets with
+            | [] -> []
+            | first :: rest ->
+                List.fold_left
+                  (fun acc set -> List.filter (fun o -> List.exists (Oid.equal o) set) acc)
+                  first rest
+          in
+          List.filter_map
+            (fun oid ->
+              Option.map (fun item -> [ (s.s_var, item) ]) (fetch_simple env s oid))
+            (List.sort_uniq Oid.compare candidates)
+    end
+  | Plan.Path_ind_sel { class_name; var; path; cmp; constant } -> begin
+      match Catalog.find_path_index env.Eval.catalog ~class_name ~path with
+      | None ->
+          failwith
+            (Printf.sprintf "no path index on %s.%s" class_name (String.concat "." path))
+      | Some px ->
+          let module Jx = Mood_storage.Join_index in
+          let module Bt = Mood_storage.Btree in
+          let heads =
+            match cmp with
+            | Ast.Eq -> Jx.Path.probe px ~terminal:constant
+            | Ast.Lt -> Jx.Path.probe_range px ~lo:Bt.Unbounded ~hi:(Bt.Exclusive constant)
+            | Ast.Le -> Jx.Path.probe_range px ~lo:Bt.Unbounded ~hi:(Bt.Inclusive constant)
+            | Ast.Gt -> Jx.Path.probe_range px ~lo:(Bt.Exclusive constant) ~hi:Bt.Unbounded
+            | Ast.Ge -> Jx.Path.probe_range px ~lo:(Bt.Inclusive constant) ~hi:Bt.Unbounded
+            | Ast.Ne ->
+                Jx.Path.probe_range px ~lo:Bt.Unbounded ~hi:(Bt.Exclusive constant)
+                @ Jx.Path.probe_range px ~lo:(Bt.Exclusive constant) ~hi:Bt.Unbounded
+          in
+          List.filter_map
+            (fun oid -> Option.map (fun item -> [ (var, item) ]) (item_of env oid))
+            (List.sort_uniq Oid.compare heads)
+    end
+  | Plan.Select { source; pred; var = _ } ->
+      List.filter (fun row -> Eval.predicate env row pred) (rows_of env source)
+  | Plan.Join { left; right; method_; pred } -> join env left right method_ pred
+  | Plan.Project { source; items = _ } ->
+      rows_of env source (* the SELECT list is applied by [run] at the top *)
+  | Plan.Group { source; by; having; aggregates } ->
+      let input = rows_of env source in
+      let groups =
+        if by = [] then [ ([ Value.Null ], input) ] (* one group, possibly empty *)
+        else group_rows env input by
+      in
+      let rows =
+        List.map
+          (fun (_, members) ->
+            let representative = match members with r :: _ -> r | [] -> [] in
+            if aggregates = [] then representative
+            else begin
+              let fields =
+                List.map
+                  (fun agg -> (Ast.expr_to_string agg, compute_aggregate env members agg))
+                  aggregates
+              in
+              representative
+              @ [ ("#agg", { Collection.oid = None; value = Value.Tuple fields }) ]
+            end)
+          groups
+      in
+      begin
+        match having with
+        | None -> rows
+        | Some pred -> List.filter (fun row -> Eval.predicate env row pred) rows
+      end
+  | Plan.Sort { source; keys } ->
+      let input = rows_of env source in
+      let cmp a b = compare_rows env keys a b in
+      Heap.sort_with_runs ~cmp ~run_length:1024 input
+  | Plan.Union nodes ->
+      let all = List.concat_map (rows_of env) nodes in
+      dedup_rows all
+
+(* One aggregate value over a group's member rows. NULL inner values do
+   not contribute; empty inputs give COUNT 0 and NULL for the rest. *)
+and compute_aggregate env members agg =
+  match agg with
+  | Ast.Aggregate (fn, inner) -> begin
+      let values =
+        match inner with
+        | None -> List.map (fun _ -> Value.Int 1) members
+        | Some e ->
+            List.filter_map
+              (fun row ->
+                match Eval.expr env row e with Value.Null -> None | v -> Some v)
+              members
+      in
+      match fn with
+      | Ast.Count -> Value.Int (List.length values)
+      | Ast.Sum -> begin
+          match values with
+          | [] -> Value.Null
+          | first :: rest ->
+              let open Mood_model.Operand in
+              to_value
+                (List.fold_left (fun acc v -> add acc (of_value v)) (of_value first) rest)
+        end
+      | Ast.Avg -> begin
+          let numerics = List.filter_map Value.as_float values in
+          match numerics with
+          | [] -> Value.Null
+          | _ ->
+              Value.Float
+                (List.fold_left ( +. ) 0. numerics /. float_of_int (List.length numerics))
+        end
+      | Ast.Min | Ast.Max ->
+          let better a b =
+            match Eval.compare_values a b with
+            | Some c -> if (fn = Ast.Min && c <= 0) || (fn = Ast.Max && c >= 0) then a else b
+            | None -> a
+          in
+          begin
+            match values with
+            | [] -> Value.Null
+            | first :: rest -> List.fold_left better first rest
+          end
+    end
+  | _ -> failwith "compute_aggregate: not an aggregate expression"
+
+and probe_index index (p : Plan.indexed_pred) =
+  match index, p.Plan.ip_cmp with
+  | Catalog.Btree_index bt, Ast.Eq -> Btree.search bt ~key:p.Plan.ip_constant
+  | Catalog.Btree_index bt, Ast.Lt ->
+      range_oids bt ~lo:Btree.Unbounded ~hi:(Btree.Exclusive p.Plan.ip_constant)
+  | Catalog.Btree_index bt, Ast.Le ->
+      range_oids bt ~lo:Btree.Unbounded ~hi:(Btree.Inclusive p.Plan.ip_constant)
+  | Catalog.Btree_index bt, Ast.Gt ->
+      range_oids bt ~lo:(Btree.Exclusive p.Plan.ip_constant) ~hi:Btree.Unbounded
+  | Catalog.Btree_index bt, Ast.Ge ->
+      range_oids bt ~lo:(Btree.Inclusive p.Plan.ip_constant) ~hi:Btree.Unbounded
+  | Catalog.Btree_index bt, Ast.Ne ->
+      (* Index gives no benefit for <>; full key scan. *)
+      let out = ref [] in
+      Btree.iter bt (fun key postings ->
+          if Value.compare key p.Plan.ip_constant <> 0 then out := postings @ !out);
+      !out
+  | Catalog.Hash_index h, Ast.Eq -> Hash_index.search h ~key:p.Plan.ip_constant
+  | Catalog.Hash_index _, (Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) ->
+      failwith "hash index probed with a non-equality comparison"
+
+and range_oids bt ~lo ~hi = List.concat_map snd (Btree.range bt ~lo ~hi)
+
+and group_rows env rows by =
+  let groups : (Value.t list * Eval.row list ref) list ref = ref [] in
+  List.iter
+    (fun row ->
+      let key = List.map (Eval.expr env row) by in
+      match
+        List.find_opt
+          (fun (k, _) -> List.length k = List.length key && List.for_all2 Value.equal k key)
+          !groups
+      with
+      | Some (_, members) -> members := row :: !members
+      | None -> groups := (key, ref [ row ]) :: !groups)
+    rows;
+  List.rev_map (fun (k, members) -> (k, List.rev !members)) !groups
+
+and compare_rows env keys a b =
+  let rec go = function
+    | [] -> 0
+    | (e, dir) :: rest -> begin
+        let va = Eval.expr env a e and vb = Eval.expr env b e in
+        let c =
+          match Eval.compare_values va vb with
+          | Some c -> c
+          | None -> begin
+              (* Nulls and incomparables sort last. *)
+              match va, vb with
+              | Value.Null, Value.Null -> 0
+              | Value.Null, _ -> 1
+              | _, Value.Null -> -1
+              | _, _ -> 0
+            end
+        in
+        let c = match dir with Ast.Asc -> c | Ast.Desc -> -c in
+        if c <> 0 then c else go rest
+      end
+  in
+  go keys
+
+and dedup_rows rows =
+  let key row =
+    String.concat "|"
+      (List.map
+         (fun (var, (item : Collection.item)) ->
+           var ^ "="
+           ^
+           match item.Collection.oid with
+           | Some oid -> Oid.to_string oid
+           | None -> Value.to_string item.Collection.value)
+         (List.sort (fun (a, _) (b, _) -> String.compare a b) row))
+  in
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun row ->
+      let k = key row in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    rows
+
+(* ---------------- Joins ---------------- *)
+
+and join env left right method_ pred =
+  let left_rows = rows_of env left in
+  match pointer_pred pred with
+  | Some (lv, path, rv) when List.mem lv (Plan.vars left) && List.mem rv (Plan.vars right)
+    -> begin
+      let simple = as_simple right in
+      match method_, simple with
+      | (Join_cost.Forward_traversal | Join_cost.Hash_partition), Some s ->
+          pointer_join_lazy env left_rows lv path rv s
+      | Join_cost.Binary_join_index, Some s ->
+          bji_join env left_rows lv path rv s
+      | (Join_cost.Forward_traversal | Join_cost.Hash_partition | Join_cost.Binary_join_index), None ->
+          pointer_join_materialized env left_rows lv path rv (rows_of env right)
+      | Join_cost.Backward_traversal, _ ->
+          backward_join env left_rows lv path rv (rows_of env right)
+    end
+  | Some _ | None ->
+      (* General theta join / cross product: nested loop. *)
+      let right_rows = rows_of env right in
+      List.concat_map
+        (fun l ->
+          List.filter_map
+            (fun r ->
+              let merged = l @ r in
+              if Eval.predicate env merged pred then Some merged else None)
+            right_rows)
+        left_rows
+
+(* Chase the reference chain [path] from the left variable; the last
+   hop's targets are matched against the right side. Intermediate hops
+   (for multi-attribute pointer predicates) are dereferenced. *)
+and chase env (item : Collection.item) path =
+  match path with
+  | [] -> [ item ]
+  | attr :: rest -> begin
+      match Value.tuple_get item.Collection.value attr with
+      | None -> []
+      | Some field ->
+          if rest = [] then
+            List.filter_map (item_of env) (refs_of_field field)
+          else
+            List.concat_map
+              (fun oid ->
+                match item_of env oid with
+                | Some next -> chase env next rest
+                | None -> [])
+              (refs_of_field field)
+    end
+
+(* OIDs reached from [item] along [path]'s last reference hop;
+   intermediate hops are dereferenced (charging random reads), the
+   final hop's identifiers are returned unfetched. *)
+and last_hop_oids env (item : Collection.item) = function
+  | [] -> []
+  | [ attr ] -> begin
+      match Value.tuple_get item.Collection.value attr with
+      | Some field -> refs_of_field field
+      | None -> []
+    end
+  | attr :: rest -> begin
+      match Value.tuple_get item.Collection.value attr with
+      | Some field ->
+          List.concat_map
+            (fun oid ->
+              match item_of env oid with
+              | Some next -> last_hop_oids env next rest
+              | None -> [])
+            (refs_of_field field)
+      | None -> []
+    end
+
+and pointer_join_lazy env left_rows lv path rv s =
+  (* Fetch each referenced target through the simple source: this
+     charges the random page reads the forward-traversal and
+     hash-partition cost formulas model. *)
+  List.concat_map
+    (fun l ->
+      match List.assoc_opt lv l with
+      | None -> []
+      | Some item ->
+          List.filter_map
+            (fun oid ->
+              Option.map (fun target -> l @ [ (rv, target) ]) (fetch_simple env s oid))
+            (last_hop_oids env item path))
+    left_rows
+
+and pointer_join_materialized env left_rows lv path rv right_rows =
+  (* Probe materialized right rows by OID. *)
+  let by_oid = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      match List.assoc_opt rv r with
+      | Some ({ Collection.oid = Some oid; _ } : Collection.item) ->
+          Hashtbl.replace by_oid oid r
+      | Some _ | None -> ())
+    right_rows;
+  List.concat_map
+    (fun l ->
+      match List.assoc_opt lv l with
+      | None -> []
+      | Some item ->
+          List.filter_map
+            (fun oid -> Option.map (fun r -> l @ r) (Hashtbl.find_opt by_oid oid))
+            (last_hop_oids env item path))
+    left_rows
+
+and bji_join env left_rows lv path rv s =
+  (* Binary join indexes cover single reference attributes; multi-hop
+     pointer predicates fall back to lazy chasing. *)
+  match path with
+  | [ attr ] -> begin
+      match Catalog.find_join_index env.Eval.catalog ~class_name:s.s_class ~attr with
+      | None -> pointer_join_lazy env left_rows lv path rv s
+      | Some _jx ->
+          (* The forward direction of the index maps C objects to D
+             objects — equivalent to chasing the stored pointer, so the
+             lazy path is reused; the index matters for *backward*
+             probes, exercised via [Join_index.Binary] directly. *)
+          pointer_join_lazy env left_rows lv path rv s
+    end
+  | _ -> pointer_join_lazy env left_rows lv path rv s
+
+and backward_join env left_rows lv path rv right_rows =
+  (* Scan-and-compare: for each left object's reference set, compare
+     against every right candidate (the k_c * fan * k_d comparisons of
+     Section 6.2). *)
+  List.concat_map
+    (fun l ->
+      match List.assoc_opt lv l with
+      | None -> []
+      | Some item ->
+          let targets =
+            List.concat_map
+              (fun (t : Collection.item) ->
+                match t.Collection.oid with Some o -> [ o ] | None -> [])
+              (chase env item path)
+          in
+          List.filter_map
+            (fun r ->
+              match List.assoc_opt rv r with
+              | Some ({ Collection.oid = Some oid; _ } : Collection.item)
+                when List.exists (Oid.equal oid) targets ->
+                  Some (l @ r)
+              | Some _ | None -> None)
+            right_rows)
+    left_rows
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+
+let project_rows env items rows =
+  List.map
+    (fun row ->
+      let fields =
+        List.map
+          (fun (item : Ast.select_item) ->
+            let label =
+              match item.Ast.alias with
+              | Some a -> a
+              | None -> Ast.expr_to_string item.Ast.expr
+            in
+            (label, Eval.expr env row item.Ast.expr))
+          items
+      in
+      Value.Tuple fields)
+    rows
+
+let rec top_projection = function
+  | Plan.Project { items; _ } -> Some items
+  | Plan.Sort { source; _ } -> top_projection source
+  | Plan.Bind _ | Plan.Named_obj _ | Plan.Ind_sel _ | Plan.Path_ind_sel _
+  | Plan.Select _ | Plan.Join _ | Plan.Group _ | Plan.Union _ ->
+      None
+
+let run env node =
+  let rows = rows_of env node in
+  let projected = Option.map (fun items -> project_rows env items rows) (top_projection node) in
+  { rows; projected }
+
+let run_query env opt_env q =
+  let optimized = Optimizer.optimize opt_env q in
+  run env optimized.Optimizer.plan
+
+let result_values r =
+  match r.projected with
+  | Some values -> values
+  | None ->
+      List.map
+        (fun row ->
+          Value.Tuple
+            (List.map
+               (fun (var, (item : Collection.item)) ->
+                 ( var,
+                   match item.Collection.oid with
+                   | Some oid -> Value.Ref oid
+                   | None -> item.Collection.value ))
+               row))
+        r.rows
+
+let result_oids r =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add oid =
+    if not (Hashtbl.mem seen oid) then begin
+      Hashtbl.replace seen oid ();
+      out := oid :: !out
+    end
+  in
+  let rec refs_in = function
+    | Value.Ref oid -> add oid
+    | Value.Tuple fields -> List.iter (fun (_, v) -> refs_in v) fields
+    | Value.Set xs | Value.List xs -> List.iter refs_in xs
+    | Value.Null | Value.Int _ | Value.Long _ | Value.Float _ | Value.Str _
+    | Value.Char _ | Value.Bool _ ->
+        ()
+  in
+  begin
+    match r.projected with
+    | Some values ->
+        (* The SELECT list decides which objects the user asked for. *)
+        List.iter refs_in values
+    | None ->
+        List.iter
+          (fun row ->
+            List.iter
+              (fun (_, (item : Collection.item)) ->
+                match item.Collection.oid with Some oid -> add oid | None -> ())
+              row)
+          r.rows
+  end;
+  List.rev !out

@@ -1,0 +1,31 @@
+(** Plan execution.
+
+    Evaluates optimizer plans against the stored database, realizing
+    each join with the physical method the optimizer chose — forward
+    traversal and hash-partition joins chase stored references and
+    fetch target objects page by page (charging the simulated disk),
+    backward traversal scans and compares, and binary-join-index joins
+    probe the index. The clause order of Figure 7.1 and the operator
+    order of Figure 7.2 are realized by the plan shape the optimizer
+    emits (selections below joins below projection below union). *)
+
+type result = {
+  rows : Eval.row list;       (** binding rows, one per result element *)
+  projected : Mood_model.Value.t list option;
+      (** the SELECT-list tuples when the plan projects; [None] for
+          bare binding results *)
+}
+
+val run : Eval.env -> Mood_optimizer.Plan.node -> result
+
+val run_query : Eval.env -> Mood_optimizer.Dicts.env -> Mood_sql.Ast.query -> result
+(** Optimize then run. *)
+
+val result_values : result -> Mood_model.Value.t list
+(** The user-facing rows: projected tuples, or for bare binding rows
+    the tuple of each variable's value (references for stored
+    objects). *)
+
+val result_oids : result -> Mood_model.Oid.t list
+(** Object identifiers of single-variable results (e.g. [SELECT v]) —
+    duplicates removed, in first-appearance order. *)

@@ -1,0 +1,1 @@
+lib/funcmgr/function_manager.ml: Format Hashtbl List Mood_catalog Mood_model Mood_storage Moodc Option Printf String

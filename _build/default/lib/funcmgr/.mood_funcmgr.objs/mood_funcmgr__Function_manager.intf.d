@@ -1,0 +1,1 @@
+lib/funcmgr/function_manager.mli: Mood_catalog Mood_model

@@ -1,0 +1,1 @@
+lib/funcmgr/moodc.ml: Array Buffer Format Hashtbl Int64 List Mood_model Printf String

@@ -1,0 +1,1 @@
+lib/funcmgr/moodc.mli: Mood_model

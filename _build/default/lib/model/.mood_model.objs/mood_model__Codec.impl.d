@@ -1,0 +1,1 @@
+lib/model/codec.ml: Buffer Char Int64 List Oid Printf String Value

@@ -1,0 +1,1 @@
+lib/model/codec.mli: Value

@@ -1,0 +1,1 @@
+lib/model/mtype.ml: Format List String

@@ -1,0 +1,1 @@
+lib/model/mtype.mli: Format

@@ -1,0 +1,1 @@
+lib/model/oid.ml: Format Int Map Set

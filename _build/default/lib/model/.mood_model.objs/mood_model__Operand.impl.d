@@ -1,0 +1,1 @@
+lib/model/operand.ml: Bool Char Float Format Int64 Printf String Value

@@ -1,0 +1,1 @@
+lib/model/operand.mli: Format Value

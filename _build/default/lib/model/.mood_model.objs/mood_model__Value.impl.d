@@ -1,0 +1,1 @@
+lib/model/value.ml: Float Format Int Int64 List Mtype Oid Printf Set Stdlib String

@@ -1,0 +1,144 @@
+(* Tags *)
+let tag_null = '\000'
+and tag_int = '\001'
+and tag_long = '\002'
+and tag_float = '\003'
+and tag_str = '\004'
+and tag_char = '\005'
+and tag_bool = '\006'
+and tag_tuple = '\007'
+and tag_set = '\008'
+and tag_list = '\009'
+and tag_ref = '\010'
+
+let add_int64 buf v =
+  for byte = 7 downto 0 do
+    let shift = 8 * byte in
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v shift) 0xFFL)))
+  done
+
+let add_int buf v = add_int64 buf (Int64.of_int v)
+
+let add_string buf s =
+  add_int buf (String.length s);
+  Buffer.add_string buf s
+
+let rec add_value buf v =
+  match v with
+  | Value.Null -> Buffer.add_char buf tag_null
+  | Value.Int i ->
+      Buffer.add_char buf tag_int;
+      add_int buf i
+  | Value.Long l ->
+      Buffer.add_char buf tag_long;
+      add_int64 buf l
+  | Value.Float f ->
+      Buffer.add_char buf tag_float;
+      add_int64 buf (Int64.bits_of_float f)
+  | Value.Str s ->
+      Buffer.add_char buf tag_str;
+      add_string buf s
+  | Value.Char c ->
+      Buffer.add_char buf tag_char;
+      Buffer.add_char buf c
+  | Value.Bool b ->
+      Buffer.add_char buf tag_bool;
+      Buffer.add_char buf (if b then '\001' else '\000')
+  | Value.Tuple fields ->
+      Buffer.add_char buf tag_tuple;
+      add_int buf (List.length fields);
+      List.iter
+        (fun (name, v) ->
+          add_string buf name;
+          add_value buf v)
+        fields
+  | Value.Set xs ->
+      Buffer.add_char buf tag_set;
+      add_int buf (List.length xs);
+      List.iter (add_value buf) xs
+  | Value.List xs ->
+      Buffer.add_char buf tag_list;
+      add_int buf (List.length xs);
+      List.iter (add_value buf) xs
+  | Value.Ref oid ->
+      Buffer.add_char buf tag_ref;
+      add_int buf (Oid.class_id oid);
+      add_int buf (Oid.slot oid)
+
+let encode v =
+  let buf = Buffer.create 64 in
+  add_value buf v;
+  Buffer.contents buf
+
+let encoded_size v = String.length (encode v)
+
+type cursor = { data : string; mutable pos : int }
+
+let read_char cur =
+  if cur.pos >= String.length cur.data then failwith "Codec.decode: truncated";
+  let c = cur.data.[cur.pos] in
+  cur.pos <- cur.pos + 1;
+  c
+
+let read_int64 cur =
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (read_char cur)))
+  done;
+  !v
+
+let read_int cur = Int64.to_int (read_int64 cur)
+
+let read_string cur =
+  let n = read_int cur in
+  if n < 0 || cur.pos + n > String.length cur.data then
+    failwith "Codec.decode: bad string length";
+  let s = String.sub cur.data cur.pos n in
+  cur.pos <- cur.pos + n;
+  s
+
+(* Reads [n] items left to right; List.init's evaluation order is not a
+   contract we want to depend on for a stateful cursor. *)
+let read_n n read cur =
+  let rec loop i acc = if i = n then List.rev acc else loop (i + 1) (read cur :: acc) in
+  loop 0 []
+
+let rec read_value cur =
+  let tag = read_char cur in
+  if tag = tag_null then Value.Null
+  else if tag = tag_int then Value.Int (read_int cur)
+  else if tag = tag_long then Value.Long (read_int64 cur)
+  else if tag = tag_float then Value.Float (Int64.float_of_bits (read_int64 cur))
+  else if tag = tag_str then Value.Str (read_string cur)
+  else if tag = tag_char then Value.Char (read_char cur)
+  else if tag = tag_bool then Value.Bool (read_char cur <> '\000')
+  else if tag = tag_tuple then begin
+    let n = read_int cur in
+    let read_field cur =
+      let name = read_string cur in
+      let v = read_value cur in
+      (name, v)
+    in
+    Value.Tuple (read_n n read_field cur)
+  end
+  else if tag = tag_set then begin
+    let n = read_int cur in
+    Value.Set (read_n n read_value cur)
+  end
+  else if tag = tag_list then begin
+    let n = read_int cur in
+    Value.List (read_n n read_value cur)
+  end
+  else if tag = tag_ref then begin
+    let class_id = read_int cur in
+    let slot = read_int cur in
+    Value.Ref (Oid.make ~class_id ~slot)
+  end
+  else failwith (Printf.sprintf "Codec.decode: unknown tag %d" (Char.code tag))
+
+let decode s =
+  let cur = { data = s; pos = 0 } in
+  let v = read_value cur in
+  if cur.pos <> String.length s then failwith "Codec.decode: trailing bytes";
+  v

@@ -1,0 +1,13 @@
+(** Binary (de)serialization of values for the storage manager.
+
+    Records on slotted pages are byte strings; this codec is the
+    boundary. The encoding is self-describing (a tag byte per value),
+    length-prefixed for variable-size data, and round-trip exact. *)
+
+val encode : Value.t -> string
+
+val decode : string -> Value.t
+(** Raises [Failure] on malformed input. *)
+
+val encoded_size : Value.t -> int
+(** [String.length (encode v)] without materializing the string. *)

@@ -1,0 +1,31 @@
+type t = { class_id : int; slot : int }
+
+let make ~class_id ~slot =
+  if class_id < 0 || slot < 0 then invalid_arg "Oid.make: negative component";
+  { class_id; slot }
+
+let class_id t = t.class_id
+
+let slot t = t.slot
+
+let compare a b =
+  match Int.compare a.class_id b.class_id with
+  | 0 -> Int.compare a.slot b.slot
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let hash t = (t.class_id * 1000003) lxor t.slot
+
+let pp ppf t = Format.fprintf ppf "<%d:%d>" t.class_id t.slot
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

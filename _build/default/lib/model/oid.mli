@@ -1,0 +1,29 @@
+(** Object identifiers.
+
+    Every MOOD object lives in some class extent; its identifier pairs
+    the identifier of the class that *created* it (objects of a subclass
+    appear in superclass extents by IS-A, but keep their creating class)
+    with a slot number unique within that class. *)
+
+type t = private { class_id : int; slot : int }
+
+val make : class_id:int -> slot:int -> t
+(** Raises [Invalid_argument] on negative components. *)
+
+val class_id : t -> int
+
+val slot : t -> int
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as ["<class:slot>"], e.g. [<3:17>]. *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

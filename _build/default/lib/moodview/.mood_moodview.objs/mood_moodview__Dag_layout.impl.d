@@ -1,0 +1,1 @@
+lib/moodview/dag_layout.ml: Buffer Float Hashtbl List Option Printf String

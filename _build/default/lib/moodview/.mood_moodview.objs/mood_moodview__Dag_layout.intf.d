@@ -1,0 +1,1 @@
+lib/moodview/dag_layout.mli:

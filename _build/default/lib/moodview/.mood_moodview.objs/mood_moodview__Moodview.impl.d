@@ -1,0 +1,1 @@
+lib/moodview/moodview.ml: Buffer Format Fun List Mood Mood_catalog Mood_funcmgr Mood_model Mood_storage Mood_util Object_browser Printf Query_manager Schema_tools String Text_editor

@@ -1,0 +1,1 @@
+lib/moodview/moodview.mli: Mood Mood_model Mood_storage Query_manager Text_editor

@@ -1,0 +1,1 @@
+lib/moodview/object_browser.ml: Array Buffer List Mood Mood_algebra Mood_catalog Mood_executor Mood_funcmgr Mood_model Option Printf String

@@ -1,0 +1,1 @@
+lib/moodview/object_browser.mli: Mood Mood_model

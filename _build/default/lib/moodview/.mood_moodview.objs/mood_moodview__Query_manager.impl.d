@@ -1,0 +1,1 @@
+lib/moodview/query_manager.ml: List Mood Mood_executor Mood_model Mood_util Printf

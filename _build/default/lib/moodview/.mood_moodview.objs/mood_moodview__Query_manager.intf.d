@@ -1,0 +1,1 @@
+lib/moodview/query_manager.mli: Mood

@@ -1,0 +1,1 @@
+lib/moodview/schema_tools.ml: Buffer Dag_layout Format List Mood Mood_catalog Mood_model Mood_util Printf String

@@ -1,0 +1,1 @@
+lib/moodview/schema_tools.mli: Mood Mood_catalog Mood_model

@@ -1,0 +1,1 @@
+lib/moodview/text_editor.ml: Array Buffer List Printf String

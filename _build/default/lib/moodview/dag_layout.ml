@@ -1,0 +1,157 @@
+type graph = { nodes : string list; edges : (string * string) list }
+
+type layout = { layers : string list list; crossings : int }
+
+let check graph =
+  List.iter
+    (fun (a, b) ->
+      if not (List.mem a graph.nodes && List.mem b graph.nodes) then
+        invalid_arg (Printf.sprintf "Dag_layout: edge %s -> %s mentions unknown node" a b))
+    graph.edges
+
+(* Longest-path layering: a node's layer is 1 + max of its parents'. *)
+let layer_assignment graph =
+  let memo = Hashtbl.create 16 in
+  let rec depth seen node =
+    if List.mem node seen then invalid_arg "Dag_layout: cycle in inheritance graph";
+    match Hashtbl.find_opt memo node with
+    | Some d -> d
+    | None ->
+        let parents = List.filter_map (fun (a, b) -> if b = node then Some a else None) graph.edges in
+        let d =
+          match parents with
+          | [] -> 0
+          | _ -> 1 + List.fold_left (fun m p -> max m (depth (node :: seen) p)) 0 parents
+        in
+        Hashtbl.replace memo node d;
+        d
+  in
+  List.map (fun n -> (n, depth [] n)) graph.nodes
+
+let layers_of_assignment assignment =
+  let max_layer = List.fold_left (fun m (_, d) -> max m d) 0 assignment in
+  List.init (max_layer + 1) (fun d ->
+      List.filter_map (fun (n, d') -> if d = d' then Some n else None) assignment)
+
+(* Count crossings between consecutive layers: pairs of edges whose
+   endpoint orders invert. *)
+let crossings_between upper lower edges =
+  let position layer n =
+    let rec go i = function
+      | [] -> None
+      | x :: rest -> if String.equal x n then Some i else go (i + 1) rest
+    in
+    go 0 layer
+  in
+  let spans =
+    List.filter_map
+      (fun (a, b) ->
+        match position upper a, position lower b with
+        | Some ua, Some lb -> Some (ua, lb)
+        | _, _ -> None)
+      edges
+  in
+  let rec count = function
+    | [] -> 0
+    | (u1, l1) :: rest ->
+        List.length
+          (List.filter (fun (u2, l2) -> (u1 < u2 && l1 > l2) || (u1 > u2 && l1 < l2)) rest)
+        + count rest
+  in
+  count spans
+
+let crossings_of graph layers =
+  let rec go = function
+    | upper :: (lower :: _ as rest) ->
+        crossings_between upper lower graph.edges + go rest
+    | [ _ ] | [] -> 0
+  in
+  go layers
+
+(* Barycenter sweep: order each layer by the mean position of its
+   neighbours in the adjacent layer. *)
+let barycenter_order graph layers =
+  let reorder reference layer ~parents =
+    let position n =
+      let rec go i = function
+        | [] -> None
+        | x :: rest -> if String.equal x n then Some i else go (i + 1) rest
+      in
+      go 0 reference
+    in
+    let weight n =
+      let neighbours =
+        List.filter_map
+          (fun (a, b) ->
+            if parents && String.equal b n then position a
+            else if (not parents) && String.equal a n then position b
+            else None)
+          graph.edges
+      in
+      match neighbours with
+      | [] -> float_of_int (Option.value ~default:0 (position n))
+      | _ ->
+          List.fold_left (fun acc i -> acc +. float_of_int i) 0. neighbours
+          /. float_of_int (List.length neighbours)
+    in
+    List.stable_sort (fun a b -> Float.compare (weight a) (weight b)) layer
+  in
+  let down layers =
+    let rec go prev = function
+      | [] -> []
+      | layer :: rest ->
+          let ordered = match prev with None -> layer | Some p -> reorder p layer ~parents:true in
+          ordered :: go (Some ordered) rest
+    in
+    go None layers
+  in
+  let up layers =
+    (* Upward sweep: reorder each layer by its children's positions. *)
+    let rec go next = function
+      | [] -> []
+      | layer :: rest ->
+          let ordered =
+            match next with None -> layer | Some n -> reorder n layer ~parents:false
+          in
+          ordered :: go (Some ordered) rest
+    in
+    List.rev (go None (List.rev layers))
+  in
+  let rec sweep layers best best_crossings remaining =
+    if remaining = 0 then best
+    else begin
+      let layers = up (down layers) in
+      let c = crossings_of graph layers in
+      if c < best_crossings then sweep layers layers c (remaining - 1)
+      else sweep layers best best_crossings (remaining - 1)
+    end
+  in
+  sweep layers layers (crossings_of graph layers) 4
+
+let layout graph =
+  check graph;
+  let layers = layers_of_assignment (layer_assignment graph) in
+  let layers = barycenter_order graph layers in
+  { layers; crossings = crossings_of graph layers }
+
+let render graph =
+  let { layers; crossings } = layout graph in
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun depth layer ->
+      Buffer.add_string buf (Printf.sprintf "Layer %d: " depth);
+      Buffer.add_string buf
+        (String.concat "   " (List.map (fun n -> "[" ^ n ^ "]") layer));
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun n ->
+          let children =
+            List.filter_map (fun (a, b) -> if a = n then Some b else None) graph.edges
+          in
+          if children <> [] then
+            Buffer.add_string buf
+              (Printf.sprintf "  %s |> %s\n" n (String.concat ", " children)))
+        layer)
+    layers;
+  Buffer.add_string buf (Printf.sprintf "(edge crossings: %d)\n" crossings);
+  Buffer.contents buf

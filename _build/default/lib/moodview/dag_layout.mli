@@ -1,0 +1,29 @@
+(** Layered DAG placement for the schema browser.
+
+    "Their inheritance relationships is represented as a DAG ... and
+    MoodView uses a DAG placement algorithm that minimizes crossovers"
+    (Section 9.2). Classic Sugiyama-style pipeline: longest-path
+    layering, then iterative barycenter ordering sweeps to reduce edge
+    crossings, then text rendering. *)
+
+type graph = {
+  nodes : string list;
+  edges : (string * string) list;  (** (superclass, subclass) *)
+}
+
+type layout = {
+  layers : string list list;  (** top (roots) first, in final order *)
+  crossings : int;            (** remaining edge crossings *)
+}
+
+val layout : graph -> layout
+(** Raises [Invalid_argument] if an edge mentions an unknown node or
+    the graph has a cycle. *)
+
+val crossings_of : graph -> string list list -> int
+(** Crossing count of a given layering/order (exposed for the
+    barycenter-improvement tests). *)
+
+val render : graph -> string
+(** ASCII rendering: one row per layer, nodes boxed, child lists
+    indicated beneath each node. *)

@@ -1,0 +1,107 @@
+module Catalog = Mood_catalog.Catalog
+module Store = Mood_storage.Store
+module Disk = Mood_storage.Disk
+module Buffer_pool = Mood_storage.Buffer_pool
+module Rtree = Mood_storage.Rtree
+module Wal = Mood_storage.Wal
+module Lock = Mood_storage.Lock_manager
+module Extent = Mood_storage.Extent
+module Table = Mood_util.Text_table
+
+type t = { db : Mood.Db.t; qm : Query_manager.t }
+
+let create db = { db; qm = Query_manager.create db }
+
+let db t = t.db
+
+let initial_window _t =
+  String.concat "\n"
+    [ "+----------------------- MoodView ------------------------+";
+      "|  [Schema Browser]  [Class Designer]   [Object Browser]  |";
+      "|  [Query Manager]   [Text Editor]      [Administration]  |";
+      "|  [Spatial Index]   [C++ Definition]   [Method Editor]   |";
+      "+----------------------------------------------------------+";
+      ""
+    ]
+
+let schema_browser t = Schema_tools.schema_browser t.db
+
+let class_designer t name = Schema_tools.class_presentation t.db name
+
+let object_browser t oid = Object_browser.render_object t.db oid
+
+let query_manager t = t.qm
+
+let method_editor t ~class_name ~method_name =
+  let sources = Mood_funcmgr.Function_manager.moodc_sources (Mood.Db.functions t.db) in
+  match
+    List.find_opt (fun (c, f, _) -> c = class_name && f = method_name) sources
+  with
+  | Some (_, _, source) -> Ok (Text_editor.create ~contents:source ())
+  | None ->
+      Error
+        (Printf.sprintf "no MoodC body stored for %s::%s" class_name method_name)
+
+let save_method t ~class_name ~method_name editor =
+  match
+    Catalog.find_method (Mood.Db.catalog t.db) ~class_name ~method_name
+  with
+  | None -> Error (Printf.sprintf "no signature for %s::%s in the catalog" class_name method_name)
+  | Some m ->
+      let header =
+        Printf.sprintf "DEFINE METHOD %s::%s (%s) %s " class_name method_name
+          (String.concat ", "
+             (List.map
+                (fun (p, ty) -> p ^ " " ^ Mood_model.Mtype.to_string ty)
+                m.Catalog.parameters))
+          (Mood_model.Mtype.to_string m.Catalog.return_type)
+      in
+      (match Mood.Db.exec t.db (header ^ Text_editor.contents editor) with
+      | Ok _ -> Ok ()
+      | Error e -> Error e)
+
+let admin_panel t =
+  let catalog = Mood.Db.catalog t.db in
+  let store = Mood.Db.store t.db in
+  let buf = Buffer.create 256 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "MOOD Database Administration\n";
+  pr "----------------------------\n";
+  let classes = Catalog.all_classes catalog in
+  pr "classes: %d\n" (List.length classes);
+  let table = Table.create ~header:[ "Class"; "Objects"; "Pages" ] in
+  List.iter
+    (fun (info : Catalog.class_info) ->
+      if info.Catalog.kind = Catalog.Class then begin
+        let ext = Catalog.own_extent catalog info.Catalog.class_name in
+        Table.add_row table
+          [ info.Catalog.class_name;
+            string_of_int (Extent.count ext);
+            string_of_int (Extent.page_count ext)
+          ]
+      end)
+    classes;
+  Buffer.add_string buf (Table.render table);
+  Buffer.add_char buf '\n';
+  let disk_counters = Disk.counters (Store.disk store) in
+  pr "disk: %s\n" (Format.asprintf "%a" Disk.pp_counters disk_counters);
+  let pool_stats = Buffer_pool.stats (Store.buffer store) in
+  pr "buffer: hits=%d misses=%d evictions=%d\n" pool_stats.Buffer_pool.hits
+    pool_stats.Buffer_pool.misses pool_stats.Buffer_pool.evictions;
+  pr "log records: %d\n" (Wal.length (Store.wal store));
+  pr "active transactions: %d\n" (Lock.active_transactions (Store.locks store));
+  Buffer.contents buf
+
+let spatial_tool t entries ~window =
+  let store = Mood.Db.store t.db in
+  let tree = Store.new_rtree store () in
+  List.iter (fun (rect, label) -> Rtree.insert tree rect label) entries;
+  let hits = Rtree.search tree window in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "R-tree spatial index\n";
+  Buffer.add_string buf (Rtree.render tree ~show:Fun.id);
+  Buffer.add_string buf
+    (Printf.sprintf "window [%.1f,%.1f - %.1f,%.1f] -> %d hit(s): %s\n" window.Rtree.x0
+       window.Rtree.y0 window.Rtree.x1 window.Rtree.y1 (List.length hits)
+       (String.concat ", " (List.map snd hits)));
+  Buffer.contents buf

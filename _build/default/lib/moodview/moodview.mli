@@ -1,0 +1,49 @@
+(** The MoodView front end, text edition (Section 9).
+
+    One [t] per session: tool panels correspond to the icons of the
+    initial MoodView window (Figure 9.1(a)) — schema browser, class
+    designer, object browser, query manager, database administration,
+    and the R-tree spatial indexing tool. Every database operation goes
+    through the kernel as SQL (Section 9.4). *)
+
+type t
+
+val create : Mood.Db.t -> t
+
+val db : t -> Mood.Db.t
+
+val initial_window : t -> string
+(** The tool-icon panel. *)
+
+val schema_browser : t -> string
+
+val class_designer : t -> string -> string
+(** The class presentation / designer panel for one class. *)
+
+val object_browser : t -> Mood_model.Oid.t -> string
+
+val query_manager : t -> Query_manager.t
+
+val method_editor :
+  t -> class_name:string -> method_name:string -> (Text_editor.t, string) result
+(** Opens the stored MoodC source of a method in the text editor (the
+    Method Presentation body panel of Figure 9.2(a)). *)
+
+val save_method :
+  t -> class_name:string -> method_name:string -> Text_editor.t -> (unit, string) result
+(** Compiles the editor's buffer back through DEFINE METHOD: the
+    signature comes from the catalog, the body from the editor. The
+    running kernel picks the new body up immediately. *)
+
+val admin_panel : t -> string
+(** Database administration: class count, object counts per extent,
+    buffer/disk statistics, lock table, log length. *)
+
+val spatial_tool :
+  t ->
+  (Mood_storage.Rtree.rect * string) list ->
+  window:Mood_storage.Rtree.rect ->
+  string
+(** Builds an R-tree over labelled rectangles, runs a window query, and
+    renders tree plus hits — the "graphical indexing tool for the
+    spatial data". *)

@@ -1,0 +1,150 @@
+module Value = Mood_model.Value
+module Mtype = Mood_model.Mtype
+module Oid = Mood_model.Oid
+module Catalog = Mood_catalog.Catalog
+module Fm = Mood_funcmgr.Function_manager
+module Executor = Mood_executor.Executor
+module Collection = Mood_algebra.Collection
+
+type field = { f_name : string; f_type : string; f_value : string }
+
+let presentation db oid =
+  let catalog = Mood.Db.catalog db in
+  match Catalog.class_of_object catalog oid, Catalog.get_object catalog oid with
+  | Some info, Some value ->
+      let attrs = Catalog.attributes catalog info.Catalog.class_name in
+      List.map
+        (fun (name, ty) ->
+          let v = Option.value ~default:Value.Null (Value.tuple_get value name) in
+          { f_name = name; f_type = Mtype.to_string ty; f_value = Value.to_string v })
+        attrs
+  | _, _ -> raise Not_found
+
+let render_object ?(max_depth = 2) db oid =
+  let catalog = Mood.Db.catalog db in
+  let buf = Buffer.create 256 in
+  let rec walk indent depth seen oid =
+    let pad = String.make indent ' ' in
+    match Catalog.class_of_object catalog oid, Catalog.get_object catalog oid with
+    | Some info, Some value ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s\n" pad info.Catalog.class_name (Oid.to_string oid));
+        let attrs = Catalog.attributes catalog info.Catalog.class_name in
+        List.iter
+          (fun (name, ty) ->
+            let v = Option.value ~default:Value.Null (Value.tuple_get value name) in
+            match v with
+            | Value.Ref target ->
+                if List.exists (Oid.equal target) seen then
+                  Buffer.add_string buf (Printf.sprintf "%s  %s -> <...>\n" pad name)
+                else if depth >= max_depth then
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s  %s -> %s\n" pad name (Oid.to_string target))
+                else begin
+                  Buffer.add_string buf (Printf.sprintf "%s  %s ->\n" pad name);
+                  walk (indent + 4) (depth + 1) (oid :: seen) target
+                end
+            | _ ->
+                Buffer.add_string buf
+                  (Printf.sprintf "%s  %s : %s = %s\n" pad name (Mtype.to_string ty)
+                     (Value.to_string v)))
+          attrs
+    | _, _ -> Buffer.add_string buf (Printf.sprintf "%s<dangling %s>\n" pad (Oid.to_string oid))
+  in
+  walk 0 0 [] oid;
+  Buffer.contents buf
+
+let update_attribute db oid ~attr value =
+  let catalog = Mood.Db.catalog db in
+  match Catalog.class_of_object catalog oid, Catalog.get_object catalog oid with
+  | Some info, Some current -> begin
+      match Catalog.attribute_type catalog ~class_name:info.Catalog.class_name ~attr with
+      | None -> Error (Printf.sprintf "class %s has no attribute %s" info.Catalog.class_name attr)
+      | Some ty ->
+          if not (Value.type_check value ty) then
+            Error
+              (Printf.sprintf "value %s does not conform to %s" (Value.to_string value)
+                 (Mtype.to_string ty))
+          else begin
+            (* Dynamic class-level check for references. *)
+            let class_ok =
+              match value, Mtype.referenced_class ty with
+              | Value.Ref target, Some expected -> begin
+                  match Catalog.class_of_object catalog target with
+                  | Some target_info ->
+                      Catalog.is_subclass_of catalog
+                        ~sub:target_info.Catalog.class_name ~super:expected
+                  | None -> false
+                end
+              | _, _ -> true
+            in
+            if not class_ok then Error "reference to an instance of the wrong class"
+            else begin
+              let updated = Value.tuple_set current attr value in
+              if Catalog.update_object catalog oid updated then Ok ()
+              else Error "update failed"
+            end
+          end
+    end
+  | _, _ -> Error "object not found"
+
+let copy_attribute db ~from ~to_ ~attr =
+  let catalog = Mood.Db.catalog db in
+  match Catalog.get_object catalog from with
+  | None -> Error "source object not found"
+  | Some value -> begin
+      match Value.tuple_get value attr with
+      | None -> Error (Printf.sprintf "source has no attribute %s" attr)
+      | Some v -> update_attribute db to_ ~attr v
+    end
+
+let activate_method db oid ~method_name ~args =
+  try Ok (Fm.invoke (Mood.Db.functions db) ~scope:(Mood.Db.scope db) ~self:oid ~function_name:method_name ~args)
+  with Fm.Mood_exception { message; _ } -> Error message
+
+type cursor = { results : Value.t array; mutable position : int; db : Mood.Db.t }
+
+let fields_of_value db v =
+  match v with
+  | Value.Ref oid -> presentation db oid
+  | Value.Tuple [ (_, Value.Ref oid) ] ->
+      (* [SELECT v ...]: a single-object row presents the object itself,
+         synthesized from the catalog (Section 9.4). *)
+      presentation db oid
+  | Value.Tuple fields ->
+      List.map
+        (fun (name, v) ->
+          match v with
+          | Value.Ref oid -> begin
+              match Catalog.class_of_object (Mood.Db.catalog db) oid with
+              | Some info ->
+                  { f_name = name;
+                    f_type = "REFERENCE (" ^ info.Catalog.class_name ^ ")";
+                    f_value = Value.to_string v
+                  }
+              | None -> { f_name = name; f_type = "REFERENCE (?)"; f_value = Value.to_string v }
+            end
+          | _ -> { f_name = name; f_type = "-"; f_value = Value.to_string v })
+        fields
+  | _ -> [ { f_name = "value"; f_type = "-"; f_value = Value.to_string v } ]
+
+let open_cursor db source =
+  match Mood.Db.exec db source with
+  | Ok (Mood.Db.Rows result) ->
+      Ok { results = Array.of_list (Executor.result_values result); position = -1; db }
+  | Ok _ -> Error "not a SELECT statement"
+  | Error m -> Error m
+
+let cursor_next cursor =
+  if cursor.position + 1 >= Array.length cursor.results then None
+  else begin
+    cursor.position <- cursor.position + 1;
+    Some (fields_of_value cursor.db cursor.results.(cursor.position))
+  end
+
+let cursor_prev cursor =
+  if cursor.position - 1 < 0 then None
+  else begin
+    cursor.position <- cursor.position - 1;
+    Some (fields_of_value cursor.db cursor.results.(cursor.position))
+  end

@@ -1,0 +1,52 @@
+(** Generic object presentation and browsing (Section 9.3).
+
+    "MOOD objects constitute graphs connecting atoms and constructors.
+    MoodView has a generic display algorithm for displaying these
+    object graphs and walking through the referenced objects." The
+    kernel side of the protocol is the cursor buffer: for an object it
+    returns (name, type, value) triples synthesized from the catalog
+    (Section 9.4), and MoodView renders widgets from them — here, text.
+    Updates are dynamically type-checked before being written back. *)
+
+type field = { f_name : string; f_type : string; f_value : string }
+
+val presentation : Mood.Db.t -> Mood_model.Oid.t -> field list
+(** The kernel's buffer for one object: attribute name, type (from the
+    catalog), displayed value. Raises [Not_found] for dangling
+    objects. *)
+
+val render_object : ?max_depth:int -> Mood.Db.t -> Mood_model.Oid.t -> string
+(** The object-graph display: attributes one per line, references
+    expanded recursively up to [max_depth] (default 2), cycles cut with
+    ["<...>"]. *)
+
+val update_attribute :
+  Mood.Db.t -> Mood_model.Oid.t -> attr:string -> Mood_model.Value.t -> (unit, string) result
+(** Widget write-back with dynamic type checking: the value must
+    conform to the attribute's declared type, references must point to
+    an instance of (a subclass of) the declared class. *)
+
+val copy_attribute :
+  Mood.Db.t -> from:Mood_model.Oid.t -> to_:Mood_model.Oid.t -> attr:string -> (unit, string) result
+(** The copy/paste operation between two object presentations. *)
+
+val activate_method :
+  Mood.Db.t ->
+  Mood_model.Oid.t ->
+  method_name:string ->
+  args:Mood_model.Value.t list ->
+  (Mood_model.Value.t, string) result
+(** Interactive method activation through the Function Manager. *)
+
+type cursor
+
+val open_cursor : Mood.Db.t -> string -> (cursor, string) result
+(** Runs a SELECT and positions a cursor before the first result — the
+    "cursor like mechanism which exists commonly in RDBMSs" of Section
+    9.4. *)
+
+val cursor_next : cursor -> field list option
+(** Advances and presents the next object/tuple; [None] at the end. *)
+
+val cursor_prev : cursor -> field list option
+(** Sequencing back through the returned objects. *)

@@ -1,0 +1,55 @@
+module Value = Mood_model.Value
+module Oid = Mood_model.Oid
+module Executor = Mood_executor.Executor
+module Table = Mood_util.Text_table
+
+type t = { db : Mood.Db.t; mutable entries : string list }
+
+let create db = { db; entries = [] }
+
+let render_rows result =
+  let values = Executor.result_values result in
+  match values with
+  | [] -> "(0 rows)"
+  | first :: _ ->
+      let header =
+        match first with
+        | Value.Tuple fields -> List.map fst fields
+        | _ -> [ "result" ]
+      in
+      let table = Table.create ~header in
+      List.iter
+        (fun v ->
+          let cells =
+            match v with
+            | Value.Tuple fields -> List.map (fun (_, v) -> Value.to_string v) fields
+            | other -> [ Value.to_string other ]
+          in
+          Table.add_row table cells)
+        values;
+      Printf.sprintf "%s\n(%d rows)" (Table.render table) (List.length values)
+
+let run t source =
+  t.entries <- source :: t.entries;
+  match Mood.Db.exec t.db source with
+  | Ok (Mood.Db.Rows result) -> render_rows result
+  | Ok (Mood.Db.Class_created name) -> Printf.sprintf "class %s created" name
+  | Ok (Mood.Db.Index_created (cls, attr)) -> Printf.sprintf "index on %s.%s created" cls attr
+  | Ok (Mood.Db.Object_created oid) -> Printf.sprintf "object %s created" (Oid.to_string oid)
+  | Ok (Mood.Db.Updated n) -> Printf.sprintf "%d object(s) updated" n
+  | Ok (Mood.Db.Deleted n) -> Printf.sprintf "%d object(s) deleted" n
+  | Ok (Mood.Db.Method_defined (cls, m)) -> Printf.sprintf "method %s::%s defined" cls m
+  | Ok (Mood.Db.Method_dropped (cls, m)) -> Printf.sprintf "method %s::%s dropped" cls m
+  | Ok (Mood.Db.Object_named (name, oid)) ->
+      Printf.sprintf "object %s named %s" (Oid.to_string oid) name
+  | Ok (Mood.Db.Name_dropped name) -> Printf.sprintf "name %s dropped" name
+  | Error message -> "error: " ^ message
+
+let history t = t.entries
+
+let recall t i = List.nth_opt t.entries i
+
+let rerun t i =
+  match recall t i with
+  | Some source -> Some (run t source)
+  | None -> None

@@ -1,0 +1,21 @@
+(** The SQL-based query manager (Section 9.3): a query editor "with
+    facilities for accessing previous queries in a session", executing
+    through the kernel and formatting results as text tables. *)
+
+type t
+
+val create : Mood.Db.t -> t
+
+val run : t -> string -> string
+(** Executes one MOODSQL statement, records it in the history, and
+    returns the rendered result (a table for SELECTs, a one-line
+    acknowledgement for DDL/DML, the error message otherwise). *)
+
+val history : t -> string list
+(** Previous queries, most recent first. *)
+
+val recall : t -> int -> string option
+(** [recall t 0] is the most recent query. *)
+
+val rerun : t -> int -> string option
+(** Re-executes a history entry. *)

@@ -1,0 +1,51 @@
+(** Schema designer and the C++ data-definition path (Sections 9.2).
+
+    The class designer wraps the catalog's dynamic schema operations
+    (add/drop/rename attributes, create/delete methods). The cfront
+    path is reproduced textually: [import_cpp] plays the role of the
+    modified cfront that "extracts the schema information" from C++
+    class declarations and stores it in the catalog; [export_cpp]
+    generates the C++ header back from the catalog (MoodView "can
+    convert graphically designed class hierarchy graph into C++
+    code"). *)
+
+val class_presentation : Mood.Db.t -> string -> string
+(** The Class Presentation panel (Figure 9.2(b)): type name/id,
+    superclasses, subclasses, methods, attributes. *)
+
+val schema_browser : Mood.Db.t -> string
+(** The Class Hierarchy Browser (Figure 9.1(c)): the user classes' DAG
+    rendered with the crossing-minimizing layout. *)
+
+type cpp_class = {
+  cpp_name : string;
+  cpp_bases : string list;
+  cpp_fields : (string * Mood_model.Mtype.t) list;
+  cpp_methods : Mood_catalog.Catalog.method_signature list;
+}
+
+exception Cpp_parse_error of string
+
+val parse_cpp : string -> cpp_class list
+(** Parses C++ class declarations of the shape
+    {v
+    class Vehicle : public Thing {
+    public:
+      int id;
+      char name[32];
+      VehicleDriveTrain* drivetrain;
+      int lbweight();
+    };
+    v}
+    Types map as cfront-extracted catalog entries: [int] → Integer,
+    [long] → LongInteger, [float]/[double] → Float, [char] → Char,
+    [char name[n]] → String(n), [bool] → Boolean, [T*] → Reference(T).
+    Raises [Cpp_parse_error]. *)
+
+val import_cpp : Mood.Db.t -> string -> string list
+(** Parses and defines the classes in the catalog (in declaration
+    order); returns the class names created. *)
+
+val export_cpp : Mood.Db.t -> string -> string
+(** The C++ header for one catalog class (own attributes and methods;
+    inheritance expressed in the base-class list). *)

@@ -1,0 +1,124 @@
+type t = { mutable buffer : string array; mutable history : string array list }
+
+let split_lines contents =
+  if contents = "" then [||]
+  else begin
+    let raw = String.split_on_char '\n' contents in
+    (* a trailing newline does not create a phantom empty last line *)
+    let raw =
+      match List.rev raw with
+      | "" :: rest -> List.rev rest
+      | _ -> raw
+    in
+    Array.of_list raw
+  end
+
+let create ?(contents = "") () = { buffer = split_lines contents; history = [] }
+
+let line_count t = Array.length t.buffer
+
+let lines t = Array.to_list t.buffer
+
+let line t i = if i >= 0 && i < line_count t then Some t.buffer.(i) else None
+
+let checkpoint t = t.history <- Array.copy t.buffer :: t.history
+
+let insert_line t ~at text =
+  checkpoint t;
+  let n = line_count t in
+  let at = max 0 (min at n) in
+  t.buffer <-
+    Array.init (n + 1) (fun i ->
+        if i < at then t.buffer.(i) else if i = at then text else t.buffer.(i - 1))
+
+let append_line t text = insert_line t ~at:(line_count t) text
+
+let delete_line t i =
+  if i < 0 || i >= line_count t then false
+  else begin
+    checkpoint t;
+    t.buffer <-
+      Array.init (line_count t - 1) (fun j -> if j < i then t.buffer.(j) else t.buffer.(j + 1));
+    true
+  end
+
+let replace_line t i text =
+  if i < 0 || i >= line_count t then false
+  else begin
+    checkpoint t;
+    t.buffer.(i) <- text;
+    true
+  end
+
+let contains_substring line needle =
+  let n = String.length line and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub line i m = needle || go (i + 1)) in
+  m > 0 && go 0
+
+let find t needle =
+  if needle = "" then []
+  else
+    lines t
+    |> List.mapi (fun i l -> (i, l))
+    |> List.filter_map (fun (i, l) -> if contains_substring l needle then Some i else None)
+
+let replace_in_line line ~search ~replace =
+  let buf = Buffer.create (String.length line) in
+  let n = String.length line and m = String.length search in
+  let count = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    if !i + m <= n && String.sub line !i m = search then begin
+      Buffer.add_string buf replace;
+      incr count;
+      i := !i + m
+    end
+    else begin
+      Buffer.add_char buf line.[!i];
+      incr i
+    end
+  done;
+  (Buffer.contents buf, !count)
+
+let replace_all t ~search ~replace =
+  if search = "" then invalid_arg "Text_editor.replace_all: empty search";
+  checkpoint t;
+  let total = ref 0 in
+  t.buffer <-
+    Array.map
+      (fun l ->
+        let replaced, n = replace_in_line l ~search ~replace in
+        total := !total + n;
+        replaced)
+      t.buffer;
+  if !total = 0 then begin
+    (* nothing changed: drop the useless checkpoint *)
+    match t.history with [] -> () | _ :: rest -> t.history <- rest
+  end;
+  !total
+
+let undo t =
+  match t.history with
+  | [] -> false
+  | previous :: rest ->
+      t.buffer <- previous;
+      t.history <- rest;
+      true
+
+let contents t =
+  match lines t with [] -> "" | ls -> String.concat "\n" ls ^ "\n"
+
+let render ?(cursor = 0) ?(width = 60) t =
+  let buf = Buffer.create 256 in
+  let rule = String.make width '-' in
+  Buffer.add_string buf ("+" ^ rule ^ "+\n");
+  Buffer.add_string buf "| MoodView Text Editor\n";
+  Buffer.add_string buf ("+" ^ rule ^ "+\n");
+  Array.iteri
+    (fun i l ->
+      Buffer.add_string buf
+        (Printf.sprintf "%c%3d | %s\n" (if i = cursor then '>' else ' ') (i + 1) l))
+    t.buffer;
+  Buffer.add_string buf ("+" ^ rule ^ "+\n");
+  Buffer.add_string buf (Printf.sprintf "| %d line(s)\n" (line_count t));
+  Buffer.contents buf

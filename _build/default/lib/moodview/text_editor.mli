@@ -1,0 +1,49 @@
+(** The MoodView full-screen text editor (Abstract: "a database
+    administration tool, a full screen text-editor, a SQL based query
+    manager ... are also implemented").
+
+    A line-oriented buffer with undo, search and replace, rendered as a
+    numbered full-screen panel. MoodView uses it to edit MoodC method
+    bodies before handing them to the kernel (see
+    {!Moodview.method_editor}), and for ad-hoc SQL script editing. *)
+
+type t
+
+val create : ?contents:string -> unit -> t
+(** A buffer initialized from [contents] (split at newlines; default
+    empty). *)
+
+val line_count : t -> int
+
+val lines : t -> string list
+
+val line : t -> int -> string option
+(** 0-based. *)
+
+val insert_line : t -> at:int -> string -> unit
+(** Inserts before position [at]; [at >= line_count] appends. *)
+
+val append_line : t -> string -> unit
+
+val delete_line : t -> int -> bool
+(** [false] when out of range. *)
+
+val replace_line : t -> int -> string -> bool
+
+val find : t -> string -> int list
+(** Line numbers containing the substring, ascending. *)
+
+val replace_all : t -> search:string -> replace:string -> int
+(** Replaces every occurrence; returns how many were replaced. Raises
+    [Invalid_argument] on an empty search string. *)
+
+val undo : t -> bool
+(** Reverts the last mutating operation ([false] when nothing to
+    undo). Undo depth is unbounded within the session. *)
+
+val contents : t -> string
+(** The buffer joined with newlines (trailing newline when non-empty). *)
+
+val render : ?cursor:int -> ?width:int -> t -> string
+(** The full-screen panel: a title rule, numbered lines (the cursor
+    line marked with [>]), and a status line with line count. *)

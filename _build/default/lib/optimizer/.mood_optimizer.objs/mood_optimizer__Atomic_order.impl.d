@@ -1,0 +1,1 @@
+lib/optimizer/atomic_order.ml: Dicts Float List Mood_cost Mood_sql Option

@@ -1,0 +1,1 @@
+lib/optimizer/atomic_order.mli: Dicts

@@ -1,0 +1,1 @@
+lib/optimizer/dicts.ml: List Mood_catalog Mood_cost Mood_model Mood_sql Mood_util Option Printf

@@ -1,0 +1,1 @@
+lib/optimizer/dicts.mli: Mood_catalog Mood_cost Mood_model Mood_sql

@@ -1,0 +1,1 @@
+lib/optimizer/join_order.ml: Dicts Float List Mood_catalog Mood_cost Mood_model Mood_sql Option Plan

@@ -1,0 +1,1 @@
+lib/optimizer/join_order.mli: Dicts Mood_cost Plan

@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.ml: Atomic_order Dicts Float Join_order List Mood_catalog Mood_cost Mood_model Mood_sql Option Path_order Plan Printf String

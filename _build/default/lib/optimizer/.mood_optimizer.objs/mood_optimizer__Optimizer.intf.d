@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.mli: Dicts Mood_sql Plan

@@ -1,0 +1,1 @@
+lib/optimizer/path_order.ml: Dicts Float List

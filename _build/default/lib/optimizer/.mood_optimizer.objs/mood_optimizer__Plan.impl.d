@@ -1,0 +1,1 @@
+lib/optimizer/plan.ml: Format List Mood_cost Mood_model Mood_sql Printf String

@@ -1,0 +1,1 @@
+lib/optimizer/plan.mli: Format Mood_cost Mood_model Mood_sql

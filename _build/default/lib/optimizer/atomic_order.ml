@@ -1,0 +1,57 @@
+module Stats = Mood_cost.Stats
+module Io_cost = Mood_cost.Io_cost
+
+type decision = {
+  indexed : Dicts.imm_entry list;
+  residual : Dicts.imm_entry list;
+  access_cost : float;
+  combined_selectivity : float;
+}
+
+let decide (env : Dicts.env) ~cls entries =
+  let seq_cost = Io_cost.seqcost env.Dicts.params (Stats.nbpages env.Dicts.stats cls) in
+  let cardinality = float_of_int (Stats.cardinality env.Dicts.stats cls) in
+  let with_index, without_index =
+    List.partition (fun (e : Dicts.imm_entry) -> e.Dicts.i_indexed_cost <> None) entries
+  in
+  let sorted_indexed =
+    List.sort
+      (fun (a : Dicts.imm_entry) b ->
+        compare a.Dicts.i_indexed_cost b.Dicts.i_indexed_cost)
+      with_index
+  in
+  (* Largest k satisfying the inequality; evaluated incrementally. *)
+  let rec choose chosen_rev cost_sum sel_prod best = function
+    | [] -> best
+    | (e : Dicts.imm_entry) :: rest ->
+        let cost_i = Option.get e.Dicts.i_indexed_cost in
+        let cost_sum = cost_sum +. cost_i in
+        let sel_prod = sel_prod *. e.Dicts.i_selectivity in
+        let fetch = Io_cost.rndcost env.Dicts.params (cardinality *. sel_prod) in
+        let chosen_rev = e :: chosen_rev in
+        let best =
+          if cost_sum +. fetch < seq_cost then
+            Some (List.rev chosen_rev, cost_sum +. fetch)
+          else best
+        in
+        choose chosen_rev cost_sum sel_prod best rest
+  in
+  let indexed, access_cost =
+    match choose [] 0. 1. None sorted_indexed with
+    | Some (chosen, cost) -> (chosen, cost)
+    | None -> ([], seq_cost)
+  in
+  List.iter (fun (e : Dicts.imm_entry) -> e.Dicts.i_access <- `Sequential) entries;
+  List.iter (fun (e : Dicts.imm_entry) -> e.Dicts.i_access <- `Indexed) indexed;
+  let chosen_key (e : Dicts.imm_entry) = Mood_sql.Ast.predicate_to_string e.Dicts.i_pred in
+  let chosen_keys = List.map chosen_key indexed in
+  let residual =
+    List.filter (fun e -> not (List.mem (chosen_key e) chosen_keys))
+      (without_index @ with_index)
+    |> List.sort (fun (a : Dicts.imm_entry) b ->
+           Float.compare a.Dicts.i_selectivity b.Dicts.i_selectivity)
+  in
+  let combined_selectivity =
+    List.fold_left (fun acc (e : Dicts.imm_entry) -> acc *. e.Dicts.i_selectivity) 1. entries
+  in
+  { indexed; residual; access_cost; combined_selectivity }

@@ -1,0 +1,23 @@
+(** Ordering of atomic selections (Section 8.1).
+
+    For one range variable inside an AND-term: indexed predicates are
+    sorted by ascending indexed-access cost and the number of indexes
+    used is the largest [k] with
+
+    [sum_{i<=k} cost_i + RNDCOST(|C| * prod_{i<=k} f_i) < SEQCOST(nbpages(C))];
+
+    the remaining predicates are applied in ascending order of
+    selectivity (short-circuit heuristic). *)
+
+type decision = {
+  indexed : Dicts.imm_entry list;   (** the k chosen index probes, in cost order *)
+  residual : Dicts.imm_entry list;  (** remaining predicates, ascending selectivity *)
+  access_cost : float;
+      (** index probes + fetch of the survivors, or a full sequential
+          scan when no index pays off *)
+  combined_selectivity : float;     (** product over all predicates *)
+}
+
+val decide : Dicts.env -> cls:string -> Dicts.imm_entry list -> decision
+(** Mutates each entry's [i_access] field to record the outcome (the
+    Access Type column of Table 11). *)

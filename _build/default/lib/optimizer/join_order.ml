@@ -1,0 +1,196 @@
+module Ast = Mood_sql.Ast
+module Stats = Mood_cost.Stats
+module Sel = Mood_cost.Selectivity
+module Join_cost = Mood_cost.Join_cost
+
+type endpoint = {
+  e_plan : Plan.node;
+  e_var : string;
+  e_cls : string;
+  e_k : float;
+  e_accessed : bool;
+  e_in_memory : bool;
+}
+
+type result = {
+  r_plan : Plan.node;
+  r_cost : float;
+  r_head_fraction : float;
+  r_ks : (string * float) list;
+}
+
+(* A state covers a contiguous run of chain positions. *)
+type state = {
+  plan : Plan.node;
+  ks : (string * float) list;      (* class -> surviving k, chain order *)
+  vars : (string * string) list;   (* class -> variable *)
+  accessed : bool;
+  in_memory : bool;
+}
+
+let target_of env (hop : Sel.hop) =
+  match Stats.ref_stats env.Dicts.stats ~cls:hop.Sel.cls ~attr:hop.Sel.attr with
+  | Some r -> r.Stats.target
+  | None -> begin
+      (* No statistics for the edge (fresh database): the schema still
+         knows where the reference points. *)
+      match
+        Mood_catalog.Catalog.attribute_type env.Dicts.catalog ~class_name:hop.Sel.cls
+          ~attr:hop.Sel.attr
+      with
+      | Some ty ->
+          Option.value ~default:hop.Sel.cls (Mood_model.Mtype.referenced_class ty)
+      | None -> hop.Sel.cls
+    end
+
+let fan_of env (hop : Sel.hop) =
+  match Stats.ref_stats env.Dicts.stats ~cls:hop.Sel.cls ~attr:hop.Sel.attr with
+  | Some r -> r.Stats.fan
+  | None -> 1.
+
+let join_index_stats env (hop : Sel.hop) =
+  Stats.index_stats env.Dicts.stats ~cls:hop.Sel.cls ~attr:("#join:" ^ hop.Sel.attr)
+
+let edge_cost_and_selectivity env ~left_k ~right_k ~right_accessed ~left_in_memory ~hop =
+  let edge =
+    { Join_cost.cls = hop.Sel.cls; attr = hop.Sel.attr; source_in_memory = left_in_memory }
+  in
+  let method_, jc =
+    Join_cost.cheapest env.Dicts.params env.Dicts.stats edge ~k_c:left_k ~k_d:right_k
+      ~d_accessed:right_accessed ~join_index:(join_index_stats env hop)
+  in
+  let target = target_of env hop in
+  let d_card = float_of_int (Stats.cardinality env.Dicts.stats target) in
+  let terminal_selectivity = if d_card > 0. then Float.min 1. (right_k /. d_card) else 1. in
+  let js =
+    Sel.path env.Dicts.stats ~hops:[ hop ] ~terminal_cls:target ~terminal_selectivity ()
+  in
+  (method_, jc, js)
+
+let state_of_endpoint e =
+  { plan = e.e_plan;
+    ks = [ (e.e_cls, e.e_k) ];
+    vars = [ (e.e_cls, e.e_var) ];
+    accessed = e.e_accessed;
+    in_memory = e.e_in_memory
+  }
+
+let k_of state cls = Option.value ~default:0. (List.assoc_opt cls state.ks)
+
+let var_of state cls = Option.value ~default:cls (List.assoc_opt cls state.vars)
+
+(* Merge two adjacent states through [hop]. *)
+let merge env left right hop method_ js =
+  let host = hop.Sel.cls and target = target_of env hop in
+  let pred =
+    Ast.Cmp (Ast.Eq, Ast.Path (var_of left host, [ hop.Sel.attr ]), Ast.Path (var_of right target, []))
+  in
+  let left_k = k_of left host in
+  let new_left_k = left_k *. js in
+  (* Left-side classes shrink by the edge selectivity; the right target
+     shrinks to the objects actually reachable from the surviving left
+     side. *)
+  let scale_left = if left_k > 0. then new_left_k /. left_k else 1. in
+  let right_target_k = k_of right target in
+  let reachable = new_left_k *. fan_of env hop in
+  let new_right_k = Float.min right_target_k (Float.max 1. reachable) in
+  let scale_right = if right_target_k > 0. then new_right_k /. right_target_k else 1. in
+  { plan = Plan.Join { left = left.plan; right = right.plan; method_; pred };
+    ks =
+      List.map (fun (c, k) -> (c, k *. scale_left)) left.ks
+      @ List.map (fun (c, k) -> (c, k *. scale_right)) right.ks;
+    vars = left.vars @ right.vars;
+    accessed = true;
+    in_memory = true
+  }
+
+type chain = { states : state list; hops : Sel.hop list }
+
+let evaluate_edges env chain =
+  (* For each adjacent pair, its (method, jc, js, rank). *)
+  let rec go states hops acc =
+    match states, hops with
+    | _ :: [], [] | [], [] -> List.rev acc
+    | left :: (right :: _ as rest), hop :: hops_rest ->
+        let method_, jc, js =
+          edge_cost_and_selectivity env ~left_k:(k_of left hop.Sel.cls)
+            ~right_k:(k_of right (target_of env hop))
+            ~right_accessed:right.accessed ~left_in_memory:left.in_memory ~hop
+        in
+        let rank = if js >= 1. then infinity else jc /. (1. -. js) in
+        go rest hops_rest ((method_, jc, js, rank) :: acc)
+    | _, _ -> invalid_arg "Join_order: states/hops length mismatch"
+  in
+  go chain.states chain.hops []
+
+let merge_at env chain index =
+  let edges = evaluate_edges env chain in
+  let method_, jc, js, _ = List.nth edges index in
+  let hop = List.nth chain.hops index in
+  let rec rebuild i states hops =
+    match states, hops with
+    | left :: right :: rest, _ :: hops_rest when i = 0 ->
+        (merge env left right hop method_ js :: rest, hops_rest)
+    | s :: rest, h :: hops_rest ->
+        let states', hops' = rebuild (i - 1) rest hops_rest in
+        (s :: states', h :: hops')
+    | _, _ -> invalid_arg "Join_order.merge_at: bad index"
+  in
+  let states, hops = rebuild index chain.states chain.hops in
+  ({ states; hops }, jc)
+
+let order env ~endpoints ~hops =
+  if endpoints = [] then invalid_arg "Join_order.order: empty chain";
+  if List.length hops <> List.length endpoints - 1 then
+    invalid_arg "Join_order.order: hops must connect consecutive endpoints";
+  let head_cls = (List.hd endpoints).e_cls in
+  let head_k0 = Float.max 1. (List.hd endpoints).e_k in
+  let chain = { states = List.map state_of_endpoint endpoints; hops } in
+  let rec loop chain total =
+    match chain.states with
+    | [ final ] ->
+        { r_plan = final.plan;
+          r_cost = total;
+          r_head_fraction = Float.min 1. (k_of final head_cls /. head_k0);
+          r_ks = final.ks
+        }
+    | _ :: _ :: _ ->
+        let edges = evaluate_edges env chain in
+        let best_index, _ =
+          List.fold_left
+            (fun (best_i, best_rank) (i, (_, _, _, rank)) ->
+              if rank < best_rank then (i, rank) else (best_i, best_rank))
+            (0, infinity)
+            (List.mapi (fun i e -> (i, e)) edges)
+        in
+        let chain, jc = merge_at env chain best_index in
+        loop chain (total +. jc)
+    | [] -> invalid_arg "Join_order.order: empty chain"
+  in
+  loop chain 0.
+
+let exhaustive env ~endpoints ~hops =
+  if endpoints = [] then invalid_arg "Join_order.exhaustive: empty chain";
+  let head_cls = (List.hd endpoints).e_cls in
+  let head_k0 = Float.max 1. (List.hd endpoints).e_k in
+  let rec best chain total =
+    match chain.states with
+    | [ final ] ->
+        { r_plan = final.plan;
+          r_cost = total;
+          r_head_fraction = Float.min 1. (k_of final head_cls /. head_k0);
+          r_ks = final.ks
+        }
+    | _ :: _ :: _ ->
+        let n_edges = List.length chain.hops in
+        let candidates =
+          List.init n_edges (fun i ->
+              let chain', jc = merge_at env chain i in
+              best chain' (total +. jc))
+        in
+        List.fold_left
+          (fun acc c -> if c.r_cost < acc.r_cost then c else acc)
+          (List.hd candidates) (List.tl candidates)
+    | [] -> invalid_arg "Join_order.exhaustive: empty chain"
+  in
+  best { states = List.map state_of_endpoint endpoints; hops } 0.

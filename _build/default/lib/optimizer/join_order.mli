@@ -1,0 +1,51 @@
+(** Implicit join ordering — Algorithm 8.2.
+
+    A path expression [p.a1.a2...an] induces a chain of implicit joins
+    over classes [C0, C1, ..., C(n-1)]. The greedy heuristic repeatedly
+    joins the adjacent pair with the smallest [jc / (1 - js)] (cost of
+    the cheapest join technique over the selectivity complement),
+    rebuilding neighbour costs after each merge, until one temporary
+    remains. *)
+
+type endpoint = {
+  e_plan : Plan.node;
+  e_var : string;        (** variable naming this class's collection *)
+  e_cls : string;
+  e_k : float;           (** estimated surviving cardinality *)
+  e_accessed : bool;     (** already scanned/selected (its pages were read) *)
+  e_in_memory : bool;    (** a materialized temporary *)
+}
+
+type result = {
+  r_plan : Plan.node;
+  r_cost : float;          (** sum of the chosen join costs *)
+  r_head_fraction : float; (** fraction of the head class surviving the chain *)
+  r_ks : (string * float) list;  (** final estimated k per class *)
+}
+
+val order :
+  Dicts.env ->
+  endpoints:endpoint list ->
+  hops:Mood_cost.Selectivity.hop list ->
+  result
+(** [endpoints] are the n chain nodes in path order; [hops] the n-1
+    connecting reference attributes ([hops.(i)] joins endpoint [i] to
+    [i+1] through attribute [attr] of class [cls = endpoints.(i).e_cls]).
+    Raises [Invalid_argument] on length mismatch or an empty chain. *)
+
+val edge_cost_and_selectivity :
+  Dicts.env ->
+  left_k:float ->
+  right_k:float ->
+  right_accessed:bool ->
+  left_in_memory:bool ->
+  hop:Mood_cost.Selectivity.hop ->
+  Mood_cost.Join_cost.method_choice * float * float
+(** (method, jc, js) for one edge — exposed for Table 17 reporting and
+    tests. *)
+
+val exhaustive :
+  Dicts.env -> endpoints:endpoint list -> hops:Mood_cost.Selectivity.hop list -> result
+(** Reference implementation enumerating every join order (all ways of
+    parenthesizing the chain); used by the greedy-vs-exhaustive
+    ablation. Exponential: keep chains short. *)

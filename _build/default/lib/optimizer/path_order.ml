@@ -1,0 +1,41 @@
+let objective fs =
+  let total, _ =
+    List.fold_left
+      (fun (acc, prefix) (f, s) -> (acc +. (prefix *. f), prefix *. s))
+      (0., 1.) fs
+  in
+  total
+
+let rank (f, s) = if s >= 1. then infinity else f /. (1. -. s)
+
+let order key xs =
+  List.stable_sort (fun a b -> Float.compare (rank (key a)) (rank (key b))) xs
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) xs in
+          List.map (fun p -> x :: p) (permutations rest))
+        xs
+
+let exhaustive_best fs =
+  let indexed = List.mapi (fun i v -> (i, v)) fs in
+  let indices = List.map fst indexed in
+  let best =
+    List.fold_left
+      (fun acc perm ->
+        let cost = objective (List.map (fun i -> List.assoc i indexed) perm) in
+        match acc with
+        | None -> Some (perm, cost)
+        | Some (_, best_cost) when cost < best_cost -> Some (perm, cost)
+        | Some _ -> acc)
+      None (permutations indices)
+  in
+  match best with Some result -> result | None -> ([], 0.)
+
+let order_entries entries =
+  order
+    (fun (e : Dicts.path_entry) -> (e.Dicts.p_forward_cost, e.Dicts.p_selectivity))
+    entries

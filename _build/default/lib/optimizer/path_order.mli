@@ -1,0 +1,22 @@
+(** Optimal execution order of path expressions — Algorithm 8.1 and the
+    Appendix lemma.
+
+    Executing path expressions [1..m] in order [i] costs
+    [f = F_i1 + s_i1*F_i2 + s_i1*s_i2*F_i3 + ...]; sorting by ascending
+    [F/(1-s)] minimizes [f] (proved by an exchange argument in the
+    Appendix; property-tested here against exhaustive enumeration). *)
+
+val objective : (float * float) list -> float
+(** [objective [(F1,s1); (F2,s2); ...]] is the total cost [f] of
+    executing the path expressions in the given order. *)
+
+val order : ('a -> float * float) -> 'a list -> 'a list
+(** Sorts by ascending [F/(1-s)] (Algorithm 8.1). Stable. *)
+
+val exhaustive_best : (float * float) list -> int list * float
+(** Minimum-cost permutation (indices into the input) by enumeration —
+    the reference the heuristic is validated against. Factorial cost:
+    callers keep m small. *)
+
+val order_entries : Dicts.path_entry list -> Dicts.path_entry list
+(** [order] keyed on the dictionary's F and s. *)

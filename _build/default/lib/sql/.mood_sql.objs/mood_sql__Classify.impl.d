@@ -1,0 +1,1 @@
+lib/sql/classify.ml: Ast Format List Mood_catalog Mood_model String

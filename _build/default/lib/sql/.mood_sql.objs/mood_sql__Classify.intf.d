@@ -1,0 +1,1 @@
+lib/sql/classify.mli: Ast Dnf Format Mood_catalog Mood_model

@@ -1,0 +1,1 @@
+lib/sql/dnf.mli: Ast

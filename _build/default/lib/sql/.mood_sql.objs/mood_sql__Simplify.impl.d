@@ -1,0 +1,1 @@
+lib/sql/simplify.ml: Ast List Mood_model Option

@@ -1,0 +1,1 @@
+lib/sql/simplify.mli: Ast

@@ -1,0 +1,1 @@
+lib/sql/typecheck.ml: Ast Format List Mood_catalog Mood_model Option String

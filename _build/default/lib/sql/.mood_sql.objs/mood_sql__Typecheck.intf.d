@@ -1,0 +1,1 @@
+lib/sql/typecheck.mli: Ast Mood_catalog Mood_model

@@ -1,0 +1,23 @@
+(** Disjunctive normal form (Section 7).
+
+    "The predicates in the WHERE and HAVING clauses are transformed into
+    disjunctive normal form ... Thus, the UNION operation is performed
+    after evaluating the predicates for the AND-terms." NOT is pushed to
+    the leaves first (De Morgan; [NOT (a θ b)] flips the comparison),
+    then OR is distributed over AND. *)
+
+type and_term = Ast.predicate list
+(** Conjuncts — each is a leaf predicate ([Cmp], or [Not] of a leaf that
+    cannot be flipped). *)
+
+val push_not : Ast.predicate -> Ast.predicate
+(** Negation-normal form: NOT appears only over leaves; comparisons
+    absorb it ([NOT (a < b)] becomes [a >= b]). *)
+
+val of_predicate : Ast.predicate -> and_term list
+(** The DNF: a disjunction of AND-terms. [Ptrue] yields [[[]]] (one
+    empty AND-term, selecting everything); [Pfalse] yields [[]] (no
+    terms). Duplicate conjuncts inside an AND-term are removed. *)
+
+val to_predicate : and_term list -> Ast.predicate
+(** Rebuilds a predicate from DNF (for printing and testing). *)

@@ -1,0 +1,118 @@
+type token =
+  | Int of int
+  | Float of float
+  | String of string
+  | Ident of string
+  | Punct of string
+  | Eof
+
+exception Lex_error of string
+
+let lex_error fmt = Format.kasprintf (fun m -> raise (Lex_error m)) fmt
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let two_char_puncts = [ "<>"; "<="; ">=" ]
+
+let one_char_puncts = [ "("; ")"; "<"; ">"; ","; "."; ";"; "*"; "="; "+"; "-"; "/"; "%"; ":" ]
+
+let tokenize source =
+  let n = String.length source in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let push t = tokens := t :: !tokens in
+  while !i < n do
+    let c = source.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && source.[!i + 1] = '-' then begin
+      (* SQL comment to end of line *)
+      while !i < n && source.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while
+        !i < n
+        && ((source.[!i] >= '0' && source.[!i] <= '9')
+           || source.[!i] = '.'
+              && !i + 1 < n
+              && source.[!i + 1] >= '0'
+              && source.[!i + 1] <= '9')
+      do
+        incr i
+      done;
+      let text = String.sub source start (!i - start) in
+      if String.contains text '.' then push (Float (float_of_string text))
+      else push (Int (int_of_string text))
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char source.[!i] do
+        incr i
+      done;
+      push (Ident (String.sub source start (!i - start)))
+    end
+    else if c = '\'' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then lex_error "unterminated string literal"
+        else if source.[!i] = '\'' then
+          if !i + 1 < n && source.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf source.[!i];
+          incr i
+        end
+      done;
+      push (String (Buffer.contents buf))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub source !i 2 else "" in
+      if List.mem two two_char_puncts then begin
+        push (Punct two);
+        i := !i + 2
+      end
+      else begin
+        let one = String.make 1 c in
+        if List.mem one one_char_puncts then begin
+          push (Punct one);
+          incr i
+        end
+        else lex_error "unexpected character %C at offset %d" c !i
+      end
+    end
+  done;
+  List.rev (Eof :: !tokens)
+
+let keyword = function
+  | Ident name -> Some (String.uppercase_ascii name)
+  | Int _ | Float _ | String _ | Punct _ | Eof -> None
+
+let raw_braces source ~start =
+  let n = String.length source in
+  let rec find i =
+    if i >= n then lex_error "expected '{' to open a method body"
+    else if source.[i] = '{' then i
+    else find (i + 1)
+  in
+  let open_at = find start in
+  let rec scan i depth =
+    if i >= n then lex_error "unbalanced braces in method body"
+    else
+      match source.[i] with
+      | '{' -> scan (i + 1) (depth + 1)
+      | '}' -> if depth = 1 then i else scan (i + 1) (depth - 1)
+      | _ -> scan (i + 1) depth
+  in
+  let close_at = scan open_at 0 in
+  (String.sub source open_at (close_at - open_at + 1), close_at + 1)

@@ -1,0 +1,28 @@
+(** MOODSQL lexer. Keywords are case-insensitive; identifiers preserve
+    case. String literals use single quotes (SQL style); method bodies
+    in DEFINE METHOD arrive as brace-delimited raw text handled by the
+    parser through {!val:raw_braces}. *)
+
+type token =
+  | Int of int
+  | Float of float
+  | String of string
+  | Ident of string   (** identifier or keyword, original spelling *)
+  | Punct of string   (** one of [ ( ) < > , . ; * = <> <= >= + - / % ] *)
+  | Eof
+
+exception Lex_error of string
+
+val tokenize : string -> token list
+(** Raises [Lex_error] on unexpected characters. *)
+
+val keyword : token -> string option
+(** Uppercased spelling when the token is an identifier —
+    [keyword (Ident "select") = Some "SELECT"]. *)
+
+val raw_braces : string -> start:int -> string * int
+(** [raw_braces source ~start] extracts a balanced ["{...}"] region of
+    the original text beginning at the first ['{'] at or after [start];
+    returns the body (braces included) and the index just past it.
+    Raises [Lex_error] when unbalanced. Used for method bodies, which
+    are not tokenized as MOODSQL. *)

@@ -1,0 +1,96 @@
+module Value = Mood_model.Value
+module Operand = Mood_model.Operand
+
+let fold_arith op a b =
+  let o =
+    match op with
+    | Ast.Add -> Operand.add
+    | Ast.Sub -> Operand.sub
+    | Ast.Mul -> Operand.mul
+    | Ast.Div -> Operand.div
+    | Ast.Mod -> Operand.modulo
+  in
+  try Some (Operand.to_value (o (Operand.of_value a) (Operand.of_value b)))
+  with Operand.Type_error _ -> None
+
+let is_zero = function Value.Int 0 -> true | Value.Float 0. -> true | Value.Long 0L -> true | _ -> false
+
+let is_one = function Value.Int 1 -> true | Value.Float 1. -> true | Value.Long 1L -> true | _ -> false
+
+let rec expr e =
+  match e with
+  | Ast.Const _ | Ast.Path _ -> e
+  | Ast.Method_call (var, path, name, args) ->
+      Ast.Method_call (var, path, name, List.map expr args)
+  | Ast.Aggregate (fn, inner) -> Ast.Aggregate (fn, Option.map expr inner)
+  | Ast.Neg inner -> begin
+      match expr inner with
+      | Ast.Const v -> begin
+          match fold_arith Ast.Sub (Value.Int 0) v with
+          | Some folded -> Ast.Const folded
+          | None -> Ast.Neg (Ast.Const v)
+        end
+      | Ast.Neg e -> e
+      | simplified -> Ast.Neg simplified
+    end
+  | Ast.Arith (op, a, b) -> begin
+      let a = expr a and b = expr b in
+      match a, b, op with
+      | Ast.Const va, Ast.Const vb, _ -> begin
+          match fold_arith op va vb with
+          | Some folded -> Ast.Const folded
+          | None -> Ast.Arith (op, a, b)
+        end
+      | Ast.Const v, e, Ast.Add when is_zero v -> e
+      | e, Ast.Const v, (Ast.Add | Ast.Sub) when is_zero v -> e
+      | Ast.Const v, e, Ast.Mul when is_one v -> e
+      | e, Ast.Const v, (Ast.Mul | Ast.Div) when is_one v -> e
+      | Ast.Const v, _, Ast.Mul when is_zero v -> Ast.Const v
+      | _, Ast.Const v, Ast.Mul when is_zero v -> Ast.Const v
+      | _, _, _ -> Ast.Arith (op, a, b)
+    end
+
+let fold_comparison op a b =
+  let c = Value.compare a b in
+  match op with
+  | Ast.Eq -> c = 0
+  | Ast.Ne -> c <> 0
+  | Ast.Lt -> c < 0
+  | Ast.Le -> c <= 0
+  | Ast.Gt -> c > 0
+  | Ast.Ge -> c >= 0
+
+let rec predicate p =
+  match p with
+  | Ast.Ptrue | Ast.Pfalse -> p
+  | Ast.Is_null (e, negated) -> begin
+      match expr e with
+      | Ast.Const Value.Null -> if negated then Ast.Pfalse else Ast.Ptrue
+      | Ast.Const _ -> if negated then Ast.Ptrue else Ast.Pfalse
+      | simplified -> Ast.Is_null (simplified, negated)
+    end
+  | Ast.Cmp (op, a, b) -> begin
+      match expr a, expr b with
+      | Ast.Const va, Ast.Const vb ->
+          if fold_comparison op va vb then Ast.Ptrue else Ast.Pfalse
+      | a, b -> Ast.Cmp (op, a, b)
+    end
+  | Ast.Not inner -> begin
+      match predicate inner with
+      | Ast.Ptrue -> Ast.Pfalse
+      | Ast.Pfalse -> Ast.Ptrue
+      | Ast.Not p -> p
+      | simplified -> Ast.Not simplified
+    end
+  | Ast.And (a, b) -> begin
+      match predicate a, predicate b with
+      | Ast.Ptrue, p | p, Ast.Ptrue -> p
+      | Ast.Pfalse, _ | _, Ast.Pfalse -> Ast.Pfalse
+      | a, b -> Ast.And (a, b)
+    end
+  | Ast.Or (a, b) -> begin
+      match predicate a, predicate b with
+      | Ast.Pfalse, p | p, Ast.Pfalse -> p
+      | Ast.Ptrue, _ | _, Ast.Ptrue -> Ast.Ptrue
+      | a, b -> Ast.Or (a, b)
+    end

@@ -1,0 +1,10 @@
+(** Expression simplification — the "expressions are simplified" pass of
+    Section 7, run between parsing and DNF. Performs constant folding
+    (via the run-time [Operand] machinery, so the same coercions apply),
+    double-negation elimination, identity rules ([e + 0], [e * 1],
+    [e * 0]), and Boolean constant propagation ([p AND TRUE = p],
+    [p OR TRUE = TRUE], comparisons between constants). *)
+
+val expr : Ast.expr -> Ast.expr
+
+val predicate : Ast.predicate -> Ast.predicate

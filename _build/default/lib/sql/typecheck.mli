@@ -1,0 +1,22 @@
+(** Static checking of MOODSQL statements against the catalog: FROM
+    classes exist, minus-classes are subclasses, range variables are
+    unique, every path expression resolves, method calls match declared
+    signatures, and comparisons relate compatible types. *)
+
+exception Type_error of string
+
+val expr_type :
+  catalog:Mood_catalog.Catalog.t ->
+  bindings:(string * string) list ->
+  Ast.expr ->
+  Mood_model.Mtype.t option
+(** The static type, or [None] for expressions whose type is a whole
+    object (a bare range variable — its "type" is the bound class).
+    Raises [Type_error] for unresolvable names. *)
+
+val check_query : catalog:Mood_catalog.Catalog.t -> Ast.query -> (string * string) list
+(** Validates the query and returns the range-variable bindings
+    (variable, class). Raises [Type_error]. *)
+
+val check_statement : catalog:Mood_catalog.Catalog.t -> Ast.statement -> unit
+(** Validates DDL/DML forms (SELECT delegates to [check_query]). *)

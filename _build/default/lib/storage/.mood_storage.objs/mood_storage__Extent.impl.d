@@ -1,0 +1,1 @@
+lib/storage/extent.ml: Hashtbl Heap_file Int List Mood_model Printf Store String Wal

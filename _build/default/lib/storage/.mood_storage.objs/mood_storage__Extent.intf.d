@@ -1,0 +1,1 @@
+lib/storage/extent.mli: Heap_file Mood_model Store

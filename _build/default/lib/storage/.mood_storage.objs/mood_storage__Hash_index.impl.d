@@ -1,0 +1,1 @@
+lib/storage/hash_index.ml: Array Buffer_pool Hashtbl List Mood_model

@@ -1,0 +1,1 @@
+lib/storage/hash_index.mli: Buffer_pool Mood_model

@@ -1,0 +1,1 @@
+lib/storage/join_index.ml: Btree List Mood_model

@@ -1,0 +1,1 @@
+lib/storage/join_index.mli: Btree Buffer_pool Mood_model

@@ -1,0 +1,1 @@
+lib/storage/lock_manager.mli:

@@ -1,0 +1,1 @@
+lib/storage/rtree.ml: Array Buffer Buffer_pool Float Fun List Printf Seq

@@ -1,0 +1,1 @@
+lib/storage/rtree.mli: Buffer_pool

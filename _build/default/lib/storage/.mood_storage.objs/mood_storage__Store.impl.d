@@ -1,0 +1,1 @@
+lib/storage/store.ml: Btree Buffer_pool Disk Hash_index Heap_file Join_index Lock_manager Rtree Wal

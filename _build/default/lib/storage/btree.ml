@@ -1,0 +1,280 @@
+module Value = Mood_model.Value
+
+exception Duplicate_key of Value.t
+
+type 'a leaf = {
+  mutable keys : Value.t array;
+  mutable postings : 'a list array;
+  mutable next : 'a leaf option;
+  leaf_page : int;
+}
+
+type 'a node = Leaf of 'a leaf | Internal of 'a internal
+
+and 'a internal = {
+  (* children.(i) covers keys < seps.(i); last child covers the rest *)
+  mutable seps : Value.t array;
+  mutable children : 'a node array;
+  node_page : int;
+}
+
+type 'a t = {
+  file_id : int;
+  buffer : Buffer_pool.t;
+  order : int;
+  unique : bool;
+  key_size : int;
+  mutable root : 'a node;
+  mutable next_page : int;
+  mutable entries : int;
+}
+
+type stats = {
+  order : int;
+  levels : int;
+  leaves : int;
+  key_size : int;
+  unique : bool;
+  entries : int;
+}
+
+type bound = Unbounded | Inclusive of Value.t | Exclusive of Value.t
+
+let fresh_page t =
+  let p = t.next_page in
+  t.next_page <- p + 1;
+  p
+
+let empty_leaf page = { keys = [||]; postings = [||]; next = None; leaf_page = page }
+
+let create ~file_id ~buffer ?(order = 50) ?(unique = false) ~key_size () =
+  if order < 2 then invalid_arg "Btree.create: order < 2";
+  { file_id;
+    buffer;
+    order;
+    unique;
+    key_size;
+    root = Leaf (empty_leaf 0);
+    next_page = 1;
+    entries = 0
+  }
+
+let touch t page = Buffer_pool.access t.buffer ~file:t.file_id ~page ~intent:Buffer_pool.Random
+
+let touch_write t page = Buffer_pool.modify t.buffer ~file:t.file_id ~page
+
+(* Index of the first key >= target (lower bound) in a sorted array. *)
+let lower_bound keys target =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Value.compare keys.(mid) target < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Child index for a key in an internal node: first separator > key
+   routes left; equal keys route right so leaf split separators behave
+   like "first key of right sibling". *)
+let child_index seps key =
+  let lo = ref 0 and hi = ref (Array.length seps) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Value.compare seps.(mid) key <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let array_insert arr i x =
+  let n = Array.length arr in
+  Array.init (n + 1) (fun j -> if j < i then arr.(j) else if j = i then x else arr.(j - 1))
+
+let array_remove arr i =
+  let n = Array.length arr in
+  Array.init (n - 1) (fun j -> if j < i then arr.(j) else arr.(j + 1))
+
+let max_keys (t : _ t) = 2 * t.order
+
+(* Splits an overfull leaf, returning the separator and right sibling. *)
+let split_leaf t leaf =
+  let n = Array.length leaf.keys in
+  let mid = n / 2 in
+  let right = empty_leaf (fresh_page t) in
+  right.keys <- Array.sub leaf.keys mid (n - mid);
+  right.postings <- Array.sub leaf.postings mid (n - mid);
+  right.next <- leaf.next;
+  leaf.keys <- Array.sub leaf.keys 0 mid;
+  leaf.postings <- Array.sub leaf.postings 0 mid;
+  leaf.next <- Some right;
+  touch_write t leaf.leaf_page;
+  touch_write t right.leaf_page;
+  (right.keys.(0), Leaf right)
+
+let split_internal t node =
+  let n = Array.length node.seps in
+  let mid = n / 2 in
+  let sep = node.seps.(mid) in
+  let right =
+    { seps = Array.sub node.seps (mid + 1) (n - mid - 1);
+      children = Array.sub node.children (mid + 1) (n - mid);
+      node_page = fresh_page t
+    }
+  in
+  node.seps <- Array.sub node.seps 0 mid;
+  node.children <- Array.sub node.children 0 (mid + 1);
+  touch_write t node.node_page;
+  touch_write t right.node_page;
+  (sep, Internal right)
+
+let rec insert_into t node key value =
+  match node with
+  | Leaf leaf ->
+      touch t leaf.leaf_page;
+      let i = lower_bound leaf.keys key in
+      let exists = i < Array.length leaf.keys && Value.compare leaf.keys.(i) key = 0 in
+      if exists then begin
+        if t.unique then raise (Duplicate_key key);
+        leaf.postings.(i) <- value :: leaf.postings.(i);
+        touch_write t leaf.leaf_page;
+        None
+      end
+      else begin
+        leaf.keys <- array_insert leaf.keys i key;
+        leaf.postings <- array_insert leaf.postings i [ value ];
+        touch_write t leaf.leaf_page;
+        if Array.length leaf.keys > max_keys t then Some (split_leaf t leaf) else None
+      end
+  | Internal node_ ->
+      touch t node_.node_page;
+      let i = child_index node_.seps key in
+      begin
+        match insert_into t node_.children.(i) key value with
+        | None -> None
+        | Some (sep, sibling) ->
+            node_.seps <- array_insert node_.seps i sep;
+            node_.children <- array_insert node_.children (i + 1) sibling;
+            touch_write t node_.node_page;
+            if Array.length node_.seps > max_keys t then Some (split_internal t node_)
+            else None
+      end
+
+let insert t ~key value =
+  begin
+    match insert_into t t.root key value with
+    | None -> ()
+    | Some (sep, sibling) ->
+        let root =
+          { seps = [| sep |]; children = [| t.root; sibling |]; node_page = fresh_page t }
+        in
+        t.root <- Internal root;
+        touch_write t root.node_page
+  end;
+  t.entries <- t.entries + 1
+
+let rec find_leaf t node key =
+  match node with
+  | Leaf leaf ->
+      touch t leaf.leaf_page;
+      leaf
+  | Internal node_ ->
+      touch t node_.node_page;
+      find_leaf t node_.children.(child_index node_.seps key) key
+
+let search t ~key =
+  let leaf = find_leaf t t.root key in
+  let i = lower_bound leaf.keys key in
+  if i < Array.length leaf.keys && Value.compare leaf.keys.(i) key = 0 then
+    leaf.postings.(i)
+  else []
+
+let mem t ~key = search t ~key <> []
+
+let below_hi hi key =
+  match hi with
+  | Unbounded -> true
+  | Inclusive v -> Value.compare key v <= 0
+  | Exclusive v -> Value.compare key v < 0
+
+let above_lo lo key =
+  match lo with
+  | Unbounded -> true
+  | Inclusive v -> Value.compare key v >= 0
+  | Exclusive v -> Value.compare key v > 0
+
+let range t ~lo ~hi =
+  let start_key = match lo with Unbounded -> None | Inclusive v | Exclusive v -> Some v in
+  let rec leftmost node =
+    match node with
+    | Leaf leaf ->
+        touch t leaf.leaf_page;
+        leaf
+    | Internal node_ ->
+        touch t node_.node_page;
+        leftmost node_.children.(0)
+  in
+  let start_leaf =
+    match start_key with
+    | Some key -> find_leaf t t.root key
+    | None -> leftmost t.root
+  in
+  let out = ref [] in
+  let rec walk leaf =
+    touch t leaf.leaf_page;
+    let n = Array.length leaf.keys in
+    let continue = ref true in
+    for i = 0 to n - 1 do
+      let key = leaf.keys.(i) in
+      if not (below_hi hi key) then continue := false
+      else if above_lo lo key then out := (key, leaf.postings.(i)) :: !out
+    done;
+    if !continue then
+      match leaf.next with Some next -> walk next | None -> ()
+  in
+  walk start_leaf;
+  List.rev !out
+
+let delete t ~key keep_out =
+  let leaf = find_leaf t t.root key in
+  let i = lower_bound leaf.keys key in
+  if i < Array.length leaf.keys && Value.compare leaf.keys.(i) key = 0 then begin
+    let before = List.length leaf.postings.(i) in
+    let survivors = List.filter (fun p -> not (keep_out p)) leaf.postings.(i) in
+    let removed = before - List.length survivors in
+    if removed > 0 then begin
+      touch_write t leaf.leaf_page;
+      if survivors = [] then begin
+        leaf.keys <- array_remove leaf.keys i;
+        leaf.postings <- array_remove leaf.postings i
+      end
+      else leaf.postings.(i) <- survivors;
+      t.entries <- t.entries - removed
+    end;
+    removed
+  end
+  else 0
+
+let iter t f =
+  let rec leftmost = function
+    | Leaf leaf -> leaf
+    | Internal node_ -> leftmost node_.children.(0)
+  in
+  let rec walk leaf =
+    Array.iteri (fun i key -> f key leaf.postings.(i)) leaf.keys;
+    match leaf.next with Some next -> walk next | None -> ()
+  in
+  walk (leftmost t.root)
+
+let stats (t : _ t) =
+  let rec depth = function
+    | Leaf _ -> 1
+    | Internal node_ -> 1 + depth node_.children.(0)
+  in
+  let rec count_leaves = function
+    | Leaf _ -> 1
+    | Internal node_ -> Array.fold_left (fun acc c -> acc + count_leaves c) 0 node_.children
+  in
+  { order = t.order;
+    levels = depth t.root;
+    leaves = count_leaves t.root;
+    key_size = t.key_size;
+    unique = t.unique;
+    entries = t.entries
+  }

@@ -1,0 +1,57 @@
+(** B+-tree secondary index.
+
+    Maps attribute values to postings (OIDs or RIDs). The tree exposes
+    exactly the statistics of Table 9 — order [v(I)], number of levels,
+    number of leaves, key size, unique flag — which the cost model's
+    [INDCOST] and [RNGXCOST] consume. Traversals charge the simulated
+    disk one random read per node visited, so measured index I/O can be
+    compared against the analytic formulas. *)
+
+type 'a t
+
+type stats = {
+  order : int;    (** [v(I)]: a node holds at most [2*order] keys *)
+  levels : int;   (** [level(I)], root included; 1 for a lone leaf *)
+  leaves : int;   (** [leaves(I)] *)
+  key_size : int; (** [keysize(I)], declared bytes per key *)
+  unique : bool;  (** [unique(I)] *)
+  entries : int;  (** total postings stored *)
+}
+
+exception Duplicate_key of Mood_model.Value.t
+
+val create :
+  file_id:int ->
+  buffer:Buffer_pool.t ->
+  ?order:int ->
+  ?unique:bool ->
+  key_size:int ->
+  unit ->
+  'a t
+(** [order] defaults to 50 (page-sized nodes for 8-byte keys). Raises
+    [Invalid_argument] if [order < 2]. *)
+
+val insert : 'a t -> key:Mood_model.Value.t -> 'a -> unit
+(** Adds a posting. Raises [Duplicate_key] when [unique] and the key is
+    already present. *)
+
+val search : 'a t -> key:Mood_model.Value.t -> 'a list
+(** All postings for [key] (empty list when absent). *)
+
+val mem : 'a t -> key:Mood_model.Value.t -> bool
+
+type bound = Unbounded | Inclusive of Mood_model.Value.t | Exclusive of Mood_model.Value.t
+
+val range : 'a t -> lo:bound -> hi:bound -> (Mood_model.Value.t * 'a list) list
+(** Keys in [lo, hi] in ascending order, walking the leaf chain. *)
+
+val delete : 'a t -> key:Mood_model.Value.t -> ('a -> bool) -> int
+(** Removes the postings under [key] satisfying the predicate; returns
+    how many were removed. Structural underflow is handled lazily (keys
+    with no postings disappear; nodes are not rebalanced), which is
+    sound for an index whose statistics are re-derived on demand. *)
+
+val iter : 'a t -> (Mood_model.Value.t -> 'a list -> unit) -> unit
+(** All keys ascending. *)
+
+val stats : 'a t -> stats

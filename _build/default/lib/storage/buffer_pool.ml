@@ -1,0 +1,124 @@
+type intent = Sequential | Random
+
+type stats = { hits : int; misses : int; evictions : int }
+
+type frame = { key : int * int; mutable dirty : bool; mutable stamp : int }
+
+type t = {
+  disk : Disk.t;
+  capacity : int;
+  frames : (int * int, frame) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable last_sequential : (int * int) option;
+      (* last page faulted with Sequential intent, to detect run starts *)
+}
+
+let create ~disk ~capacity =
+  if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity <= 0";
+  { disk;
+    capacity;
+    frames = Hashtbl.create (2 * capacity);
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    last_sequential = None
+  }
+
+let capacity t = t.capacity
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun _ frame acc ->
+        match acc with
+        | None -> Some frame
+        | Some best -> if frame.stamp < best.stamp then Some frame else acc)
+      t.frames None
+  in
+  match victim with
+  | None -> ()
+  | Some frame ->
+      if frame.dirty then Disk.write_page t.disk;
+      Hashtbl.remove t.frames frame.key;
+      t.evictions <- t.evictions + 1
+
+let fault t key intent =
+  t.misses <- t.misses + 1;
+  begin
+    match intent with
+    | Random ->
+        Disk.read_random t.disk;
+        t.last_sequential <- None
+    | Sequential ->
+        let file, page = key in
+        let first =
+          match t.last_sequential with
+          | Some (f, p) -> not (f = file && p = page - 1)
+          | None -> true
+        in
+        Disk.read_sequential t.disk ~first;
+        t.last_sequential <- Some key
+  end;
+  if Hashtbl.length t.frames >= t.capacity then evict_lru t;
+  Hashtbl.replace t.frames key { key; dirty = false; stamp = tick t }
+
+let access t ~file ~page ~intent =
+  let key = (file, page) in
+  match Hashtbl.find_opt t.frames key with
+  | Some frame ->
+      t.hits <- t.hits + 1;
+      frame.stamp <- tick t;
+      (* A buffered page costs nothing, but it still advances a
+         sequential run so the next on-disk page is not charged a seek. *)
+      if intent = Sequential then t.last_sequential <- Some key
+  | None -> fault t key intent
+
+let modify t ~file ~page =
+  let key = (file, page) in
+  begin
+    match Hashtbl.find_opt t.frames key with
+    | Some frame ->
+        t.hits <- t.hits + 1;
+        frame.stamp <- tick t
+    | None -> fault t key Random
+  end;
+  match Hashtbl.find_opt t.frames key with
+  | Some frame -> frame.dirty <- true
+  | None -> assert false
+
+let flush t =
+  Hashtbl.iter
+    (fun _ frame ->
+      if frame.dirty then begin
+        Disk.write_page t.disk;
+        frame.dirty <- false
+      end)
+    t.frames
+
+let invalidate t ~file =
+  let doomed =
+    Hashtbl.fold (fun (f, p) _ acc -> if f = file then (f, p) :: acc else acc) t.frames []
+  in
+  List.iter (Hashtbl.remove t.frames) doomed
+
+let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0
+
+let resident t ~file ~page = Hashtbl.mem t.frames (file, page)
+
+let clear t =
+  Hashtbl.reset t.frames;
+  t.last_sequential <- None;
+  reset_stats t

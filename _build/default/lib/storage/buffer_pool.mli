@@ -1,0 +1,45 @@
+(** Buffer pool with LRU replacement.
+
+    The pool tracks page *residency* — payloads live in the owning heap
+    file (this is a simulator). A miss charges the simulated disk
+    according to the access intent; a hit charges nothing, which is how
+    "if D is accessed previously" clauses of the cost model (Section 6.2)
+    become observable in measurements. Dirty evictions charge a write. *)
+
+type t
+
+type intent =
+  | Sequential  (** part of a scan: first miss pays seek+rotation, the
+                    rest pay [ebt] while the scan stays contiguous *)
+  | Random      (** independent page fetch: pays [s + r + btt] *)
+
+type stats = { hits : int; misses : int; evictions : int }
+
+val create : disk:Disk.t -> capacity:int -> t
+(** [capacity] is the number of frames. Raises [Invalid_argument] when
+    not positive. *)
+
+val capacity : t -> int
+
+val access : t -> file:int -> page:int -> intent:intent -> unit
+(** Read access to a page. *)
+
+val modify : t -> file:int -> page:int -> unit
+(** Write access: faults the page in (random intent) if absent and marks
+    it dirty. *)
+
+val flush : t -> unit
+(** Writes back all dirty pages (charging the disk) and cleans them. *)
+
+val invalidate : t -> file:int -> unit
+(** Drops all frames of a file without write-back (file destroyed). *)
+
+val clear : t -> unit
+(** Drops every frame without write-back and resets statistics —
+    cold-start for measurements. *)
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+
+val resident : t -> file:int -> page:int -> bool

@@ -1,0 +1,85 @@
+type params = {
+  block_size : int;
+  btt : float;
+  ebt : float;
+  rot : float;
+  seek : float;
+}
+
+(* Calibrated so 22000 * (s + r + btt) ~ 520.8 s, the paper's Table 16
+   forward-traversal cost for path P2 (see DESIGN.md §4). *)
+let default_params =
+  { block_size = 4096; btt = 0.0033439; ebt = 0.0016719; rot = 0.00833; seek = 0.012 }
+
+type counters = {
+  seeks : int;
+  random_reads : int;
+  sequential_reads : int;
+  writes : int;
+  elapsed : float;
+}
+
+let zero_counters =
+  { seeks = 0; random_reads = 0; sequential_reads = 0; writes = 0; elapsed = 0. }
+
+type t = { params : params; mutable counters : counters }
+
+let create ?(params = default_params) () = { params; counters = zero_counters }
+
+let params t = t.params
+
+let read_random t =
+  let p = t.params in
+  let c = t.counters in
+  t.counters <-
+    { c with
+      seeks = c.seeks + 1;
+      random_reads = c.random_reads + 1;
+      elapsed = c.elapsed +. p.seek +. p.rot +. p.btt
+    }
+
+let read_sequential t ~first =
+  let p = t.params in
+  let c = t.counters in
+  let position = if first then p.seek +. p.rot else 0. in
+  t.counters <-
+    { c with
+      seeks = (c.seeks + if first then 1 else 0);
+      sequential_reads = c.sequential_reads + 1;
+      elapsed = c.elapsed +. position +. p.ebt
+    }
+
+let write_page t =
+  let p = t.params in
+  let c = t.counters in
+  t.counters <-
+    { c with
+      seeks = c.seeks + 1;
+      writes = c.writes + 1;
+      elapsed = c.elapsed +. p.seek +. p.rot +. p.btt
+    }
+
+let counters t = t.counters
+
+let reset_counters t = t.counters <- zero_counters
+
+let elapsed t = t.counters.elapsed
+
+let with_measure t thunk =
+  let before = t.counters in
+  let result = thunk () in
+  let after = t.counters in
+  let during =
+    { seeks = after.seeks - before.seeks;
+      random_reads = after.random_reads - before.random_reads;
+      sequential_reads = after.sequential_reads - before.sequential_reads;
+      writes = after.writes - before.writes;
+      elapsed = after.elapsed -. before.elapsed
+    }
+  in
+  (result, during)
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "seeks=%d rnd=%d seq=%d writes=%d elapsed=%.3fs" c.seeks c.random_reads
+    c.sequential_reads c.writes c.elapsed

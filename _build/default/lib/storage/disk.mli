@@ -1,0 +1,61 @@
+(** The simulated disk.
+
+    Substitutes the real disks under the Exodus Storage Manager. The
+    point of the simulation is *cost accounting*: every page access is
+    charged against the physical parameters of Table 10 (block size [b],
+    block transfer time [btt], effective block transfer time [ebt],
+    average rotational latency [r], average seek time [s]), so the
+    benches can compare the optimizer's analytic predictions
+    ([SEQCOST]/[RNDCOST]/...) with "measured" I/O time. Page payloads
+    themselves are kept in memory. *)
+
+type params = {
+  block_size : int;     (** [B], bytes per page *)
+  btt : float;          (** block transfer time, seconds *)
+  ebt : float;          (** effective block transfer time, seconds *)
+  rot : float;          (** average rotational latency [r], seconds *)
+  seek : float;         (** average seek time [s], seconds *)
+}
+
+val default_params : params
+(** The calibrated parameters of DESIGN.md §4: [B = 4096],
+    [btt = 3.34 ms], [ebt = 1.67 ms], [r = 8.33 ms], [s = 12 ms] —
+    chosen so that the Table 16 forward-traversal costs are matched. *)
+
+type t
+
+type counters = {
+  seeks : int;          (** positioning operations (seek + rotation) *)
+  random_reads : int;   (** pages transferred at [btt] *)
+  sequential_reads : int; (** pages transferred at [ebt] *)
+  writes : int;         (** pages written (charged at [btt] + positioning) *)
+  elapsed : float;      (** total modeled time, seconds *)
+}
+
+val create : ?params:params -> unit -> t
+
+val params : t -> params
+
+val read_random : t -> unit
+(** One random page read: charges [s + r + btt]. *)
+
+val read_sequential : t -> first:bool -> unit
+(** One page of a sequential scan: the first page charges [s + r + ebt],
+    subsequent pages [ebt] each — so scanning [b] pages costs
+    [SEQCOST(b) = s + r + b*ebt]. *)
+
+val write_page : t -> unit
+(** One page write: charges [s + r + btt]. *)
+
+val counters : t -> counters
+
+val reset_counters : t -> unit
+
+val elapsed : t -> float
+(** [ (counters t).elapsed ]. *)
+
+val with_measure : t -> (unit -> 'a) -> 'a * counters
+(** Runs the thunk and returns the counters accumulated *during* it
+    (outer accounting is preserved). *)
+
+val pp_counters : Format.formatter -> counters -> unit

@@ -1,0 +1,141 @@
+module Value = Mood_model.Value
+module Codec = Mood_model.Codec
+
+type t = {
+  store : Store.t;
+  file : Heap_file.t;
+  directory : (int, Heap_file.rid) Hashtbl.t;
+  mutable next_slot : int;
+  mutable total_bytes : int;
+}
+
+let create ~store ?layout () =
+  { store;
+    file = Store.new_heap_file store ?layout ();
+    directory = Hashtbl.create 64;
+    next_slot = 0;
+    total_bytes = 0
+  }
+
+let heap t = t.file
+
+(* Records embed their slot so scans can recover object identity. *)
+let encode slot value =
+  Codec.encode (Value.Tuple [ ("#slot", Value.Int slot); ("#value", value) ])
+
+let decode payload =
+  match Codec.decode payload with
+  | Value.Tuple [ ("#slot", Value.Int slot); ("#value", value) ] -> (slot, value)
+  | _ -> failwith "Extent.decode: corrupt record"
+
+let log t record =
+  ignore (Wal.append (Store.wal t.store) record)
+
+let insert_encoded t ?txn slot value =
+  let payload = encode slot value in
+  let rid = Heap_file.insert t.file payload in
+  Hashtbl.replace t.directory slot rid;
+  t.total_bytes <- t.total_bytes + String.length payload;
+  begin
+    match txn with
+    | Some txn -> log t (Wal.Insert { txn; file = Heap_file.file_id t.file; rid; payload })
+    | None -> ()
+  end
+
+let insert t ?txn value =
+  let slot = t.next_slot in
+  t.next_slot <- slot + 1;
+  insert_encoded t ?txn slot value;
+  slot
+
+let insert_at t ?txn ~slot value =
+  if Hashtbl.mem t.directory slot then
+    invalid_arg (Printf.sprintf "Extent.insert_at: slot %d is live" slot);
+  if slot >= t.next_slot then t.next_slot <- slot + 1;
+  insert_encoded t ?txn slot value
+
+let get t slot =
+  match Hashtbl.find_opt t.directory slot with
+  | None -> None
+  | Some rid -> begin
+      match Heap_file.get t.file rid with
+      | None -> None
+      | Some payload -> Some (snd (decode payload))
+    end
+
+let update t ?txn ~slot value =
+  match Hashtbl.find_opt t.directory slot with
+  | None -> false
+  | Some rid -> begin
+      match Heap_file.get t.file rid with
+      | None -> false
+      | Some before ->
+          let after = encode slot value in
+          let ok =
+            if Heap_file.update t.file rid after then true
+            else begin
+              (* Did not fit in place: move the record. *)
+              ignore (Heap_file.delete t.file rid);
+              let fresh = Heap_file.insert t.file after in
+              Hashtbl.replace t.directory slot fresh;
+              true
+            end
+          in
+          if ok then begin
+            t.total_bytes <- t.total_bytes + String.length after - String.length before;
+            match txn with
+            | Some txn ->
+                log t
+                  (Wal.Update { txn; file = Heap_file.file_id t.file; rid; before; after })
+            | None -> ()
+          end;
+          ok
+    end
+
+let delete t ?txn slot =
+  match Hashtbl.find_opt t.directory slot with
+  | None -> false
+  | Some rid ->
+      let before = Heap_file.get t.file rid in
+      let ok = Heap_file.delete t.file rid in
+      if ok then begin
+        Hashtbl.remove t.directory slot;
+        begin
+          match before with
+          | Some payload -> t.total_bytes <- t.total_bytes - String.length payload
+          | None -> ()
+        end;
+        match txn, before with
+        | Some txn, Some before ->
+            log t (Wal.Delete { txn; file = Heap_file.file_id t.file; rid; before })
+        | _, _ -> ()
+      end;
+      ok
+
+let scan t ~f =
+  Heap_file.scan t.file ~f:(fun _rid payload ->
+      let slot, value = decode payload in
+      f slot value)
+
+let fold t ~init ~f =
+  let acc = ref init in
+  scan t ~f:(fun slot value -> acc := f !acc slot value);
+  !acc
+
+let slots t =
+  Hashtbl.fold (fun slot _ acc -> slot :: acc) t.directory []
+  |> List.sort Int.compare
+
+let count t = Hashtbl.length t.directory
+
+let page_count t = Heap_file.page_count t.file
+
+let mean_object_size t =
+  let n = count t in
+  if n = 0 then 0. else float_of_int t.total_bytes /. float_of_int n
+
+let clear t =
+  Heap_file.clear t.file;
+  Hashtbl.reset t.directory;
+  t.next_slot <- 0;
+  t.total_bytes <- 0

@@ -1,0 +1,45 @@
+(** Object-level storage for one class extent.
+
+    Wraps a heap file with a slot directory so objects are addressed by
+    the slot component of their OID. Values are serialized with the
+    model codec; records carry their slot so a scan recovers it. When a
+    transaction id is supplied, operations are logged to the store's WAL
+    (redo recovery rebuilds extents from the log). *)
+
+type t
+
+val create : store:Store.t -> ?layout:Heap_file.layout -> unit -> t
+
+val heap : t -> Heap_file.t
+
+val insert : t -> ?txn:int -> Mood_model.Value.t -> int
+(** Stores an object and returns its fresh slot. *)
+
+val insert_at : t -> ?txn:int -> slot:int -> Mood_model.Value.t -> unit
+(** Stores an object under a caller-chosen slot (recovery, restore).
+    Raises [Invalid_argument] when the slot is live. *)
+
+val get : t -> int -> Mood_model.Value.t option
+(** Random page access. *)
+
+val update : t -> ?txn:int -> slot:int -> Mood_model.Value.t -> bool
+
+val delete : t -> ?txn:int -> int -> bool
+
+val scan : t -> f:(int -> Mood_model.Value.t -> unit) -> unit
+(** Sequential scan in storage order. *)
+
+val fold : t -> init:'a -> f:('a -> int -> Mood_model.Value.t -> 'a) -> 'a
+
+val slots : t -> int list
+(** Live slots in ascending order, without touching the disk (directory
+    is memory-resident, as extent directories are in ESM). *)
+
+val count : t -> int
+
+val page_count : t -> int
+
+val mean_object_size : t -> float
+(** Average encoded record size, for [size(C)] statistics. *)
+
+val clear : t -> unit

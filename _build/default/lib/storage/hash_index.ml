@@ -1,0 +1,123 @@
+module Value = Mood_model.Value
+
+type 'a bucket = {
+  mutable items : (Value.t * 'a) list;
+  page : int;
+  mutable overflow : int list;  (* overflow page ids, allocated on demand *)
+}
+
+type 'a t = {
+  file_id : int;
+  buffer : Buffer_pool.t;
+  bucket_capacity : int;
+  mutable buckets : 'a bucket array;
+  mutable level : int;         (* current doubling round: base size = 2^level *)
+  mutable next_split : int;    (* next bucket to split in this round *)
+  mutable entries : int;
+  mutable next_page : int;
+}
+
+let initial_buckets = 4
+
+let create ~file_id ~buffer ?(bucket_capacity = 32) () =
+  if bucket_capacity <= 0 then invalid_arg "Hash_index.create: bucket_capacity <= 0";
+  { file_id;
+    buffer;
+    bucket_capacity;
+    buckets = Array.init initial_buckets (fun i -> { items = []; page = i; overflow = [] });
+    level = 2; (* 2^2 = initial_buckets *)
+    next_split = 0;
+    entries = 0;
+    next_page = initial_buckets
+  }
+
+let hash_value v = Hashtbl.hash (Value.to_string v)
+
+(* Linear-hashing address: try h mod 2^level; if that bucket has already
+   been split this round, rehash with 2^(level+1). *)
+let address t key =
+  let h = hash_value key in
+  let base = 1 lsl t.level in
+  let a = h mod base in
+  if a < t.next_split then h mod (2 * base) else a
+
+let touch t bucket =
+  Buffer_pool.access t.buffer ~file:t.file_id ~page:bucket.page ~intent:Buffer_pool.Random
+
+let touch_write t bucket = Buffer_pool.modify t.buffer ~file:t.file_id ~page:bucket.page
+
+let load_factor t = float_of_int t.entries /. float_of_int (Array.length t.buckets * t.bucket_capacity)
+
+(* Keeps [overflow] long enough for the bucket's chain: one extra page
+   per [bucket_capacity] entries beyond the first pageful. *)
+let ensure_overflow t bucket =
+  let needed = List.length bucket.items / t.bucket_capacity in
+  while List.length bucket.overflow < needed do
+    bucket.overflow <- t.next_page :: bucket.overflow;
+    t.next_page <- t.next_page + 1
+  done
+
+let touch_chain t bucket =
+  Buffer_pool.access t.buffer ~file:t.file_id ~page:bucket.page ~intent:Buffer_pool.Random;
+  List.iter
+    (fun page -> Buffer_pool.access t.buffer ~file:t.file_id ~page ~intent:Buffer_pool.Random)
+    bucket.overflow
+
+let split t =
+  let base = 1 lsl t.level in
+  let victim_index = t.next_split in
+  let victim = t.buckets.(victim_index) in
+  let fresh = { items = []; page = t.next_page; overflow = [] } in
+  t.next_page <- t.next_page + 1;
+  t.buckets <- Array.append t.buckets [| fresh |];
+  let stay, move =
+    List.partition (fun (k, _) -> hash_value k mod (2 * base) = victim_index) victim.items
+  in
+  victim.items <- stay;
+  fresh.items <- move;
+  (* the halves keep only the chain pages they still need *)
+  let trim bucket =
+    let needed = List.length bucket.items / t.bucket_capacity in
+    bucket.overflow <- List.filteri (fun i _ -> i < needed) bucket.overflow
+  in
+  trim victim;
+  ensure_overflow t fresh;
+  touch_write t victim;
+  touch_write t fresh;
+  t.next_split <- t.next_split + 1;
+  if t.next_split = base then begin
+    t.level <- t.level + 1;
+    t.next_split <- 0
+  end
+
+let insert t ~key value =
+  let bucket = t.buckets.(address t key) in
+  touch t bucket;
+  bucket.items <- (key, value) :: bucket.items;
+  ensure_overflow t bucket;
+  touch_write t bucket;
+  t.entries <- t.entries + 1;
+  if load_factor t > 0.8 then split t
+
+let search t ~key =
+  let bucket = t.buckets.(address t key) in
+  (* a probe walks the whole chain: the home page plus overflows *)
+  touch_chain t bucket;
+  List.filter_map (fun (k, v) -> if Value.equal k key then Some v else None) bucket.items
+
+let delete t ~key keep_out =
+  let bucket = t.buckets.(address t key) in
+  touch t bucket;
+  let before = List.length bucket.items in
+  bucket.items <-
+    List.filter (fun (k, v) -> not (Value.equal k key && keep_out v)) bucket.items;
+  let removed = before - List.length bucket.items in
+  if removed > 0 then begin
+    touch_write t bucket;
+    t.entries <- t.entries - removed
+  end;
+  removed
+
+let entries t = t.entries
+
+let bucket_count t = Array.length t.buckets

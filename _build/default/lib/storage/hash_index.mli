@@ -1,0 +1,26 @@
+(** Linear-hashing index.
+
+    The paper's simple-selection access paths are "the B+-tree indexing
+    and hash indexing supported through the Exodus Storage Manager"
+    (Section 3.2, [IndSel]). This is a classic Litwin linear-hashing
+    scheme: buckets split one at a time as the load factor grows, so
+    probes stay O(1 + chain). Each bucket visit charges one random page
+    read. Hash indexes support equality probes only. *)
+
+type 'a t
+
+val create : file_id:int -> buffer:Buffer_pool.t -> ?bucket_capacity:int -> unit -> 'a t
+(** [bucket_capacity] is the number of entries per bucket page before it
+    overflows (default 32). *)
+
+val insert : 'a t -> key:Mood_model.Value.t -> 'a -> unit
+
+val search : 'a t -> key:Mood_model.Value.t -> 'a list
+
+val delete : 'a t -> key:Mood_model.Value.t -> ('a -> bool) -> int
+(** Removes postings under [key] matching the predicate; returns the
+    count removed. *)
+
+val entries : 'a t -> int
+
+val bucket_count : 'a t -> int

@@ -1,0 +1,61 @@
+module Oid = Mood_model.Oid
+module Value = Mood_model.Value
+
+let oid_key oid = Value.Tuple [ ("class", Value.Int (Oid.class_id oid)); ("slot", Value.Int (Oid.slot oid)) ]
+
+module Binary = struct
+  type t = {
+    fwd : Oid.t Btree.t;  (* c -> d *)
+    bwd : Oid.t Btree.t;  (* d -> c *)
+    mutable pairs : int;
+  }
+
+  let create ~file_id ~buffer () =
+    { fwd = Btree.create ~file_id ~buffer ~key_size:16 ();
+      bwd = Btree.create ~file_id:(file_id + 1) ~buffer ~key_size:16 ();
+      pairs = 0
+    }
+
+  let add t ~c ~d =
+    Btree.insert t.fwd ~key:(oid_key c) d;
+    Btree.insert t.bwd ~key:(oid_key d) c;
+    t.pairs <- t.pairs + 1
+
+  let forward t ~c = Btree.search t.fwd ~key:(oid_key c)
+
+  let backward t ~d = Btree.search t.bwd ~key:(oid_key d)
+
+  let remove t ~c ~d =
+    let nf = Btree.delete t.fwd ~key:(oid_key c) (fun o -> Oid.equal o d) in
+    let nb = Btree.delete t.bwd ~key:(oid_key d) (fun o -> Oid.equal o c) in
+    if nf > 0 then t.pairs <- t.pairs - nf;
+    nf > 0 && nb > 0
+
+  let pairs t = t.pairs
+
+  let forward_stats t = Btree.stats t.fwd
+  let backward_stats t = Btree.stats t.bwd
+end
+
+module Path = struct
+  type t = { index : Oid.t Btree.t; path : string list }
+
+  let create ~file_id ~buffer ~path () =
+    { index = Btree.create ~file_id ~buffer ~key_size:16 (); path }
+
+  let path t = t.path
+
+  let add t ~terminal ~head = Btree.insert t.index ~key:terminal head
+
+  let probe t ~terminal = Btree.search t.index ~key:terminal
+
+  let probe_range t ~lo ~hi =
+    Btree.range t.index ~lo ~hi
+    |> List.concat_map snd
+    |> List.sort_uniq Oid.compare
+
+  let remove t ~terminal ~head =
+    Btree.delete t.index ~key:terminal (fun o -> Oid.equal o head) > 0
+
+  let stats t = Btree.stats t.index
+end

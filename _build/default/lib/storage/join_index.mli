@@ -1,0 +1,54 @@
+(** Binary join indexes and path indexes [Kem 90].
+
+    A binary join index materializes the implicit join induced by a
+    reference attribute [C.A -> D]: it stores (c, d) OID pairs indexed
+    in both directions, so either side can be probed at [INDCOST]. A
+    path index extends this along a whole path expression
+    [C0.a1.a2...an]: it maps the *terminal* object (or terminal atomic
+    value) to the head objects of class [C0] that reach it. *)
+
+module Binary : sig
+  type t
+
+  val create : file_id:int -> buffer:Buffer_pool.t -> unit -> t
+  (** Uses two B+-trees internally; [file_id] and [file_id + 1] identify
+      their node pages in the buffer pool. *)
+
+  val add : t -> c:Mood_model.Oid.t -> d:Mood_model.Oid.t -> unit
+
+  val forward : t -> c:Mood_model.Oid.t -> Mood_model.Oid.t list
+  (** All [d] joined with [c]. *)
+
+  val backward : t -> d:Mood_model.Oid.t -> Mood_model.Oid.t list
+  (** All [c] joined with [d]. *)
+
+  val remove : t -> c:Mood_model.Oid.t -> d:Mood_model.Oid.t -> bool
+
+  val pairs : t -> int
+
+  val forward_stats : t -> Btree.stats
+  val backward_stats : t -> Btree.stats
+end
+
+module Path : sig
+  type t
+
+  val create : file_id:int -> buffer:Buffer_pool.t -> path:string list -> unit -> t
+  (** [path] is the attribute chain the index covers (for catalog
+      bookkeeping and matching). *)
+
+  val path : t -> string list
+
+  val add : t -> terminal:Mood_model.Value.t -> head:Mood_model.Oid.t -> unit
+  (** Records that [head] reaches [terminal] along the path. *)
+
+  val probe : t -> terminal:Mood_model.Value.t -> Mood_model.Oid.t list
+
+  val probe_range :
+    t -> lo:Btree.bound -> hi:Btree.bound -> Mood_model.Oid.t list
+  (** Heads whose terminal value falls in the range (duplicates removed). *)
+
+  val remove : t -> terminal:Mood_model.Value.t -> head:Mood_model.Oid.t -> bool
+
+  val stats : t -> Btree.stats
+end

@@ -1,0 +1,93 @@
+type mode = Shared | Exclusive
+
+type resource = string
+
+type outcome = Granted | Would_block | Deadlock
+
+type txn = { id : int }
+
+type t = {
+  mutable next_txn : int;
+  locks : (resource, (int * mode) list ref) Hashtbl.t;
+  (* waits_for: txn id -> txn ids it is waiting on *)
+  waits_for : (int, int list) Hashtbl.t;
+  mutable active : int list;
+}
+
+let create () =
+  { next_txn = 1; locks = Hashtbl.create 64; waits_for = Hashtbl.create 16; active = [] }
+
+let begin_txn t =
+  let id = t.next_txn in
+  t.next_txn <- id + 1;
+  t.active <- id :: t.active;
+  { id }
+
+let txn_id txn = txn.id
+
+let holders_ref t resource =
+  match Hashtbl.find_opt t.locks resource with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace t.locks resource r;
+      r
+
+let compatible requested held = requested = Shared && held = Shared
+
+(* Does a waits-for path lead from [start] back to [target]? *)
+let rec reaches t visited start target =
+  if start = target then true
+  else if List.mem start visited then false
+  else
+    match Hashtbl.find_opt t.waits_for start with
+    | None -> false
+    | Some nexts -> List.exists (fun n -> reaches t (start :: visited) n target) nexts
+
+let acquire t txn resource mode =
+  let held = holders_ref t resource in
+  let mine = List.assoc_opt txn.id !held in
+  let others = List.filter (fun (id, _) -> id <> txn.id) !held in
+  match mine, mode with
+  | Some Exclusive, _ -> Granted
+  | Some Shared, Shared -> Granted
+  | Some Shared, Exclusive when others = [] ->
+      held := (txn.id, Exclusive) :: others;
+      Granted
+  | (Some Shared | None), _ ->
+      let conflict = List.exists (fun (_, m) -> not (compatible mode m)) others in
+      if (not conflict) && (others = [] || mode = Shared) then begin
+        held := (txn.id, mode) :: List.remove_assoc txn.id !held;
+        Granted
+      end
+      else begin
+        let blockers = List.map fst others in
+        (* Would waiting close a cycle? Then this txn is the victim. *)
+        if List.exists (fun b -> reaches t [] b txn.id) blockers then Deadlock
+        else begin
+          let existing = Option.value ~default:[] (Hashtbl.find_opt t.waits_for txn.id) in
+          Hashtbl.replace t.waits_for txn.id (List.sort_uniq Int.compare (blockers @ existing));
+          Would_block
+        end
+      end
+
+let release_all t txn =
+  Hashtbl.iter (fun _ held -> held := List.remove_assoc txn.id !held) t.locks;
+  Hashtbl.remove t.waits_for txn.id;
+  (* Drop waits-for edges pointing at the finished transaction. *)
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.waits_for [] in
+  List.iter
+    (fun k ->
+      match Hashtbl.find_opt t.waits_for k with
+      | None -> ()
+      | Some targets ->
+          let remaining = List.filter (fun id -> id <> txn.id) targets in
+          if remaining = [] then Hashtbl.remove t.waits_for k
+          else Hashtbl.replace t.waits_for k remaining)
+    keys;
+  t.active <- List.filter (fun id -> id <> txn.id) t.active
+
+let holders t resource =
+  match Hashtbl.find_opt t.locks resource with Some r -> !r | None -> []
+
+let active_transactions t = List.length t.active

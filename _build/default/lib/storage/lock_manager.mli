@@ -1,0 +1,41 @@
+(** Strict two-phase lock manager.
+
+    ESM gives MOOD "controlling data access and concurrency"; MOOD
+    itself additionally locks a class's shared object while the Function
+    Manager rebuilds it (Section 2). Transactions are explicit tokens;
+    locks are shared or exclusive on named resources (a class extent, an
+    index, a shared-object file). Conflicts either block (reported as
+    [`Would_block]) or, when a cycle arises in the waits-for graph, the
+    requester is chosen as the deadlock victim. *)
+
+type t
+
+type txn
+
+type mode = Shared | Exclusive
+
+type resource = string
+(** E.g. ["extent:Vehicle"], ["shared_object:Vehicle"]. *)
+
+type outcome = Granted | Would_block | Deadlock
+
+val create : unit -> t
+
+val begin_txn : t -> txn
+
+val txn_id : txn -> int
+
+val acquire : t -> txn -> resource -> mode -> outcome
+(** [Granted] also when the transaction already holds a compatible or
+    stronger lock (shared can be upgraded to exclusive when no other
+    holder exists). [Would_block] registers the wait and leaves the
+    waits-for edge in place; a subsequent conflicting [acquire] that
+    closes a cycle returns [Deadlock] (the requester aborts). *)
+
+val release_all : t -> txn -> unit
+(** Commit/abort: drops every lock and wait of the transaction. *)
+
+val holders : t -> resource -> (int * mode) list
+(** For inspection and tests. *)
+
+val active_transactions : t -> int

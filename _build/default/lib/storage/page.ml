@@ -1,0 +1,87 @@
+type slot = int
+
+type t = {
+  capacity : int;
+  mutable used : int;
+  mutable records : string option array;  (* None = tombstone *)
+  mutable next_slot : int;
+}
+
+let slot_overhead = 8
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Page.create: capacity <= 0";
+  { capacity; used = 0; records = Array.make 8 None; next_slot = 0 }
+
+let capacity t = t.capacity
+
+let free_space t = t.capacity - t.used
+
+let record_count t =
+  let count = ref 0 in
+  for i = 0 to t.next_slot - 1 do
+    if t.records.(i) <> None then incr count
+  done;
+  !count
+
+let fits t n = n + slot_overhead <= free_space t
+
+let ensure_room t =
+  if t.next_slot = Array.length t.records then begin
+    let fresh = Array.make (2 * Array.length t.records) None in
+    Array.blit t.records 0 fresh 0 t.next_slot;
+    t.records <- fresh
+  end
+
+let insert t payload =
+  let cost = String.length payload + slot_overhead in
+  if cost > free_space t then None
+  else begin
+    (* Reuse the first tombstone if any; otherwise extend. *)
+    let rec find i = if i >= t.next_slot then None else if t.records.(i) = None then Some i else find (i + 1) in
+    let slot =
+      match find 0 with
+      | Some i -> i
+      | None ->
+          ensure_room t;
+          let i = t.next_slot in
+          t.next_slot <- i + 1;
+          i
+    in
+    t.records.(slot) <- Some payload;
+    t.used <- t.used + cost;
+    Some slot
+  end
+
+let get t slot =
+  if slot < 0 || slot >= t.next_slot then None else t.records.(slot)
+
+let delete t slot =
+  match get t slot with
+  | None -> false
+  | Some payload ->
+      t.records.(slot) <- None;
+      t.used <- t.used - (String.length payload + slot_overhead);
+      true
+
+let update t slot payload =
+  match get t slot with
+  | None -> false
+  | Some old ->
+      let delta = String.length payload - String.length old in
+      if delta > free_space t then false
+      else begin
+        t.records.(slot) <- Some payload;
+        t.used <- t.used + delta;
+        true
+      end
+
+let iter t f =
+  for i = 0 to t.next_slot - 1 do
+    match t.records.(i) with None -> () | Some payload -> f i payload
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun slot payload -> acc := f !acc slot payload);
+  !acc

@@ -1,0 +1,46 @@
+(** Slotted pages.
+
+    A page holds variable-length records in numbered slots. Slot numbers
+    are stable across deletions (a deleted slot becomes a tombstone and
+    may be reused). Space accounting follows the declared block size:
+    each record costs its payload plus a slot-entry overhead. *)
+
+type t
+
+type slot = int
+
+val slot_overhead : int
+(** Bytes charged per record beyond the payload (slot-directory entry). *)
+
+val create : capacity:int -> t
+(** An empty page with [capacity] usable bytes. *)
+
+val capacity : t -> int
+
+val free_space : t -> int
+
+val record_count : t -> int
+(** Live (non-tombstoned) records. *)
+
+val fits : t -> int -> bool
+(** [fits page n] — can a record of [n] payload bytes be inserted? *)
+
+val insert : t -> string -> slot option
+(** Inserts a record, returning its slot, or [None] when it does not
+    fit. *)
+
+val get : t -> slot -> string option
+(** [None] for tombstoned or out-of-range slots. *)
+
+val delete : t -> slot -> bool
+(** Tombstones a slot; [false] if it was not live. *)
+
+val update : t -> slot -> string -> bool
+(** Replaces a live record in place when the new payload fits in the
+    page's remaining space (plus the old record's); [false] otherwise —
+    the caller must then delete + reinsert elsewhere. *)
+
+val iter : t -> (slot -> string -> unit) -> unit
+(** Live records in slot order. *)
+
+val fold : t -> init:'a -> f:('a -> slot -> string -> 'a) -> 'a

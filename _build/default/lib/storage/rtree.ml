@@ -1,0 +1,255 @@
+type rect = { x0 : float; y0 : float; x1 : float; y1 : float }
+
+let rect ~x0 ~y0 ~x1 ~y1 =
+  if x0 > x1 || y0 > y1 then invalid_arg "Rtree.rect: malformed rectangle";
+  { x0; y0; x1; y1 }
+
+let rect_overlaps a b = a.x0 <= b.x1 && b.x0 <= a.x1 && a.y0 <= b.y1 && b.y0 <= a.y1
+
+let rect_contains outer inner =
+  outer.x0 <= inner.x0 && outer.y0 <= inner.y0 && inner.x1 <= outer.x1
+  && inner.y1 <= outer.y1
+
+let rect_area r = (r.x1 -. r.x0) *. (r.y1 -. r.y0)
+
+let mbr a b =
+  { x0 = Float.min a.x0 b.x0;
+    y0 = Float.min a.y0 b.y0;
+    x1 = Float.max a.x1 b.x1;
+    y1 = Float.max a.y1 b.y1
+  }
+
+type 'a node = {
+  mutable bbox : rect;
+  mutable body : 'a body;
+  page : int;
+}
+
+and 'a body = Leaf of (rect * 'a) list | Branch of 'a node list
+
+type 'a t = {
+  file_id : int;
+  buffer : Buffer_pool.t;
+  max_entries : int;
+  mutable root : 'a node;
+  mutable size : int;
+  mutable next_page : int;
+}
+
+let empty_rect = { x0 = 0.; y0 = 0.; x1 = 0.; y1 = 0. }
+
+let create ~file_id ~buffer ?(max_entries = 8) () =
+  if max_entries < 4 then invalid_arg "Rtree.create: max_entries < 4";
+  { file_id;
+    buffer;
+    max_entries;
+    root = { bbox = empty_rect; body = Leaf []; page = 0 };
+    size = 0;
+    next_page = 1
+  }
+
+let touch t node =
+  Buffer_pool.access t.buffer ~file:t.file_id ~page:node.page ~intent:Buffer_pool.Random
+
+let fresh_page t =
+  let p = t.next_page in
+  t.next_page <- p + 1;
+  p
+
+let enlargement current extra = rect_area (mbr current extra) -. rect_area current
+
+(* Guttman quadratic split over abstract entries with a bbox accessor. *)
+let quadratic_split bbox_of entries =
+  let arr = Array.of_list entries in
+  let n = Array.length arr in
+  (* Pick the seed pair wasting the most area together. *)
+  let seed_a = ref 0 and seed_b = ref 1 and worst = ref neg_infinity in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let ri = bbox_of arr.(i) and rj = bbox_of arr.(j) in
+      let waste = rect_area (mbr ri rj) -. rect_area ri -. rect_area rj in
+      if waste > !worst then begin
+        worst := waste;
+        seed_a := i;
+        seed_b := j
+      end
+    done
+  done;
+  let group_a = ref [ arr.(!seed_a) ] and group_b = ref [ arr.(!seed_b) ] in
+  let box_a = ref (bbox_of arr.(!seed_a)) and box_b = ref (bbox_of arr.(!seed_b)) in
+  let rest =
+    Array.to_list
+      (Array.of_seq
+         (Seq.filter_map
+            (fun i -> if i = !seed_a || i = !seed_b then None else Some arr.(i))
+            (Seq.init n Fun.id)))
+  in
+  let assign entry =
+    let r = bbox_of entry in
+    let da = enlargement !box_a r and db = enlargement !box_b r in
+    let to_a =
+      if da < db then true
+      else if db < da then false
+      else rect_area !box_a <= rect_area !box_b
+    in
+    if to_a then begin
+      group_a := entry :: !group_a;
+      box_a := mbr !box_a r
+    end
+    else begin
+      group_b := entry :: !group_b;
+      box_b := mbr !box_b r
+    end
+  in
+  List.iter assign rest;
+  (* Strict rebalance: if one side is starved, move entries over (boxes
+     are recomputed by the caller from the final groups). *)
+  let rebalance () =
+    let need = 2 in
+    let rec move () =
+      if List.length !group_a < need && List.length !group_b > need then begin
+        match !group_b with
+        | x :: rest_b ->
+            group_a := x :: !group_a;
+            group_b := rest_b;
+            move ()
+        | [] -> ()
+      end
+      else if List.length !group_b < need && List.length !group_a > need then begin
+        match !group_a with
+        | x :: rest_a ->
+            group_b := x :: !group_b;
+            group_a := rest_a;
+            move ()
+        | [] -> ()
+      end
+    in
+    move ()
+  in
+  rebalance ();
+  (!group_a, !group_b)
+
+let entries_bbox bbox_of = function
+  | [] -> empty_rect
+  | first :: rest -> List.fold_left (fun acc e -> mbr acc (bbox_of e)) (bbox_of first) rest
+
+let recompute_bbox node =
+  node.bbox <-
+    (match node.body with
+    | Leaf entries -> entries_bbox fst entries
+    | Branch children -> entries_bbox (fun c -> c.bbox) children)
+
+(* Returns an optional split sibling. *)
+let rec insert_node t node r payload =
+  touch t node;
+  match node.body with
+  | Leaf entries ->
+      let entries = (r, payload) :: entries in
+      if List.length entries <= t.max_entries then begin
+        node.body <- Leaf entries;
+        recompute_bbox node;
+        None
+      end
+      else begin
+        let group_a, group_b = quadratic_split fst entries in
+        node.body <- Leaf group_a;
+        recompute_bbox node;
+        let sibling = { bbox = entries_bbox fst group_b; body = Leaf group_b; page = fresh_page t } in
+        Some sibling
+      end
+  | Branch children ->
+      (* Choose the child needing least enlargement (ties: smaller area). *)
+      let best =
+        List.fold_left
+          (fun acc child ->
+            let grow = enlargement child.bbox r in
+            match acc with
+            | None -> Some (child, grow)
+            | Some (_, g) when grow < g -> Some (child, grow)
+            | Some (c, g) when grow = g && rect_area child.bbox < rect_area c.bbox ->
+                Some (child, grow)
+            | Some _ -> acc)
+          None children
+      in
+      let child = match best with Some (c, _) -> c | None -> assert false in
+      let children =
+        match insert_node t child r payload with
+        | None -> children
+        | Some sibling -> sibling :: children
+      in
+      if List.length children <= t.max_entries then begin
+        node.body <- Branch children;
+        recompute_bbox node;
+        None
+      end
+      else begin
+        let group_a, group_b = quadratic_split (fun c -> c.bbox) children in
+        node.body <- Branch group_a;
+        recompute_bbox node;
+        let sibling =
+          { bbox = entries_bbox (fun c -> c.bbox) group_b;
+            body = Branch group_b;
+            page = fresh_page t
+          }
+        in
+        Some sibling
+      end
+
+let insert t r payload =
+  begin
+    match insert_node t t.root r payload with
+    | None -> ()
+    | Some sibling ->
+        let root =
+          { bbox = mbr t.root.bbox sibling.bbox;
+            body = Branch [ t.root; sibling ];
+            page = fresh_page t
+          }
+        in
+        t.root <- root
+  end;
+  t.size <- t.size + 1
+
+let search_with t window keep =
+  let out = ref [] in
+  let rec walk node =
+    touch t node;
+    if t.size > 0 && rect_overlaps node.bbox window then
+      match node.body with
+      | Leaf entries ->
+          List.iter (fun (r, v) -> if keep r then out := (r, v) :: !out) entries
+      | Branch children -> List.iter walk children
+  in
+  walk t.root;
+  !out
+
+let search t window = search_with t window (fun r -> rect_overlaps r window)
+
+let search_contained t window = search_with t window (fun r -> rect_contains window r)
+
+let size t = t.size
+
+let depth t =
+  let rec go node =
+    match node.body with
+    | Leaf _ -> 1
+    | Branch [] -> 1
+    | Branch (c :: _) -> 1 + go c
+  in
+  go t.root
+
+let render t ~show =
+  let buf = Buffer.create 256 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let rect_str r = Printf.sprintf "[%.1f,%.1f - %.1f,%.1f]" r.x0 r.y0 r.x1 r.y1 in
+  let rec walk indent node =
+    match node.body with
+    | Leaf entries ->
+        pr "%sLeaf %s (%d entries)\n" indent (rect_str node.bbox) (List.length entries);
+        List.iter (fun (r, v) -> pr "%s  %s %s\n" indent (rect_str r) (show v)) entries
+    | Branch children ->
+        pr "%sNode %s (%d children)\n" indent (rect_str node.bbox) (List.length children);
+        List.iter (walk (indent ^ "  ")) children
+  in
+  walk "" t.root;
+  Buffer.contents buf

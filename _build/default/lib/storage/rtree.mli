@@ -1,0 +1,43 @@
+(** Guttman R-tree over 2-D rectangles.
+
+    MoodView's "graphical indexing tool for the spatial data, i.e.,
+    R Trees" (Abstract). Quadratic-split insertion, window (overlap)
+    queries, and containment queries. Node visits charge one random
+    page read, like the B+-tree. *)
+
+type rect = { x0 : float; y0 : float; x1 : float; y1 : float }
+(** Axis-aligned rectangle with [x0 <= x1] and [y0 <= y1]. *)
+
+val rect : x0:float -> y0:float -> x1:float -> y1:float -> rect
+(** Raises [Invalid_argument] on a malformed rectangle. *)
+
+val rect_overlaps : rect -> rect -> bool
+
+val rect_contains : rect -> rect -> bool
+(** [rect_contains outer inner]. *)
+
+val rect_area : rect -> float
+
+val mbr : rect -> rect -> rect
+(** Minimum bounding rectangle of the pair. *)
+
+type 'a t
+
+val create : file_id:int -> buffer:Buffer_pool.t -> ?max_entries:int -> unit -> 'a t
+(** [max_entries] per node (default 8, minimum 4); min fill is half. *)
+
+val insert : 'a t -> rect -> 'a -> unit
+
+val search : 'a t -> rect -> (rect * 'a) list
+(** All entries whose rectangle overlaps the window. *)
+
+val search_contained : 'a t -> rect -> (rect * 'a) list
+(** Entries fully inside the window. *)
+
+val size : 'a t -> int
+
+val depth : 'a t -> int
+
+val render : 'a t -> show:('a -> string) -> string
+(** Text rendering of the tree structure (the MoodView "graphical
+    indexing tool" panel). *)

@@ -1,0 +1,67 @@
+type t = {
+  disk : Disk.t;
+  buffer : Buffer_pool.t;
+  locks : Lock_manager.t;
+  wal : Wal.t;
+  mutable next_file : int;
+}
+
+let page_header = 96
+
+let create ?(disk_params = Disk.default_params) ?(buffer_capacity = 256) () =
+  let disk = Disk.create ~params:disk_params () in
+  { disk;
+    buffer = Buffer_pool.create ~disk ~capacity:buffer_capacity;
+    locks = Lock_manager.create ();
+    wal = Wal.create ();
+    next_file = 0
+  }
+
+let disk t = t.disk
+
+let buffer t = t.buffer
+
+let locks t = t.locks
+
+let wal t = t.wal
+
+let page_capacity t = (Disk.params t.disk).Disk.block_size - page_header
+
+let alloc_files t n =
+  let id = t.next_file in
+  t.next_file <- id + n;
+  id
+
+let new_heap_file t ?layout () =
+  let file_id = alloc_files t 1 in
+  Heap_file.create ~file_id ~buffer:t.buffer ?layout ~page_capacity:(page_capacity t) ()
+
+let new_btree t ?order ?unique ~key_size () =
+  let file_id = alloc_files t 1 in
+  Btree.create ~file_id ~buffer:t.buffer ?order ?unique ~key_size ()
+
+let new_hash_index t ?bucket_capacity () =
+  let file_id = alloc_files t 1 in
+  Hash_index.create ~file_id ~buffer:t.buffer ?bucket_capacity ()
+
+let new_binary_join_index t =
+  let file_id = alloc_files t 2 in
+  Join_index.Binary.create ~file_id ~buffer:t.buffer ()
+
+let new_path_index t ~path =
+  let file_id = alloc_files t 1 in
+  Join_index.Path.create ~file_id ~buffer:t.buffer ~path ()
+
+let new_rtree t ?max_entries () =
+  let file_id = alloc_files t 1 in
+  Rtree.create ~file_id ~buffer:t.buffer ?max_entries ()
+
+let io_elapsed t = Disk.elapsed t.disk
+
+let reset_io t =
+  Disk.reset_counters t.disk;
+  Buffer_pool.reset_stats t.buffer
+
+let drop_cache t =
+  Buffer_pool.clear t.buffer;
+  Disk.reset_counters t.disk

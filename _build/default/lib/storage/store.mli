@@ -1,0 +1,44 @@
+(** Storage-manager facade: one simulated disk, one buffer pool, one
+    lock manager and one log, plus a file-id allocator for heap files
+    and index structures. This is the substitute for the Exodus Storage
+    Manager handle MOOD is "realized on". *)
+
+type t
+
+val create : ?disk_params:Disk.params -> ?buffer_capacity:int -> unit -> t
+(** [buffer_capacity] defaults to 256 frames. *)
+
+val disk : t -> Disk.t
+
+val buffer : t -> Buffer_pool.t
+
+val locks : t -> Lock_manager.t
+
+val wal : t -> Wal.t
+
+val page_capacity : t -> int
+(** Usable record bytes per page: block size minus a fixed header. *)
+
+val new_heap_file : t -> ?layout:Heap_file.layout -> unit -> Heap_file.t
+
+val new_btree :
+  t -> ?order:int -> ?unique:bool -> key_size:int -> unit -> 'a Btree.t
+
+val new_hash_index : t -> ?bucket_capacity:int -> unit -> 'a Hash_index.t
+
+val new_binary_join_index : t -> Join_index.Binary.t
+
+val new_path_index : t -> path:string list -> Join_index.Path.t
+
+val new_rtree : t -> ?max_entries:int -> unit -> 'a Rtree.t
+
+val io_elapsed : t -> float
+(** Modeled seconds spent in I/O since the last reset. *)
+
+val reset_io : t -> unit
+(** Clears disk counters and buffer statistics (buffered pages remain
+    resident). *)
+
+val drop_cache : t -> unit
+(** Empties the buffer pool entirely (cold-start measurements), without
+    write-back; also resets counters. *)

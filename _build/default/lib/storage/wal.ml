@@ -1,0 +1,59 @@
+type record =
+  | Begin of int
+  | Commit of int
+  | Abort of int
+  | Insert of { txn : int; file : int; rid : Heap_file.rid; payload : string }
+  | Delete of { txn : int; file : int; rid : Heap_file.rid; before : string }
+  | Update of { txn : int; file : int; rid : Heap_file.rid; before : string; after : string }
+  | Checkpoint of int list
+
+type t = { mutable log : record list (* newest first *); mutable count : int; mutable persisted : int }
+
+let create () = { log = []; count = 0; persisted = 0 }
+
+let append t record =
+  t.log <- record :: t.log;
+  t.count <- t.count + 1;
+  t.count
+
+let flush t = t.persisted <- t.count
+
+let lose_unpersisted t =
+  let lost = t.count - t.persisted in
+  if lost > 0 then begin
+    let rec drop n l = if n = 0 then l else match l with [] -> [] | _ :: rest -> drop (n - 1) rest in
+    t.log <- drop lost t.log;
+    t.count <- t.persisted
+  end;
+  lost
+
+let records t = List.rev t.log
+
+let length t = t.count
+
+let txn_of = function
+  | Begin id | Commit id | Abort id -> Some id
+  | Insert { txn; _ } | Delete { txn; _ } | Update { txn; _ } -> Some txn
+  | Checkpoint _ -> None
+
+let replay t ~apply =
+  let persisted = records t in
+  let committed =
+    List.filter_map (function Commit id -> Some id | _ -> None) persisted
+  in
+  let committed id = List.mem id committed in
+  List.iter
+    (fun record ->
+      match record with
+      | Insert { txn; _ } | Delete { txn; _ } | Update { txn; _ } ->
+          if committed txn then apply record
+      | Begin _ | Commit _ | Abort _ | Checkpoint _ -> ())
+    persisted
+
+let undo_records t txn =
+  List.filter
+    (fun record ->
+      match record, txn_of record with
+      | (Insert _ | Delete _ | Update _), Some id -> id = txn
+      | _, _ -> false)
+    t.log

@@ -1,0 +1,49 @@
+(** Write-ahead log with redo recovery and backup/restore.
+
+    ESM supplies "backup and recovery of data"; this substitute logs
+    logical record operations against heap files, supports checkpoints,
+    and can rebuild file contents by replay. The log is an in-memory
+    sequence with an explicit [persisted] watermark so tests can model a
+    crash that loses the unpersisted tail. *)
+
+type t
+
+type record =
+  | Begin of int                       (** transaction id *)
+  | Commit of int
+  | Abort of int
+  | Insert of { txn : int; file : int; rid : Heap_file.rid; payload : string }
+  | Delete of { txn : int; file : int; rid : Heap_file.rid; before : string }
+  | Update of { txn : int; file : int; rid : Heap_file.rid; before : string; after : string }
+  | Checkpoint of int list             (** active transactions *)
+
+val create : unit -> t
+
+val append : t -> record -> int
+(** Appends and returns the LSN. *)
+
+val flush : t -> unit
+(** Moves the persisted watermark to the end of the log (force at
+    commit). *)
+
+val lose_unpersisted : t -> int
+(** Simulates a crash: truncates the log at the watermark, returning the
+    number of records lost. *)
+
+val records : t -> record list
+(** Persisted and unpersisted records, oldest first. *)
+
+val length : t -> int
+
+val replay :
+  t ->
+  apply:(record -> unit) ->
+  unit
+(** Redo pass: feeds every persisted record belonging to a *committed*
+    transaction to [apply], in log order. Records of transactions with
+    no persisted [Commit] are skipped (their effects must not survive),
+    as are [Begin]/[Commit]/[Abort]/[Checkpoint] markers. *)
+
+val undo_records : t -> int -> record list
+(** The data records of the given transaction, newest first — what an
+    abort must compensate. *)

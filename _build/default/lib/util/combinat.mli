@@ -1,0 +1,51 @@
+(** Combinatorial estimators used throughout the MOOD cost model.
+
+    The query optimizer of the paper rests on three families of
+    "balls-into-bins" estimators: the piecewise-linear color
+    approximation [Cer 85] (the paper's [c(n,m,r)]), the exact block
+    access formulas of Yao [Yao 77] and Cardenas [Car 75] kept here for
+    validation benches, and the overlap probability [o(t,x,y)] of
+    Section 4.1. *)
+
+val ln_factorial : int -> float
+(** [ln_factorial n] is [ln (n!)], computed via the log-gamma function so
+    that it never overflows. Raises [Invalid_argument] for negative [n]. *)
+
+val ln_choose : int -> int -> float
+(** [ln_choose n k] is [ln (C(n,k))]. It is [neg_infinity] when the
+    combination is empty ([k < 0] or [k > n]). *)
+
+val choose : int -> int -> float
+(** [choose n k] is the binomial coefficient as a float (possibly
+    [infinity] for huge arguments). *)
+
+val c_approx : n:int -> m:int -> r:int -> float
+(** The paper's [c(n,m,r)]: an approximation to the expected number of
+    distinct colors hit when [r] objects are chosen out of [n] objects
+    uniformly distributed over [m] colors [Cer 85]:
+    [r] when [r < m/2]; [(r + m) / 3] when [m/2 <= r < 2m]; [m] when
+    [r >= 2m]. Degenerate inputs ([m <= 0] or [r <= 0]) yield [0.]. *)
+
+val yao : n:int -> m:int -> r:int -> float
+(** Exact expected number of blocks hit by Yao's formula [Yao 77]:
+    [m * (1 - prod_{i=1..r} (n - n/m - i + 1) / (n - i + 1))] for [r]
+    records selected without replacement from [n] records packed [n/m]
+    to a block. *)
+
+val cardenas : m:int -> r:int -> float
+(** Cardenas' with-replacement approximation [Car 75]:
+    [m * (1 - (1 - 1/m)^r)]. *)
+
+val overlap_probability : t:int -> x:float -> y:float -> float
+(** The paper's [o(t,x,y)]: probability that two subsets of cardinalities
+    [x] and [y], drawn from [t] distinct objects, intersect:
+    [1 - C(t-x, y) / C(t, y)]. The cardinalities arrive as floats because
+    the optimizer feeds expected (fractional) set sizes; we evaluate the
+    ratio with log-gamma so fractional arguments are well defined.
+    Results are clamped to [0, 1]; degenerate inputs ([t <= 0]) give 1
+    when both sets are non-empty. *)
+
+val distinct_pages : pages:int -> hits:int -> float
+(** [distinct_pages ~pages ~hits] is the Cardenas estimate
+    [pages * (1 - (1 - 1/pages)^hits)] used in the forward-traversal and
+    hash-partition cost formulas of Section 6 (their [nbpg] terms). *)

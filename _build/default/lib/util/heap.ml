@@ -1,0 +1,99 @@
+type 'a t = { cmp : 'a -> 'a -> int; mutable data : 'a array; mutable size : int }
+
+let create ~cmp = { cmp; data = [||]; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let grow t element =
+  let capacity = Array.length t.data in
+  if t.size = capacity then begin
+    let fresh = Array.make (max 8 (2 * capacity)) element in
+    Array.blit t.data 0 fresh 0 t.size;
+    t.data <- fresh
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && t.cmp t.data.(left) t.data.(!smallest) < 0 then
+    smallest := left;
+  if right < t.size && t.cmp t.data.(right) t.data.(!smallest) < 0 then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t x =
+  grow t x;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek_min t = if t.size = 0 then None else Some t.data.(0)
+
+let pop_min t =
+  if t.size = 0 then None
+  else begin
+    let min = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some min
+  end
+
+let of_list ~cmp xs =
+  let t = create ~cmp in
+  List.iter (add t) xs;
+  t
+
+let drain t =
+  let rec loop acc =
+    match pop_min t with None -> List.rev acc | Some x -> loop (x :: acc)
+  in
+  loop []
+
+let sort_list ~cmp xs = drain (of_list ~cmp xs)
+
+let merge_sorted ~cmp runs =
+  (* Heap of (head, rest) pairs ordered by head. *)
+  let head_cmp (x, _) (y, _) = cmp x y in
+  let t = create ~cmp:head_cmp in
+  let push = function [] -> () | x :: rest -> add t (x, rest) in
+  List.iter push runs;
+  let rec loop acc =
+    match pop_min t with
+    | None -> List.rev acc
+    | Some (x, rest) ->
+        push rest;
+        loop (x :: acc)
+  in
+  loop []
+
+let sort_with_runs ~cmp ~run_length xs =
+  if run_length <= 0 then invalid_arg "Heap.sort_with_runs: run_length <= 0";
+  let rec split acc current n = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | x :: rest ->
+        if n = run_length then split (List.rev current :: acc) [ x ] 1 rest
+        else split acc (x :: current) (n + 1) rest
+  in
+  let runs = split [] [] 0 xs in
+  merge_sorted ~cmp (List.map (sort_list ~cmp) runs)

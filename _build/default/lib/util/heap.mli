@@ -1,0 +1,37 @@
+(** Binary min-heap over an arbitrary ordering.
+
+    This is the heap behind the algebra's only sort method — "heap sort
+    with merging" (Section 3.2, the [Sort] operator): collections are
+    heapified in bounded runs and the runs merged with a heap of run
+    heads. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** An empty heap ordered by [cmp] (minimum first). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+
+val pop_min : 'a t -> 'a option
+(** Removes and returns the minimum, or [None] when empty. *)
+
+val peek_min : 'a t -> 'a option
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+
+val sort_list : cmp:('a -> 'a -> int) -> 'a list -> 'a list
+(** Heap sort: pushes everything and pops in order. Stable only up to
+    [cmp]; duplicates are preserved (no duplicate elimination, matching
+    the paper's [Sort]). *)
+
+val merge_sorted : cmp:('a -> 'a -> int) -> 'a list list -> 'a list
+(** K-way merge of already-sorted runs using a heap of run heads. *)
+
+val sort_with_runs : cmp:('a -> 'a -> int) -> run_length:int -> 'a list -> 'a list
+(** Heap sort with merging: sorts bounded runs with a heap, then k-way
+    merges them — the external-sort shape the paper names. Raises
+    [Invalid_argument] if [run_length <= 0]. *)

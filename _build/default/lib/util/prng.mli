@@ -1,0 +1,26 @@
+(** Deterministic splittable pseudo-random generator (SplitMix64).
+
+    The workload generators must be reproducible across runs and across
+    machines, so they never touch [Random]'s global state; every
+    generator threads one of these. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** An independent stream derived from [t]; both remain usable. *)
+
+val int : t -> bound:int -> int
+(** Uniform in [0, bound). Raises [Invalid_argument] if [bound <= 0]. *)
+
+val float : t -> bound:float -> float
+(** Uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,39 @@
+type t = { header : string list; mutable rows : string list list }
+
+let create ~header = { header; rows = [] }
+
+let add_row t row =
+  let width = List.length t.header in
+  let n = List.length row in
+  if n > width then invalid_arg "Text_table.add_row: row wider than header";
+  let padded = row @ List.init (width - n) (fun _ -> "") in
+  t.rows <- padded :: t.rows
+
+let column_widths t =
+  let widths = Array.of_list (List.map String.length t.header) in
+  let account row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter account t.rows;
+  widths
+
+let pad width s = s ^ String.make (width - String.length s) ' '
+
+let render t =
+  let widths = column_widths t in
+  let line cells sep =
+    cells
+    |> List.mapi (fun i cell -> pad widths.(i) cell)
+    |> String.concat sep
+  in
+  let rule =
+    Array.to_list widths
+    |> List.map (fun w -> String.make w '-')
+    |> String.concat "-+-"
+  in
+  let body = List.rev_map (fun row -> line row " | ") t.rows in
+  String.concat "\n" (line t.header " | " :: rule :: body)
+
+let print t =
+  print_string (render t);
+  print_newline ()

@@ -1,0 +1,25 @@
+(** Fixed-width text tables.
+
+    Used everywhere a paper table or a MoodView panel is rendered: the
+    benches print paper-vs-measured rows with it, and the text MoodView
+    uses it for class/object presentations. *)
+
+type t
+
+val create : header:string list -> t
+(** A table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row. Rows shorter than the header are padded with empty
+    cells; longer rows raise [Invalid_argument]. *)
+
+val render : t -> string
+(** Renders with a header separator and column-width alignment, e.g.
+    {v
+    Class   | |C|   | nbpages
+    --------+-------+--------
+    Vehicle | 20000 | 2000
+    v} *)
+
+val print : t -> unit
+(** [render] followed by [print_string] and a newline. *)

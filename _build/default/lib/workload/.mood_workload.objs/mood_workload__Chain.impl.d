@@ -1,0 +1,1 @@
+lib/workload/chain.ml: Array List Mood_catalog Mood_model Mood_util

@@ -1,0 +1,1 @@
+lib/workload/chain.mli: Mood_catalog Mood_model

@@ -1,0 +1,1 @@
+lib/workload/vehicle.ml: Array Mood_catalog Mood_cost Mood_model Mood_util Printf

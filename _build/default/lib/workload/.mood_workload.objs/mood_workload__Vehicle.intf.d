@@ -1,0 +1,1 @@
+lib/workload/vehicle.mli: Mood_catalog Mood_cost Mood_model

@@ -1,0 +1,97 @@
+module Catalog = Mood_catalog.Catalog
+module Mtype = Mood_model.Mtype
+module Value = Mood_model.Value
+module Oid = Mood_model.Oid
+module Prng = Mood_util.Prng
+
+type spec = {
+  prefix : string;
+  head_cardinality : int;
+  depth : int;
+  fan : int;
+  sharing : int;
+  distinct_values : int;
+  seed : int;
+}
+
+let default =
+  { prefix = "P";
+    head_cardinality = 1000;
+    depth = 3;
+    fan = 1;
+    sharing = 2;
+    distinct_values = 50;
+    seed = 7
+  }
+
+type built = {
+  class_names : string list;
+  heads : Oid.t array;
+  cardinalities : int list;
+}
+
+let class_name spec i = spec.prefix ^ string_of_int i
+
+let cardinality spec i =
+  let rec go k card =
+    if k = 0 then card else go (k - 1) (max 1 (card * spec.fan / spec.sharing))
+  in
+  go i spec.head_cardinality
+
+let path_attrs spec = List.init (spec.depth - 1) (fun _ -> "next") @ [ "v" ]
+
+let build ~catalog spec =
+  if spec.depth < 2 then invalid_arg "Chain.build: depth < 2";
+  if spec.fan < 1 || spec.sharing < 1 then invalid_arg "Chain.build: fan/sharing < 1";
+  let rng = Prng.create ~seed:spec.seed in
+  (* Define classes tail-first so REFERENCE targets exist. *)
+  let last = spec.depth - 1 in
+  ignore
+    (Catalog.define_class catalog ~name:(class_name spec last)
+       ~attributes:[ ("v", Mtype.Basic Mtype.Integer) ]
+       ());
+  for i = last - 1 downto 0 do
+    let next_ty =
+      let reference = Mtype.Reference (class_name spec (i + 1)) in
+      if spec.fan = 1 then reference else Mtype.Set reference
+    in
+    ignore
+      (Catalog.define_class catalog ~name:(class_name spec i)
+         ~attributes:[ ("next", next_ty) ]
+         ())
+  done;
+  (* Populate tail-first. *)
+  let tail_card = cardinality spec last in
+  let tail =
+    Array.init tail_card (fun _ ->
+        Catalog.insert_object catalog ~class_name:(class_name spec last)
+          (Value.Tuple [ ("v", Value.Int (Prng.int rng ~bound:spec.distinct_values)) ]))
+  in
+  let rec populate i below =
+    if i < 0 then below
+    else begin
+      let card = cardinality spec i in
+      let n_below = Array.length below in
+      let members =
+        Array.init card (fun j ->
+            let refs =
+              List.init spec.fan (fun k ->
+                  (* Deterministic sharing: consecutive parents share
+                     children; extra fan spreads across the target. *)
+                  let idx = ((j / spec.sharing) + (k * ((n_below / max 1 spec.fan) + 1))) mod n_below in
+                  Value.Ref below.(idx))
+            in
+            let next_value =
+              match refs with [ one ] when spec.fan = 1 -> one | _ -> Value.set refs
+            in
+            Catalog.insert_object catalog ~class_name:(class_name spec i)
+              (Value.Tuple [ ("next", next_value) ]))
+      in
+      if i = 0 then members else populate (i - 1) members
+    end
+  in
+  let heads = populate (last - 1) tail in
+  { class_names = List.init spec.depth (class_name spec);
+    heads = (if spec.depth = 1 then tail else heads);
+    cardinalities = List.init spec.depth (cardinality spec)
+  }

@@ -1,0 +1,40 @@
+(** Parameterized reference-chain workloads for the benches.
+
+    Builds a schema [P0 -> P1 -> ... -> P(n-1)] where each class [Pi]
+    references the next through attribute [next] (single reference, or
+    a set of references when [fan > 1]) and the last class carries an
+    integer attribute [val] with a controlled number of distinct
+    values. [sharing] controls [totref]: each [P(i+1)] object is
+    referenced by [sharing] objects of [Pi], so
+    [|P(i+1)| = |Pi| * fan / sharing]. This is the knob set behind the
+    selectivity-accuracy, join-method-crossover and path-ordering
+    benches. *)
+
+type spec = {
+  prefix : string;       (** class-name prefix, e.g. ["P"] *)
+  head_cardinality : int;
+  depth : int;           (** number of classes, >= 2 *)
+  fan : int;             (** references per object, >= 1 *)
+  sharing : int;         (** objects sharing each target, >= 1 *)
+  distinct_values : int; (** [dist] of the terminal [val] attribute *)
+  seed : int;
+}
+
+val default : spec
+(** [P], 1000 head objects, depth 3, fan 1, sharing 2, 50 distinct
+    values, seed 7. *)
+
+type built = {
+  class_names : string list;            (** head first *)
+  heads : Mood_model.Oid.t array;       (** head-class objects *)
+  cardinalities : int list;
+}
+
+val build : catalog:Mood_catalog.Catalog.t -> spec -> built
+(** Defines the classes (names [prefix ^ string_of_int i]; they must
+    not already exist) and populates them tail-first so references
+    resolve. *)
+
+val path_attrs : spec -> string list
+(** The attribute path from the head class to the terminal value:
+    [next.next...val]. *)

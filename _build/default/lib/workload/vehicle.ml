@@ -1,0 +1,147 @@
+module Catalog = Mood_catalog.Catalog
+module Mtype = Mood_model.Mtype
+module Value = Mood_model.Value
+module Oid = Mood_model.Oid
+module Stats = Mood_cost.Stats
+module Prng = Mood_util.Prng
+
+let basic b = Mtype.Basic b
+
+let define_schema catalog =
+  let define = Catalog.define_class catalog in
+  ignore
+    (define ~name:"Employee"
+       ~attributes:
+         [ ("ssno", basic Mtype.Integer);
+           ("name", basic (Mtype.String 32));
+           ("age", basic Mtype.Integer)
+         ]
+       ());
+  ignore
+    (define ~name:"Company"
+       ~attributes:
+         [ ("name", basic (Mtype.String 32));
+           ("location", basic (Mtype.String 32));
+           ("president", Mtype.Reference "Employee")
+         ]
+       ());
+  ignore
+    (define ~name:"VehicleEngine"
+       ~attributes:
+         [ ("size", basic Mtype.Integer); ("cylinders", basic Mtype.Integer) ]
+       ());
+  ignore
+    (define ~name:"VehicleDriveTrain"
+       ~attributes:
+         [ ("engine", Mtype.Reference "VehicleEngine");
+           ("transmission", basic (Mtype.String 32))
+         ]
+       ());
+  ignore
+    (define ~name:"Vehicle"
+       ~attributes:
+         [ ("id", basic Mtype.Integer);
+           ("weight", basic Mtype.Integer);
+           ("drivetrain", Mtype.Reference "VehicleDriveTrain");
+           ("company", Mtype.Reference "Company")
+         ]
+       ~methods:
+         [ { Catalog.method_name = "lbweight"; parameters = []; return_type = basic Mtype.Integer };
+           { Catalog.method_name = "weight"; parameters = []; return_type = basic Mtype.Integer }
+         ]
+       ());
+  ignore (define ~name:"Automobile" ~superclasses:[ "Vehicle" ] ());
+  ignore (define ~name:"JapaneseAuto" ~superclasses:[ "Automobile" ] ())
+
+let paper_stats () =
+  let stats = Stats.create () in
+  (* Table 13 *)
+  Stats.set_class stats "Vehicle" { Stats.cardinality = 20000; nbpages = 2000; obj_size = 400 };
+  Stats.set_class stats "VehicleDriveTrain"
+    { Stats.cardinality = 10000; nbpages = 750; obj_size = 300 };
+  Stats.set_class stats "VehicleEngine"
+    { Stats.cardinality = 10000; nbpages = 5000; obj_size = 2000 };
+  Stats.set_class stats "Company"
+    { Stats.cardinality = 200000; nbpages = 2500; obj_size = 500 };
+  (* Table 14 *)
+  Stats.set_attr stats ~cls:"VehicleEngine" ~attr:"cylinders"
+    { Stats.dist = 16; max_value = Some 32.; min_value = Some 2.; notnull = 1. };
+  Stats.set_attr stats ~cls:"Company" ~attr:"name"
+    { Stats.dist = 200000; max_value = None; min_value = None; notnull = 1. };
+  (* Table 15 — the paper's "manufacturer" row carried on [company] *)
+  Stats.set_ref stats ~cls:"Vehicle" ~attr:"drivetrain"
+    { Stats.target = "VehicleDriveTrain"; fan = 1.; totref = 10000 };
+  Stats.set_ref stats ~cls:"Vehicle" ~attr:"company"
+    { Stats.target = "Company"; fan = 1.; totref = 20000 };
+  Stats.set_ref stats ~cls:"VehicleDriveTrain" ~attr:"engine"
+    { Stats.target = "VehicleEngine"; fan = 1.; totref = 10000 };
+  stats
+
+type generated = {
+  vehicles : Oid.t array;
+  drivetrains : Oid.t array;
+  engines : Oid.t array;
+  companies : Oid.t array;
+}
+
+let transmissions = [| "AUTOMATIC"; "MANUAL" |]
+
+let locations = [| "Ankara"; "Munich"; "Tokyo"; "Detroit"; "Istanbul" |]
+
+let generate ~catalog ?(scale = 0.01) ?(seed = 42) () =
+  let rng = Prng.create ~seed in
+  let n_vehicles = max 2 (int_of_float (20000. *. scale)) in
+  let n_drivetrains = max 1 (n_vehicles / 2) in
+  let n_engines = n_drivetrains in
+  let n_companies = max n_vehicles (int_of_float (200000. *. scale)) in
+  let insert cls value = Catalog.insert_object catalog ~class_name:cls value in
+  let engines =
+    Array.init n_engines (fun i ->
+        insert "VehicleEngine"
+          (Value.Tuple
+             [ ("size", Value.Int (1000 + (100 * (i mod 30))));
+               (* cylinders uniform over 16 distinct even values 2..32 *)
+               ("cylinders", Value.Int (2 * (1 + Prng.int rng ~bound:16)))
+             ]))
+  in
+  let drivetrains =
+    Array.init n_drivetrains (fun i ->
+        insert "VehicleDriveTrain"
+          (Value.Tuple
+             [ ("engine", Value.Ref engines.(i));
+               ("transmission", Value.Str (Prng.pick rng transmissions))
+             ]))
+  in
+  let companies =
+    Array.init n_companies (fun i ->
+        insert "Company"
+          (Value.Tuple
+             [ ("name", Value.Str (Printf.sprintf "Company-%06d" i));
+               ("location", Value.Str (Prng.pick rng locations));
+               ("president", Value.Null)
+             ]))
+  in
+  (* Vehicles: two per drivetrain, each referencing a distinct company
+     (totref(company) = |Vehicle|, hitprb = |Vehicle|/|Company|). The
+     drivetrain assignment is scattered with a prime stride so pointer
+     chasing has no artificial page locality (each drivetrain is still
+     shared by exactly two vehicles when the stride is coprime). *)
+  let classes = [| "Vehicle"; "Automobile"; "JapaneseAuto" |] in
+  let stride = if n_drivetrains mod 7919 = 0 then 7433 else 7919 in
+  let vehicles =
+    Array.init n_vehicles (fun i ->
+        insert classes.(i mod 3)
+          (Value.Tuple
+             [ ("id", Value.Int i);
+               ("weight", Value.Int (800 + Prng.int rng ~bound:2200));
+               ("drivetrain", Value.Ref drivetrains.(i * stride mod n_drivetrains));
+               ("company", Value.Ref companies.(i))
+             ]))
+  in
+  { vehicles; drivetrains; engines; companies }
+
+let example_81 =
+  "Select v From Vehicle v where v.company.name = 'BMW' and \
+   v.drivetrain.engine.cylinders = 2"
+
+let example_82 = "Select v From Vehicle v Where v.drivetrain.engine.cylinders = 2"

@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Format Hashtbl List Mood_algebra Mood_model Option

@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Array Float List Mood_catalog Mood_cost Mood_model Mood_storage Mood_workload String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest List Mood Mood_catalog Mood_executor Mood_funcmgr Mood_model Mood_storage Mood_workload String

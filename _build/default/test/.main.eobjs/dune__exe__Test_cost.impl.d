@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Float Format List Mood_cost Mood_storage Mood_workload Option Printf

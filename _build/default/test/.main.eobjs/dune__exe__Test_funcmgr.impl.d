@@ -1,0 +1,1 @@
+test/test_funcmgr.ml: Alcotest Array Float Hashtbl Int64 Mood_catalog Mood_funcmgr Mood_model Mood_storage Mood_workload Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Hashtbl Int64 List Mood_model Printf QCheck QCheck_alcotest String

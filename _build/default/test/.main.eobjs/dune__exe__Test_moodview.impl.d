@@ -1,0 +1,1 @@
+test/test_moodview.ml: Alcotest List Mood Mood_catalog Mood_model Mood_moodview Mood_storage Mood_workload String

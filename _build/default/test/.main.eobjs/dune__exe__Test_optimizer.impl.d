@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Float Format Fun List Mood_catalog Mood_cost Mood_model Mood_optimizer Mood_sql Mood_storage Mood_workload Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Fun List Mood_catalog Mood_model Mood_sql Mood_storage Mood_workload Option Printf QCheck QCheck_alcotest String

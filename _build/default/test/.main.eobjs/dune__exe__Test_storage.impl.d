@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Float Int List Mood_model Mood_storage Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float List Mood Mood_catalog Mood_cost Mood_executor Mood_model Mood_workload Printf

@@ -1,0 +1,321 @@
+(* Tests for the MOOD algebra: the return-type tables (Tables 1-7) and
+   operator semantics (Section 3.2). *)
+
+module Collection = Mood_algebra.Collection
+module Ops = Mood_algebra.Ops
+module Value = Mood_model.Value
+module Oid = Mood_model.Oid
+
+let oid i = Oid.make ~class_id:7 ~slot:i
+
+(* A tiny in-memory object store as the evaluation context. *)
+let store : (Oid.t, Value.t) Hashtbl.t = Hashtbl.create 16
+
+let ctx =
+  { Collection.deref = (fun o -> Hashtbl.find_opt store o);
+    type_of = (fun o -> if Hashtbl.mem store o then 7 else -1)
+  }
+
+let put i v =
+  Hashtbl.replace store (oid i) v;
+  oid i
+
+let reset () = Hashtbl.reset store
+
+let tuple n = Value.Tuple [ ("n", Value.Int n) ]
+
+let populate count = List.init count (fun i -> put i (tuple i))
+
+let kind = Collection.kind
+
+let check_kind msg expected c = Alcotest.(check string) msg expected (Collection.kind_name (kind c))
+
+(* ---------------- Select: Table 1 ---------------- *)
+
+let test_select_return_types () =
+  reset ();
+  let os = populate 4 in
+  let extent = Collection.of_objects (List.map (fun o -> (o, Option.get (ctx.Collection.deref o))) os) in
+  let always _ = true in
+  check_kind "Extent -> Extent" "Extent" (Ops.select ctx extent always);
+  check_kind "Set -> Set" "Set" (Ops.select ctx (Collection.set_of os) always);
+  check_kind "List -> List" "List" (Ops.select ctx (Collection.List os) always);
+  check_kind "Named -> Named" "Named Obj." (Ops.select ctx (Collection.Named (List.hd os)) always)
+
+let test_select_semantics () =
+  reset ();
+  let os = populate 10 in
+  let even (item : Collection.item) =
+    match Value.tuple_get item.Collection.value "n" with
+    | Some (Value.Int n) -> n mod 2 = 0
+    | _ -> false
+  in
+  Alcotest.(check int) "filtered" 5
+    (Collection.cardinality (Ops.select ctx (Collection.set_of os) even));
+  (* failing named object collapses to an empty set *)
+  let odd_named = Ops.select ctx (Collection.Named (oid 1)) even in
+  Alcotest.(check int) "failing named empty" 0 (Collection.cardinality odd_named)
+
+(* ---------------- Join: Table 2 ---------------- *)
+
+let test_join_return_types () =
+  reset ();
+  let os = populate 3 in
+  let items = List.map (fun o -> (o, Option.get (ctx.Collection.deref o))) os in
+  let extent = Collection.of_objects items in
+  let set = Collection.set_of os and lst = Collection.List os and named = Collection.Named (List.hd os) in
+  let always _ _ = true in
+  let join a b = Ops.join ctx a b always ~left_name:"l" ~right_name:"r" in
+  (* Table 2, row = arg2, column = arg1; Extent anywhere -> Extent *)
+  List.iter
+    (fun (a, b) -> check_kind "extent row/col" "Extent" (join a b))
+    [ (extent, extent); (extent, set); (extent, lst); (extent, named);
+      (set, extent); (lst, extent); (named, extent)
+    ];
+  check_kind "Set x Set" "Set" (join set set);
+  check_kind "Set x List" "Set" (join set lst);
+  check_kind "List x Set" "Set" (join lst set);
+  check_kind "List x List" "List" (join lst lst);
+  check_kind "List x Named" "List" (join lst named);
+  check_kind "Named x Set" "Set" (join named set);
+  check_kind "Named x List" "List" (join named lst);
+  check_kind "Named x Named" "Named Obj." (join named named)
+
+let test_join_binding_tuples () =
+  reset ();
+  let left = put 0 (Value.Tuple [ ("k", Value.Int 1) ]) in
+  let right1 = put 1 (Value.Tuple [ ("k", Value.Int 1) ]) in
+  let right2 = put 2 (Value.Tuple [ ("k", Value.Int 2) ]) in
+  let le = Collection.of_objects [ (left, Option.get (ctx.Collection.deref left)) ] in
+  let re =
+    Collection.of_objects
+      [ (right1, Option.get (ctx.Collection.deref right1));
+        (right2, Option.get (ctx.Collection.deref right2))
+      ]
+  in
+  let same_k (a : Collection.item) (b : Collection.item) =
+    Value.tuple_get a.Collection.value "k" = Value.tuple_get b.Collection.value "k"
+  in
+  match Ops.join ctx le re same_k ~left_name:"a" ~right_name:"b" with
+  | Collection.Extent [ { Collection.value = Value.Tuple [ ("a", Value.Ref l); ("b", Value.Ref r) ]; _ } ] ->
+      Alcotest.(check bool) "left bound" true (Oid.equal l left);
+      Alcotest.(check bool) "right bound" true (Oid.equal r right1)
+  | c -> Alcotest.failf "unexpected result %s" (Format.asprintf "%a" Collection.pp c)
+
+(* ---------------- DupElim: Table 3 ---------------- *)
+
+let test_dup_elim () =
+  reset ();
+  ignore (populate 3);
+  (match Ops.dup_elim ctx (Collection.set_of [ oid 0 ]) with
+  | exception Ops.Not_applicable _ -> ()
+  | _ -> Alcotest.fail "DupElim(Set) must be not applicable");
+  (match Ops.dup_elim ctx (Collection.List [ oid 2; oid 0; oid 2; oid 1 ]) with
+  | Collection.List os ->
+      Alcotest.(check int) "ordered distinct" 3 (List.length os);
+      Alcotest.(check bool) "sorted" true (os = List.sort Oid.compare os)
+  | _ -> Alcotest.fail "expected a list");
+  (* extent: deep-equality duplicates vanish even across distinct oids *)
+  let a = put 10 (tuple 42) and b = put 11 (tuple 42) in
+  let extent =
+    Collection.of_objects
+      [ (a, Option.get (ctx.Collection.deref a)); (b, Option.get (ctx.Collection.deref b)) ]
+  in
+  Alcotest.(check int) "deep equality dedup" 1
+    (Collection.cardinality (Ops.dup_elim ctx extent))
+
+(* ---------------- Union/Intersection/Difference: Table 4 ---------------- *)
+
+let test_set_operators () =
+  reset ();
+  ignore (populate 6);
+  let s1 = Collection.set_of [ oid 0; oid 1; oid 2 ] in
+  let s2 = Collection.set_of [ oid 2; oid 3 ] in
+  let l1 = Collection.List [ oid 0; oid 1 ] and l2 = Collection.List [ oid 1; oid 4 ] in
+  check_kind "set u set" "Set" (Ops.union ctx s1 s2);
+  check_kind "set u list" "Set" (Ops.union ctx s1 l2);
+  check_kind "list u set" "Set" (Ops.union ctx l1 s2);
+  check_kind "list u list = concat" "List" (Ops.union ctx l1 l2);
+  (match Ops.union ctx l1 l2 with
+  | Collection.List os -> Alcotest.(check int) "concatenation keeps dups" 4 (List.length os)
+  | _ -> Alcotest.fail "expected list");
+  Alcotest.(check int) "union set" 4 (Collection.cardinality (Ops.union ctx s1 s2));
+  Alcotest.(check int) "intersection" 1 (Collection.cardinality (Ops.intersection ctx s1 s2));
+  Alcotest.(check int) "difference" 2 (Collection.cardinality (Ops.difference ctx s1 s2));
+  match Ops.union ctx s1 (Collection.Named (oid 0)) with
+  | exception Ops.Not_applicable _ -> ()
+  | _ -> Alcotest.fail "union with a named object must be rejected"
+
+(* ---------------- Conversions: Tables 5-6 ---------------- *)
+
+let test_conversions () =
+  reset ();
+  let os = populate 3 in
+  let items = List.map (fun o -> (o, Option.get (ctx.Collection.deref o))) os in
+  let extent = Collection.of_objects items in
+  check_kind "asSet(extent)" "Set" (Ops.as_set extent);
+  check_kind "asSet(list)" "Set" (Ops.as_set (Collection.List os));
+  check_kind "asSet(named)" "Set" (Ops.as_set (Collection.Named (oid 0)));
+  check_kind "asList(extent)" "List" (Ops.as_list extent);
+  check_kind "asList(set)" "List" (Ops.as_list (Collection.set_of os));
+  check_kind "asExtent(set)" "Extent" (Ops.as_extent ctx (Collection.set_of os));
+  check_kind "asExtent(list)" "Extent" (Ops.as_extent ctx (Collection.List os));
+  (match Ops.as_extent ctx extent with
+  | exception Ops.Not_applicable _ -> ()
+  | _ -> Alcotest.fail "asExtent(extent) must be rejected");
+  (* dereferencing happens *)
+  match Ops.as_extent ctx (Collection.set_of os) with
+  | Collection.Extent items -> Alcotest.(check int) "dereferenced" 3 (List.length items)
+  | _ -> Alcotest.fail "expected extent"
+
+(* ---------------- Unnest / Nest / Flatten: Table 7 ---------------- *)
+
+let test_unnest_paper_example () =
+  reset ();
+  (* e = {<o1, {o2, o3}>, <o4, {o5}>}; Unnest(e) = {<o1,o2>, <o1,o3>, <o4,o5>} *)
+  let o2 = put 2 (tuple 2) and o3 = put 3 (tuple 3) and o5 = put 5 (tuple 5) in
+  let row1 = Value.Tuple [ ("head", Value.Int 1); ("members", Value.set [ Value.Ref o2; Value.Ref o3 ]) ] in
+  let row2 = Value.Tuple [ ("head", Value.Int 4); ("members", Value.set [ Value.Ref o5 ]) ] in
+  let e = Collection.of_values [ row1; row2 ] in
+  match Ops.unnest ctx e ~attr:"members" with
+  | Collection.Extent items ->
+      Alcotest.(check int) "three rows" 3 (List.length items);
+      List.iter
+        (fun (i : Collection.item) ->
+          match Value.tuple_get i.Collection.value "members" with
+          | Some (Value.Ref _) -> ()
+          | _ -> Alcotest.fail "members not flattened to single references")
+        items
+  | _ -> Alcotest.fail "expected extent"
+
+let test_nest_inverts_unnest () =
+  reset ();
+  let o2 = put 2 (tuple 2) and o3 = put 3 (tuple 3) in
+  let rows =
+    [ Value.Tuple [ ("head", Value.Int 1); ("m", Value.Ref o2) ];
+      Value.Tuple [ ("head", Value.Int 1); ("m", Value.Ref o3) ];
+      Value.Tuple [ ("head", Value.Int 4); ("m", Value.Ref o2) ]
+    ]
+  in
+  match Ops.nest ctx (Collection.of_values rows) ~attr:"m" with
+  | Collection.Extent items ->
+      Alcotest.(check int) "grouped" 2 (List.length items);
+      let group1 =
+        List.find
+          (fun (i : Collection.item) ->
+            Value.tuple_get i.Collection.value "head" = Some (Value.Int 1))
+          items
+      in
+      (match Value.tuple_get group1.Collection.value "m" with
+      | Some (Value.Set members) -> Alcotest.(check int) "two members" 2 (List.length members)
+      | _ -> Alcotest.fail "expected a set-valued m")
+  | _ -> Alcotest.fail "expected extent"
+
+let test_flatten () =
+  reset ();
+  ignore (populate 4);
+  (* Flatten({{oid1, oid2}, {oid3}}) = {oid1, oid2, oid3} *)
+  let nested =
+    Collection.of_values
+      [ Value.set [ Value.Ref (oid 0); Value.Ref (oid 1) ]; Value.set [ Value.Ref (oid 2) ] ]
+  in
+  (match Ops.flatten ctx nested with
+  | Collection.Set os -> Alcotest.(check int) "flattened" 3 (List.length os)
+  | _ -> Alcotest.fail "flatten must return a Set");
+  check_kind "flatten(list)" "Set" (Ops.flatten ctx (Collection.List [ oid 0; oid 0 ]))
+
+(* ---------------- Project / Partition / Sort ---------------- *)
+
+let test_project () =
+  reset ();
+  let rows =
+    [ Value.Tuple [ ("a", Value.Int 1); ("b", Value.Str "x") ];
+      Value.Tuple [ ("a", Value.Int 2); ("b", Value.Str "y") ]
+    ]
+  in
+  (match Ops.project ctx (Collection.of_values rows) [ "a" ] with
+  | Collection.Extent items ->
+      Alcotest.(check int) "rows" 2 (List.length items);
+      List.iter
+        (fun (i : Collection.item) ->
+          Alcotest.(check bool) "only a" true
+            (match i.Collection.value with Value.Tuple [ ("a", _) ] -> true | _ -> false))
+        items
+  | _ -> Alcotest.fail "expected extent");
+  match Ops.project ctx (Collection.of_values [ Value.Int 3 ]) [ "a" ] with
+  | exception Ops.Not_applicable _ -> ()
+  | _ -> Alcotest.fail "project of non-tuples must be rejected"
+
+let test_partition () =
+  reset ();
+  let os = populate 10 in
+  let parity (item : Collection.item) =
+    match Value.tuple_get item.Collection.value "n" with
+    | Some (Value.Int n) -> Value.Int (n mod 2)
+    | _ -> Value.Null
+  in
+  let groups = Ops.partition ctx (Collection.set_of os) parity in
+  Alcotest.(check int) "two groups" 2 (List.length groups);
+  List.iter
+    (fun (_, group) ->
+      check_kind "groups keep kind" "Set" group;
+      Alcotest.(check int) "five members" 5 (Collection.cardinality group))
+    groups
+
+let test_sort () =
+  reset ();
+  let os = populate 8 in
+  let by_n_desc (a : Collection.item) (b : Collection.item) =
+    compare (Value.tuple_get b.Collection.value "n") (Value.tuple_get a.Collection.value "n")
+  in
+  (match Ops.sort ctx (Collection.List os) ~run_length:3 by_n_desc with
+  | Collection.List sorted ->
+      Alcotest.(check int) "all present" 8 (List.length sorted);
+      Alcotest.(check bool) "descending" true
+        (sorted = List.rev (List.sort Oid.compare sorted))
+  | _ -> Alcotest.fail "sorted list expected");
+  check_kind "sort keeps extent kind" "Extent"
+    (Ops.sort ctx (Collection.of_values [ tuple 1; tuple 0 ]) by_n_desc)
+
+(* ---------------- General operators ---------------- *)
+
+let test_general_operators () =
+  reset ();
+  let o = put 0 (tuple 0) in
+  let item = { Collection.oid = Some o; value = tuple 0 } in
+  Alcotest.(check bool) "ObjId" true (Ops.obj_id item = Some o);
+  Alcotest.(check int) "TypeId" 7 (Ops.type_id ctx item);
+  Alcotest.(check int) "TypeId transient" (-1)
+    (Ops.type_id ctx { Collection.oid = None; value = tuple 0 });
+  Alcotest.(check bool) "Deref" true (Ops.deref ctx o = Some (tuple 0));
+  let env = Hashtbl.create 4 in
+  let named = Ops.bind env (Collection.Named o) "myObject" in
+  Alcotest.(check bool) "Bind returns arg" true (named = Collection.Named o);
+  Alcotest.(check bool) "Bind registers" true (Hashtbl.find_opt env "myObject" <> None)
+
+let suites =
+  [ ( "algebra.select",
+      [ Alcotest.test_case "Table 1 return types" `Quick test_select_return_types;
+        Alcotest.test_case "semantics" `Quick test_select_semantics
+      ] );
+    ( "algebra.join",
+      [ Alcotest.test_case "Table 2 return types" `Quick test_join_return_types;
+        Alcotest.test_case "binding tuples" `Quick test_join_binding_tuples
+      ] );
+    ( "algebra.dup_elim",
+      [ Alcotest.test_case "Table 3" `Quick test_dup_elim ] );
+    ( "algebra.set_ops",
+      [ Alcotest.test_case "Table 4" `Quick test_set_operators ] );
+    ( "algebra.conversions",
+      [ Alcotest.test_case "Tables 5-6" `Quick test_conversions;
+        Alcotest.test_case "Unnest (Table 7)" `Quick test_unnest_paper_example;
+        Alcotest.test_case "Nest inverts" `Quick test_nest_inverts_unnest;
+        Alcotest.test_case "Flatten" `Quick test_flatten
+      ] );
+    ( "algebra.collection_ops",
+      [ Alcotest.test_case "Project" `Quick test_project;
+        Alcotest.test_case "Partition" `Quick test_partition;
+        Alcotest.test_case "Sort" `Quick test_sort;
+        Alcotest.test_case "general operators" `Quick test_general_operators
+      ] )
+  ]

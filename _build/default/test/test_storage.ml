@@ -1,0 +1,682 @@
+(* Tests for Mood_storage: disk cost accounting, pages, buffer pool,
+   heap files, extents, B+-tree, hash index, join/path indexes, R-tree,
+   lock manager, WAL. *)
+
+module Disk = Mood_storage.Disk
+module Page = Mood_storage.Page
+module Buffer_pool = Mood_storage.Buffer_pool
+module Heap_file = Mood_storage.Heap_file
+module Extent = Mood_storage.Extent
+module Btree = Mood_storage.Btree
+module Hash_index = Mood_storage.Hash_index
+module Join_index = Mood_storage.Join_index
+module Rtree = Mood_storage.Rtree
+module Lock = Mood_storage.Lock_manager
+module Wal = Mood_storage.Wal
+module Store = Mood_storage.Store
+module Value = Mood_model.Value
+module Oid = Mood_model.Oid
+
+let close ?(eps = 1e-9) expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "expected %g, got %g" expected actual)
+    true
+    (Float.abs (expected -. actual) <= eps *. Float.max 1. (Float.abs expected))
+
+let params = Disk.default_params
+
+let u = params.Disk.seek +. params.Disk.rot +. params.Disk.btt
+
+(* ---------------- Disk ---------------- *)
+
+let test_disk_random_cost () =
+  let disk = Disk.create () in
+  for _ = 1 to 5 do
+    Disk.read_random disk
+  done;
+  close (5. *. u) (Disk.elapsed disk);
+  let c = Disk.counters disk in
+  Alcotest.(check int) "random reads" 5 c.Disk.random_reads;
+  Alcotest.(check int) "seeks" 5 c.Disk.seeks
+
+let test_disk_sequential_cost () =
+  (* SEQCOST(b) = s + r + b*ebt *)
+  let disk = Disk.create () in
+  Disk.read_sequential disk ~first:true;
+  for _ = 2 to 10 do
+    Disk.read_sequential disk ~first:false
+  done;
+  close (params.Disk.seek +. params.Disk.rot +. (10. *. params.Disk.ebt)) (Disk.elapsed disk)
+
+let test_disk_measure () =
+  let disk = Disk.create () in
+  Disk.read_random disk;
+  let (), during = Disk.with_measure disk (fun () -> Disk.read_random disk) in
+  Alcotest.(check int) "one read measured" 1 during.Disk.random_reads;
+  Alcotest.(check int) "outer preserved" 2 (Disk.counters disk).Disk.random_reads
+
+(* ---------------- Page ---------------- *)
+
+let test_page_insert_get_delete () =
+  let p = Page.create ~capacity:128 in
+  let s1 = Option.get (Page.insert p "hello") in
+  let s2 = Option.get (Page.insert p "world") in
+  Alcotest.(check (option string)) "get 1" (Some "hello") (Page.get p s1);
+  Alcotest.(check (option string)) "get 2" (Some "world") (Page.get p s2);
+  Alcotest.(check int) "count" 2 (Page.record_count p);
+  Alcotest.(check bool) "delete" true (Page.delete p s1);
+  Alcotest.(check (option string)) "tombstone" None (Page.get p s1);
+  Alcotest.(check bool) "double delete" false (Page.delete p s1);
+  (* slot reuse *)
+  let s3 = Option.get (Page.insert p "again") in
+  Alcotest.(check int) "reused slot" s1 s3
+
+let test_page_space_accounting () =
+  let p = Page.create ~capacity:64 in
+  let payload = String.make (64 - Page.slot_overhead) 'x' in
+  Alcotest.(check bool) "fits exactly" true (Page.fits p (String.length payload));
+  ignore (Option.get (Page.insert p payload));
+  Alcotest.(check int) "full" 0 (Page.free_space p);
+  Alcotest.(check (option int)) "no room"
+    None
+    (Page.insert p "y");
+  Alcotest.check_raises "bad capacity" (Invalid_argument "Page.create: capacity <= 0")
+    (fun () -> ignore (Page.create ~capacity:0))
+
+let test_page_update () =
+  let p = Page.create ~capacity:64 in
+  let s = Option.get (Page.insert p "abc") in
+  Alcotest.(check bool) "in place" true (Page.update p s "abcdef");
+  Alcotest.(check (option string)) "updated" (Some "abcdef") (Page.get p s);
+  Alcotest.(check bool) "too big" false (Page.update p s (String.make 100 'z'))
+
+(* ---------------- Buffer pool ---------------- *)
+
+let test_buffer_hits_and_lru () =
+  let disk = Disk.create () in
+  let pool = Buffer_pool.create ~disk ~capacity:2 in
+  Buffer_pool.access pool ~file:0 ~page:0 ~intent:Buffer_pool.Random;
+  Buffer_pool.access pool ~file:0 ~page:0 ~intent:Buffer_pool.Random;
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "one miss" 1 s.Buffer_pool.misses;
+  Alcotest.(check int) "one hit" 1 s.Buffer_pool.hits;
+  (* fill beyond capacity -> eviction of LRU page 0 *)
+  Buffer_pool.access pool ~file:0 ~page:1 ~intent:Buffer_pool.Random;
+  Buffer_pool.access pool ~file:0 ~page:2 ~intent:Buffer_pool.Random;
+  Alcotest.(check bool) "page 0 evicted" false (Buffer_pool.resident pool ~file:0 ~page:0);
+  Alcotest.(check bool) "page 2 resident" true (Buffer_pool.resident pool ~file:0 ~page:2)
+
+let test_buffer_dirty_eviction_writes () =
+  let disk = Disk.create () in
+  let pool = Buffer_pool.create ~disk ~capacity:1 in
+  Buffer_pool.modify pool ~file:0 ~page:0;
+  Buffer_pool.access pool ~file:0 ~page:1 ~intent:Buffer_pool.Random;
+  Alcotest.(check int) "write-back on eviction" 1 (Disk.counters disk).Disk.writes
+
+let test_buffer_sequential_run () =
+  let disk = Disk.create () in
+  let pool = Buffer_pool.create ~disk ~capacity:16 in
+  for page = 0 to 9 do
+    Buffer_pool.access pool ~file:3 ~page ~intent:Buffer_pool.Sequential
+  done;
+  (* one seek, ten ebt transfers *)
+  close (params.Disk.seek +. params.Disk.rot +. (10. *. params.Disk.ebt)) (Disk.elapsed disk);
+  Alcotest.(check int) "one seek" 1 (Disk.counters disk).Disk.seeks
+
+(* ---------------- Heap file / Extent ---------------- *)
+
+let fresh_store () = Store.create ~buffer_capacity:64 ()
+
+let test_heap_file_scan_cost () =
+  let store = fresh_store () in
+  let file = Store.new_heap_file store () in
+  let payload = String.make 1000 'a' in
+  for _ = 1 to 40 do
+    ignore (Heap_file.insert file payload)
+  done;
+  let pages = Heap_file.page_count file in
+  Alcotest.(check bool) "multiple pages" true (pages > 1);
+  Store.drop_cache store;
+  let count = ref 0 in
+  Heap_file.scan file ~f:(fun _ _ -> incr count);
+  Alcotest.(check int) "all records" 40 !count;
+  (* cold scan of b pages ~ SEQCOST(b) *)
+  close
+    (params.Disk.seek +. params.Disk.rot +. (float_of_int pages *. params.Disk.ebt))
+    (Store.io_elapsed store)
+
+let test_heap_file_btree_layout_scan_is_random () =
+  let store = fresh_store () in
+  let file = Store.new_heap_file store ~layout:Heap_file.Btree_file () in
+  let payload = String.make 1000 'a' in
+  for _ = 1 to 40 do
+    ignore (Heap_file.insert file payload)
+  done;
+  let pages = Heap_file.page_count file in
+  Store.drop_cache store;
+  Heap_file.scan file ~f:(fun _ _ -> ());
+  (* ESM: file stored as a B+-tree -> sequential = random *)
+  close (float_of_int pages *. u) (Store.io_elapsed store)
+
+let test_extent_roundtrip () =
+  let store = fresh_store () in
+  let ext = Extent.create ~store () in
+  let v1 = Value.Tuple [ ("a", Value.Int 1) ] in
+  let v2 = Value.Tuple [ ("a", Value.Int 2) ] in
+  let s1 = Extent.insert ext v1 in
+  let s2 = Extent.insert ext v2 in
+  Alcotest.(check bool) "get 1" true (Extent.get ext s1 = Some v1);
+  Alcotest.(check bool) "get 2" true (Extent.get ext s2 = Some v2);
+  Alcotest.(check int) "count" 2 (Extent.count ext);
+  Alcotest.(check bool) "update" true
+    (Extent.update ext ~slot:s1 (Value.Tuple [ ("a", Value.Int 9) ]));
+  Alcotest.(check bool) "updated" true
+    (Extent.get ext s1 = Some (Value.Tuple [ ("a", Value.Int 9) ]));
+  Alcotest.(check bool) "delete" true (Extent.delete ext s1);
+  Alcotest.(check bool) "gone" true (Extent.get ext s1 = None);
+  Alcotest.(check (list int)) "slots" [ s2 ] (Extent.slots ext)
+
+let test_extent_update_grows_record () =
+  let store = fresh_store () in
+  let ext = Extent.create ~store () in
+  let slot = Extent.insert ext (Value.Str "small") in
+  (* force page-full so in-place update fails and the record moves *)
+  let page_cap = Store.page_capacity store in
+  ignore (Extent.insert ext (Value.Str (String.make (page_cap - 200) 'x')));
+  let big = Value.Str (String.make 500 'y') in
+  Alcotest.(check bool) "update moves record" true (Extent.update ext ~slot big);
+  Alcotest.(check bool) "readable" true (Extent.get ext slot = Some big)
+
+let test_extent_insert_at () =
+  let store = fresh_store () in
+  let ext = Extent.create ~store () in
+  Extent.insert_at ext ~slot:7 (Value.Int 42);
+  Alcotest.(check bool) "get" true (Extent.get ext 7 = Some (Value.Int 42));
+  (* next fresh slot skips past *)
+  let s = Extent.insert ext (Value.Int 1) in
+  Alcotest.(check bool) "fresh slot" true (s > 7);
+  Alcotest.check_raises "live slot" (Invalid_argument "Extent.insert_at: slot 7 is live")
+    (fun () -> Extent.insert_at ext ~slot:7 Value.Null)
+
+(* ---------------- B+-tree ---------------- *)
+
+let int_key i = Value.Int i
+
+let test_btree_insert_search () =
+  let store = fresh_store () in
+  let bt : int Btree.t = Store.new_btree store ~order:4 ~key_size:4 () in
+  for i = 99 downto 0 do
+    Btree.insert bt ~key:(int_key i) i
+  done;
+  Alcotest.(check (list int)) "point" [ 42 ] (Btree.search bt ~key:(int_key 42));
+  Alcotest.(check (list int)) "missing" [] (Btree.search bt ~key:(int_key 1000));
+  Alcotest.(check bool) "mem" true (Btree.mem bt ~key:(int_key 0));
+  let stats = Btree.stats bt in
+  Alcotest.(check int) "entries" 100 stats.Btree.entries;
+  Alcotest.(check bool) "multi-level" true (stats.Btree.levels > 1);
+  Alcotest.(check bool) "leaves" true (stats.Btree.leaves > 1)
+
+let test_btree_duplicates_and_unique () =
+  let store = fresh_store () in
+  let bt : string Btree.t = Store.new_btree store ~key_size:4 () in
+  Btree.insert bt ~key:(int_key 1) "a";
+  Btree.insert bt ~key:(int_key 1) "b";
+  Alcotest.(check (list string)) "postings" [ "b"; "a" ] (Btree.search bt ~key:(int_key 1));
+  let ub : string Btree.t = Store.new_btree store ~unique:true ~key_size:4 () in
+  Btree.insert ub ~key:(int_key 1) "a";
+  (match Btree.insert ub ~key:(int_key 1) "b" with
+  | exception Btree.Duplicate_key _ -> ()
+  | () -> Alcotest.fail "expected Duplicate_key")
+
+let test_btree_range () =
+  let store = fresh_store () in
+  let bt : int Btree.t = Store.new_btree store ~order:3 ~key_size:4 () in
+  List.iter (fun i -> Btree.insert bt ~key:(int_key i) i) [ 1; 3; 5; 7; 9; 11 ];
+  let keys lo hi =
+    Btree.range bt ~lo ~hi |> List.map (fun (k, _) -> match k with Value.Int i -> i | _ -> -1)
+  in
+  Alcotest.(check (list int)) "inclusive range" [ 3; 5; 7 ]
+    (keys (Btree.Inclusive (int_key 3)) (Btree.Inclusive (int_key 7)));
+  Alcotest.(check (list int)) "exclusive" [ 5 ]
+    (keys (Btree.Exclusive (int_key 3)) (Btree.Exclusive (int_key 7)));
+  Alcotest.(check (list int)) "unbounded low" [ 1; 3; 5 ]
+    (keys Btree.Unbounded (Btree.Inclusive (int_key 5)));
+  Alcotest.(check (list int)) "unbounded high" [ 9; 11 ]
+    (keys (Btree.Inclusive (int_key 9)) Btree.Unbounded);
+  Alcotest.(check (list int)) "empty range" []
+    (keys (Btree.Inclusive (int_key 100)) Btree.Unbounded)
+
+let test_btree_delete () =
+  let store = fresh_store () in
+  let bt : int Btree.t = Store.new_btree store ~order:3 ~key_size:4 () in
+  List.iter (fun i -> Btree.insert bt ~key:(int_key (i mod 5)) i) [ 0; 1; 2; 3; 4; 5; 6 ];
+  Alcotest.(check int) "removed" 1 (Btree.delete bt ~key:(int_key 0) (fun v -> v = 5));
+  Alcotest.(check (list int)) "remaining" [ 0 ] (Btree.search bt ~key:(int_key 0));
+  Alcotest.(check int) "remove all" 1 (Btree.delete bt ~key:(int_key 0) (fun _ -> true));
+  Alcotest.(check (list int)) "empty" [] (Btree.search bt ~key:(int_key 0));
+  Alcotest.(check int) "missing" 0 (Btree.delete bt ~key:(int_key 0) (fun _ -> true))
+
+let prop_btree_matches_model =
+  QCheck.Test.make ~name:"btree = sorted association model" ~count:100
+    QCheck.(list (pair (int_range 0 50) (int_range 0 1000)))
+    (fun pairs ->
+      let store = fresh_store () in
+      let bt : int Btree.t = Store.new_btree store ~order:2 ~key_size:4 () in
+      List.iter (fun (k, v) -> Btree.insert bt ~key:(int_key k) v) pairs;
+      List.for_all
+        (fun k ->
+          let expected =
+            List.filter_map (fun (k', v) -> if k = k' then Some v else None) pairs
+            |> List.sort Int.compare
+          in
+          let actual = List.sort Int.compare (Btree.search bt ~key:(int_key k)) in
+          expected = actual)
+        (List.sort_uniq Int.compare (List.map fst pairs))
+      &&
+      (* iteration yields ascending keys *)
+      let keys = ref [] in
+      Btree.iter bt (fun k _ -> keys := k :: !keys);
+      let ks = List.rev !keys in
+      List.sort Value.compare ks = ks)
+
+let test_btree_charges_levels () =
+  let store = fresh_store () in
+  let bt : int Btree.t = Store.new_btree store ~order:2 ~key_size:4 () in
+  for i = 0 to 199 do
+    Btree.insert bt ~key:(int_key i) i
+  done;
+  let levels = (Btree.stats bt).Btree.levels in
+  Store.drop_cache store;
+  ignore (Btree.search bt ~key:(int_key 57));
+  close (float_of_int levels *. u) (Store.io_elapsed store)
+
+(* ---------------- Hash index ---------------- *)
+
+let test_hash_index_basic () =
+  let store = fresh_store () in
+  let h : int Hash_index.t = Store.new_hash_index store () in
+  for i = 0 to 499 do
+    Hash_index.insert h ~key:(int_key (i mod 50)) i
+  done;
+  Alcotest.(check int) "entries" 500 (Hash_index.entries h);
+  let hits = Hash_index.search h ~key:(int_key 7) in
+  Alcotest.(check int) "bucket size" 10 (List.length hits);
+  Alcotest.(check bool) "all congruent" true (List.for_all (fun v -> v mod 50 = 7) hits);
+  Alcotest.(check bool) "grew" true (Hash_index.bucket_count h > 4);
+  Alcotest.(check int) "delete" 1 (Hash_index.delete h ~key:(int_key 7) (fun v -> v = 7));
+  Alcotest.(check int) "after delete" 9 (List.length (Hash_index.search h ~key:(int_key 7)))
+
+let test_hash_overflow_chain_charged () =
+  let store = fresh_store () in
+  let h : int Hash_index.t = Store.new_hash_index store ~bucket_capacity:8 () in
+  (* 100 postings under one key pile onto one bucket's chain *)
+  for i = 0 to 99 do
+    Hash_index.insert h ~key:(int_key 7) i
+  done;
+  Store.drop_cache store;
+  Alcotest.(check int) "all found" 100 (List.length (Hash_index.search h ~key:(int_key 7)));
+  let reads = (Disk.counters (Store.disk store)).Disk.random_reads in
+  Alcotest.(check bool)
+    (Printf.sprintf "chain pages charged (%d reads)" reads)
+    true
+    (reads >= 1 + (100 / 8))
+
+let prop_hash_index_matches_model =
+  QCheck.Test.make ~name:"hash index = association model" ~count:100
+    QCheck.(list (pair (int_range 0 30) (int_range 0 1000)))
+    (fun pairs ->
+      let store = fresh_store () in
+      let h : int Hash_index.t = Store.new_hash_index store ~bucket_capacity:4 () in
+      List.iter (fun (k, v) -> Hash_index.insert h ~key:(int_key k) v) pairs;
+      List.for_all
+        (fun k ->
+          let expected =
+            List.filter_map (fun (k', v) -> if k = k' then Some v else None) pairs
+            |> List.sort Int.compare
+          in
+          List.sort Int.compare (Hash_index.search h ~key:(int_key k)) = expected)
+        (List.sort_uniq Int.compare (List.map fst pairs)))
+
+(* ---------------- Join / path indexes ---------------- *)
+
+let test_binary_join_index () =
+  let store = fresh_store () in
+  let jx = Store.new_binary_join_index store in
+  let c i = Oid.make ~class_id:1 ~slot:i and d i = Oid.make ~class_id:2 ~slot:i in
+  Join_index.Binary.add jx ~c:(c 0) ~d:(d 0);
+  Join_index.Binary.add jx ~c:(c 1) ~d:(d 0);
+  Join_index.Binary.add jx ~c:(c 1) ~d:(d 1);
+  Alcotest.(check int) "pairs" 3 (Join_index.Binary.pairs jx);
+  Alcotest.(check int) "forward" 2 (List.length (Join_index.Binary.forward jx ~c:(c 1)));
+  Alcotest.(check int) "backward" 2 (List.length (Join_index.Binary.backward jx ~d:(d 0)));
+  Alcotest.(check bool) "remove" true (Join_index.Binary.remove jx ~c:(c 1) ~d:(d 0));
+  Alcotest.(check int) "backward after" 1 (List.length (Join_index.Binary.backward jx ~d:(d 0)));
+  Alcotest.(check bool) "remove missing" false (Join_index.Binary.remove jx ~c:(c 9) ~d:(d 9))
+
+let test_path_index () =
+  let store = fresh_store () in
+  let px = Store.new_path_index store ~path:[ "a"; "b" ] in
+  Alcotest.(check (list string)) "path" [ "a"; "b" ] (Join_index.Path.path px);
+  let h i = Oid.make ~class_id:3 ~slot:i in
+  Join_index.Path.add px ~terminal:(Value.Int 5) ~head:(h 0);
+  Join_index.Path.add px ~terminal:(Value.Int 5) ~head:(h 1);
+  Join_index.Path.add px ~terminal:(Value.Int 9) ~head:(h 2);
+  Alcotest.(check int) "probe" 2 (List.length (Join_index.Path.probe px ~terminal:(Value.Int 5)));
+  Alcotest.(check int) "range" 3
+    (List.length (Join_index.Path.probe_range px ~lo:Btree.Unbounded ~hi:Btree.Unbounded));
+  Alcotest.(check bool) "remove" true (Join_index.Path.remove px ~terminal:(Value.Int 9) ~head:(h 2));
+  Alcotest.(check int) "after remove" 0
+    (List.length (Join_index.Path.probe px ~terminal:(Value.Int 9)))
+
+(* ---------------- R-tree ---------------- *)
+
+let rect x0 y0 x1 y1 = Rtree.rect ~x0 ~y0 ~x1 ~y1
+
+let test_rect_predicates () =
+  let a = rect 0. 0. 2. 2. and b = rect 1. 1. 3. 3. and c = rect 5. 5. 6. 6. in
+  Alcotest.(check bool) "overlap" true (Rtree.rect_overlaps a b);
+  Alcotest.(check bool) "disjoint" false (Rtree.rect_overlaps a c);
+  Alcotest.(check bool) "contains" true (Rtree.rect_contains (rect 0. 0. 4. 4.) b);
+  Alcotest.(check bool) "not contains" false (Rtree.rect_contains b a);
+  close 4. (Rtree.rect_area a);
+  Alcotest.check_raises "malformed" (Invalid_argument "Rtree.rect: malformed rectangle")
+    (fun () -> ignore (rect 1. 0. 0. 1.))
+
+let test_rtree_search () =
+  let store = fresh_store () in
+  let t : int Rtree.t = Store.new_rtree store ~max_entries:4 () in
+  for i = 0 to 99 do
+    let x = float_of_int (i mod 10) *. 10. and y = float_of_int (i / 10) *. 10. in
+    Rtree.insert t (rect x y (x +. 5.) (y +. 5.)) i
+  done;
+  Alcotest.(check int) "size" 100 (Rtree.size t);
+  Alcotest.(check bool) "split happened" true (Rtree.depth t > 1);
+  let hits = Rtree.search t (rect 0. 0. 16. 16.) in
+  (* cells (0,0),(1,0),(0,1),(1,1) overlap [0,16]^2 *)
+  Alcotest.(check int) "window hits" 4 (List.length hits);
+  let contained = Rtree.search_contained t (rect 0. 0. 16. 16.) in
+  Alcotest.(check int) "contained" 4 (List.length contained);
+  Alcotest.(check int) "empty window" 0 (List.length (Rtree.search t (rect 200. 200. 300. 300.)))
+
+let prop_rtree_matches_naive =
+  let entry =
+    QCheck.Gen.(
+      map2
+        (fun (x, y) (w, h) -> (x, y, x +. w, y +. h))
+        (pair (float_bound_inclusive 100.) (float_bound_inclusive 100.))
+        (pair (float_bound_inclusive 20.) (float_bound_inclusive 20.)))
+  in
+  QCheck.Test.make ~name:"rtree window query = naive filter" ~count:60
+    (QCheck.make QCheck.Gen.(pair (list_size (int_bound 60) entry) entry))
+    (fun (entries, (wx0, wy0, wx1, wy1)) ->
+      let store = fresh_store () in
+      let t : int Rtree.t = Store.new_rtree store ~max_entries:4 () in
+      List.iteri (fun i (x0, y0, x1, y1) -> Rtree.insert t (rect x0 y0 x1 y1) i) entries;
+      let window = rect wx0 wy0 wx1 wy1 in
+      let expected =
+        List.filteri (fun _ (x0, y0, x1, y1) -> Rtree.rect_overlaps (rect x0 y0 x1 y1) window)
+          entries
+        |> List.length
+      in
+      List.length (Rtree.search t window) = expected)
+
+(* ---------------- Lock manager ---------------- *)
+
+let test_lock_compatibility () =
+  let lm = Lock.create () in
+  let t1 = Lock.begin_txn lm and t2 = Lock.begin_txn lm in
+  Alcotest.(check bool) "shared" true (Lock.acquire lm t1 "r" Lock.Shared = Lock.Granted);
+  Alcotest.(check bool) "shared twice" true (Lock.acquire lm t2 "r" Lock.Shared = Lock.Granted);
+  Alcotest.(check bool) "exclusive blocked" true
+    (Lock.acquire lm t2 "r" Lock.Exclusive = Lock.Would_block);
+  Lock.release_all lm t1;
+  Alcotest.(check bool) "upgrade after release" true
+    (Lock.acquire lm t2 "r" Lock.Exclusive = Lock.Granted);
+  Alcotest.(check int) "holders" 1 (List.length (Lock.holders lm "r"))
+
+let test_lock_reentrancy_and_upgrade () =
+  let lm = Lock.create () in
+  let t = Lock.begin_txn lm in
+  Alcotest.(check bool) "x" true (Lock.acquire lm t "r" Lock.Exclusive = Lock.Granted);
+  Alcotest.(check bool) "x again" true (Lock.acquire lm t "r" Lock.Exclusive = Lock.Granted);
+  Alcotest.(check bool) "s under x" true (Lock.acquire lm t "r" Lock.Shared = Lock.Granted)
+
+let test_lock_deadlock_detection () =
+  let lm = Lock.create () in
+  let t1 = Lock.begin_txn lm and t2 = Lock.begin_txn lm in
+  Alcotest.(check bool) "t1 locks a" true (Lock.acquire lm t1 "a" Lock.Exclusive = Lock.Granted);
+  Alcotest.(check bool) "t2 locks b" true (Lock.acquire lm t2 "b" Lock.Exclusive = Lock.Granted);
+  Alcotest.(check bool) "t1 waits for b" true (Lock.acquire lm t1 "b" Lock.Exclusive = Lock.Would_block);
+  (* t2 -> a would close the cycle: t2 is the victim *)
+  Alcotest.(check bool) "deadlock detected" true
+    (Lock.acquire lm t2 "a" Lock.Exclusive = Lock.Deadlock);
+  Lock.release_all lm t2;
+  Alcotest.(check bool) "t1 proceeds" true (Lock.acquire lm t1 "b" Lock.Exclusive = Lock.Granted)
+
+(* ---------------- WAL ---------------- *)
+
+let rid page slot = { Heap_file.page; slot }
+
+let test_wal_replay_committed_only () =
+  let wal = Wal.create () in
+  ignore (Wal.append wal (Wal.Begin 1));
+  ignore (Wal.append wal (Wal.Insert { txn = 1; file = 0; rid = rid 0 0; payload = "a" }));
+  ignore (Wal.append wal (Wal.Commit 1));
+  ignore (Wal.append wal (Wal.Begin 2));
+  ignore (Wal.append wal (Wal.Insert { txn = 2; file = 0; rid = rid 0 1; payload = "b" }));
+  Wal.flush wal;
+  let applied = ref [] in
+  Wal.replay wal ~apply:(fun r ->
+      match r with
+      | Wal.Insert { payload; _ } -> applied := payload :: !applied
+      | _ -> ());
+  Alcotest.(check (list string)) "only committed effects" [ "a" ] !applied
+
+let test_wal_crash_loses_unpersisted () =
+  let wal = Wal.create () in
+  ignore (Wal.append wal (Wal.Begin 1));
+  ignore (Wal.append wal (Wal.Commit 1));
+  Wal.flush wal;
+  ignore (Wal.append wal (Wal.Begin 2));
+  ignore (Wal.append wal (Wal.Commit 2));
+  (* no flush: txn 2's commit is lost by the crash *)
+  Alcotest.(check int) "lost records" 2 (Wal.lose_unpersisted wal);
+  Alcotest.(check int) "persisted remain" 2 (Wal.length wal);
+  let commits = ref 0 in
+  List.iter
+    (function Wal.Commit _ -> incr commits | _ -> ())
+    (Wal.records wal);
+  Alcotest.(check int) "one commit" 1 !commits
+
+let test_wal_undo_records () =
+  let wal = Wal.create () in
+  ignore (Wal.append wal (Wal.Begin 1));
+  ignore (Wal.append wal (Wal.Insert { txn = 1; file = 0; rid = rid 0 0; payload = "a" }));
+  ignore (Wal.append wal (Wal.Update { txn = 1; file = 0; rid = rid 0 0; before = "a"; after = "b" }));
+  ignore (Wal.append wal (Wal.Insert { txn = 2; file = 0; rid = rid 0 1; payload = "x" }));
+  let undo = Wal.undo_records wal 1 in
+  Alcotest.(check int) "two records" 2 (List.length undo);
+  (match undo with
+  | Wal.Update _ :: Wal.Insert _ :: [] -> ()
+  | _ -> Alcotest.fail "undo must be newest-first")
+
+let test_extent_wal_recovery () =
+  (* Insert through an extent with txn logging, "crash", replay into a
+     fresh extent: committed objects reappear. *)
+  let store = fresh_store () in
+  let ext = Extent.create ~store () in
+  let wal = Store.wal store in
+  ignore (Wal.append wal (Wal.Begin 1));
+  let s1 = Extent.insert ext ~txn:1 (Value.Int 10) in
+  ignore (Wal.append wal (Wal.Commit 1));
+  ignore (Wal.append wal (Wal.Begin 2));
+  let _s2 = Extent.insert ext ~txn:2 (Value.Int 20) in
+  Wal.flush wal;
+  (* txn 2 never commits; rebuild from log *)
+  let store2 = fresh_store () in
+  let ext2 = Extent.create ~store:store2 () in
+  Wal.replay wal ~apply:(fun record ->
+      match record with
+      | Wal.Insert { payload; _ } -> begin
+          match Mood_model.Codec.decode payload with
+          | Value.Tuple [ ("#slot", Value.Int slot); ("#value", v) ] ->
+              Extent.insert_at ext2 ~slot v
+          | _ -> Alcotest.fail "unexpected payload shape"
+        end
+      | _ -> ());
+  Alcotest.(check int) "one object recovered" 1 (Extent.count ext2);
+  Alcotest.(check bool) "the committed one" true (Extent.get ext2 s1 = Some (Value.Int 10))
+
+(* ---------------- Additional properties ---------------- *)
+
+let prop_lock_exclusivity =
+  (* Random acquire/release traffic: whenever a resource has an
+     exclusive holder, it is the only holder. *)
+  let op_gen =
+    QCheck.Gen.(
+      list_size (int_bound 60)
+        (triple (int_bound 3) (int_bound 2) bool))
+  in
+  QCheck.Test.make ~name:"2PL: exclusive holders are alone" ~count:150
+    (QCheck.make op_gen)
+    (fun ops ->
+      let lm = Lock.create () in
+      let txns = Array.init 4 (fun _ -> Lock.begin_txn lm) in
+      let resources = [| "r0"; "r1"; "r2" |] in
+      List.for_all
+        (fun (who, what, exclusive) ->
+          let txn = txns.(who) and resource = resources.(what) in
+          let mode = if exclusive then Lock.Exclusive else Lock.Shared in
+          (match Lock.acquire lm txn resource mode with
+          | Lock.Granted | Lock.Would_block -> ()
+          | Lock.Deadlock -> Lock.release_all lm txn);
+          Array.for_all
+            (fun r ->
+              let holders = Lock.holders lm r in
+              (not (List.exists (fun (_, m) -> m = Lock.Exclusive) holders))
+              || List.length holders = 1)
+            resources)
+        ops)
+
+let prop_buffer_pool_bounded =
+  (* Under arbitrary access patterns, residency never exceeds capacity
+     and every access is either a hit or a miss. *)
+  QCheck.Test.make ~name:"buffer pool never exceeds capacity" ~count:150
+    QCheck.(pair (int_range 1 8) (list (pair (int_bound 3) (int_bound 30))))
+    (fun (capacity, accesses) ->
+      let disk = Disk.create () in
+      let pool = Buffer_pool.create ~disk ~capacity in
+      List.iter
+        (fun (file, page) -> Buffer_pool.access pool ~file ~page ~intent:Buffer_pool.Random)
+        accesses;
+      let stats = Buffer_pool.stats pool in
+      let resident = ref 0 in
+      for file = 0 to 3 do
+        for page = 0 to 30 do
+          if Buffer_pool.resident pool ~file ~page then incr resident
+        done
+      done;
+      !resident <= capacity
+      && stats.Buffer_pool.hits + stats.Buffer_pool.misses = List.length accesses)
+
+let prop_btree_range_matches_model =
+  QCheck.Test.make ~name:"btree range = model filter" ~count:100
+    QCheck.(triple (list (int_range 0 100)) (int_range 0 100) (int_range 0 100))
+    (fun (keys, a, b) ->
+      let lo = min a b and hi = max a b in
+      let store = fresh_store () in
+      let bt : int Btree.t = Store.new_btree store ~order:2 ~key_size:4 () in
+      List.iter (fun k -> Btree.insert bt ~key:(int_key k) k) keys;
+      let got =
+        Btree.range bt ~lo:(Btree.Inclusive (int_key lo)) ~hi:(Btree.Inclusive (int_key hi))
+        |> List.concat_map snd
+        |> List.sort Int.compare
+      in
+      let expected = List.sort Int.compare (List.filter (fun k -> k >= lo && k <= hi) keys) in
+      got = expected)
+
+let prop_rtree_contained_subset_of_overlap =
+  let entry =
+    QCheck.Gen.(
+      map2
+        (fun (x, y) (w, h) -> (x, y, x +. w, y +. h))
+        (pair (float_bound_inclusive 50.) (float_bound_inclusive 50.))
+        (pair (float_bound_inclusive 10.) (float_bound_inclusive 10.)))
+  in
+  QCheck.Test.make ~name:"rtree: contained subset of overlapping" ~count:60
+    (QCheck.make QCheck.Gen.(pair (list_size (int_bound 40) entry) entry))
+    (fun (entries, (wx0, wy0, wx1, wy1)) ->
+      let store = fresh_store () in
+      let t : int Rtree.t = Store.new_rtree store ~max_entries:4 () in
+      List.iteri (fun i (x0, y0, x1, y1) -> Rtree.insert t (rect x0 y0 x1 y1) i) entries;
+      let window = rect wx0 wy0 wx1 wy1 in
+      let overlap = List.map snd (Rtree.search t window) in
+      List.for_all
+        (fun (_, v) -> List.mem v overlap)
+        (Rtree.search_contained t window))
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suites =
+  [ ( "storage.disk",
+      [ Alcotest.test_case "random cost" `Quick test_disk_random_cost;
+        Alcotest.test_case "sequential cost" `Quick test_disk_sequential_cost;
+        Alcotest.test_case "with_measure" `Quick test_disk_measure
+      ] );
+    ( "storage.page",
+      [ Alcotest.test_case "insert/get/delete" `Quick test_page_insert_get_delete;
+        Alcotest.test_case "space accounting" `Quick test_page_space_accounting;
+        Alcotest.test_case "update" `Quick test_page_update
+      ] );
+    ( "storage.buffer",
+      [ Alcotest.test_case "hits and LRU" `Quick test_buffer_hits_and_lru;
+        Alcotest.test_case "dirty eviction" `Quick test_buffer_dirty_eviction_writes;
+        Alcotest.test_case "sequential run" `Quick test_buffer_sequential_run
+      ] );
+    ( "storage.heap_file",
+      [ Alcotest.test_case "scan cost" `Quick test_heap_file_scan_cost;
+        Alcotest.test_case "ESM layout scan" `Quick test_heap_file_btree_layout_scan_is_random;
+        Alcotest.test_case "extent roundtrip" `Quick test_extent_roundtrip;
+        Alcotest.test_case "record growth" `Quick test_extent_update_grows_record;
+        Alcotest.test_case "insert_at" `Quick test_extent_insert_at
+      ] );
+    ( "storage.btree",
+      [ Alcotest.test_case "insert/search" `Quick test_btree_insert_search;
+        Alcotest.test_case "duplicates/unique" `Quick test_btree_duplicates_and_unique;
+        Alcotest.test_case "range" `Quick test_btree_range;
+        Alcotest.test_case "delete" `Quick test_btree_delete;
+        Alcotest.test_case "charges levels" `Quick test_btree_charges_levels;
+        qtest prop_btree_matches_model
+      ] );
+    ( "storage.hash",
+      [ Alcotest.test_case "basic" `Quick test_hash_index_basic;
+        Alcotest.test_case "overflow chains" `Quick test_hash_overflow_chain_charged;
+        qtest prop_hash_index_matches_model
+      ] );
+    ( "storage.join_index",
+      [ Alcotest.test_case "binary" `Quick test_binary_join_index;
+        Alcotest.test_case "path" `Quick test_path_index
+      ] );
+    ( "storage.rtree",
+      [ Alcotest.test_case "rect predicates" `Quick test_rect_predicates;
+        Alcotest.test_case "search" `Quick test_rtree_search;
+        qtest prop_rtree_matches_naive
+      ] );
+    ( "storage.locks",
+      [ Alcotest.test_case "compatibility" `Quick test_lock_compatibility;
+        Alcotest.test_case "reentrancy" `Quick test_lock_reentrancy_and_upgrade;
+        Alcotest.test_case "deadlock" `Quick test_lock_deadlock_detection;
+        qtest prop_lock_exclusivity
+      ] );
+    ( "storage.properties",
+      [ qtest prop_buffer_pool_bounded;
+        qtest prop_btree_range_matches_model;
+        qtest prop_rtree_contained_subset_of_overlap
+      ] );
+    ( "storage.wal",
+      [ Alcotest.test_case "replay committed" `Quick test_wal_replay_committed_only;
+        Alcotest.test_case "crash" `Quick test_wal_crash_loses_unpersisted;
+        Alcotest.test_case "undo records" `Quick test_wal_undo_records;
+        Alcotest.test_case "extent recovery" `Quick test_extent_wal_recovery
+      ] )
+  ]

@@ -1,0 +1,214 @@
+(* Tests for Mood_util: combinatorics, heaps, tables, PRNG. *)
+
+module Combinat = Mood_util.Combinat
+module Heap = Mood_util.Heap
+module Table = Mood_util.Text_table
+module Prng = Mood_util.Prng
+
+let close ?(eps = 1e-9) expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "expected %g, got %g" expected actual)
+    true
+    (Float.abs (expected -. actual) <= eps *. Float.max 1. (Float.abs expected))
+
+(* ---------------- Combinatorics ---------------- *)
+
+let test_ln_factorial () =
+  close 0. (Combinat.ln_factorial 0);
+  close 0. (Combinat.ln_factorial 1);
+  close (log 120.) (Combinat.ln_factorial 5) ~eps:1e-12;
+  close (log 3628800.) (Combinat.ln_factorial 10) ~eps:1e-12;
+  Alcotest.check_raises "negative" (Invalid_argument "Combinat.ln_factorial: negative argument")
+    (fun () -> ignore (Combinat.ln_factorial (-1)))
+
+let test_choose () =
+  close 1. (Combinat.choose 10 0) ~eps:1e-12;
+  close 10. (Combinat.choose 10 1) ~eps:1e-12;
+  close 252. (Combinat.choose 10 5) ~eps:1e-10;
+  close 0. (Combinat.choose 5 7);
+  close 0. (Combinat.choose 5 (-1))
+
+let test_c_approx_regions () =
+  (* r < m/2: identity *)
+  close 10. (Combinat.c_approx ~n:1000 ~m:100 ~r:10);
+  (* m/2 <= r < 2m: (r+m)/3 *)
+  close ((150. +. 100.) /. 3.) (Combinat.c_approx ~n:1000 ~m:100 ~r:150);
+  close ((50. +. 100.) /. 3.) (Combinat.c_approx ~n:1000 ~m:100 ~r:50);
+  (* r >= 2m: m *)
+  close 100. (Combinat.c_approx ~n:1000 ~m:100 ~r:200);
+  close 100. (Combinat.c_approx ~n:1000 ~m:100 ~r:100000);
+  (* degenerate *)
+  close 0. (Combinat.c_approx ~n:10 ~m:0 ~r:5);
+  close 0. (Combinat.c_approx ~n:10 ~m:5 ~r:0)
+
+let test_yao_vs_cardenas () =
+  (* Yao (without replacement) <= Cardenas (with replacement) and both
+     bounded by m; they agree in the limit r=1. *)
+  let n = 10000 and m = 500 in
+  List.iter
+    (fun r ->
+      let y = Combinat.yao ~n ~m ~r and c = Combinat.cardenas ~m ~r in
+      Alcotest.(check bool) "yao <= m" true (y <= float_of_int m +. 1e-9);
+      Alcotest.(check bool) "cardenas <= m" true (c <= float_of_int m +. 1e-9);
+      Alcotest.(check bool)
+        (Printf.sprintf "yao(%d)=%g >= cardenas*0.9" r y)
+        true
+        (y >= 0.))
+    [ 1; 10; 100; 1000; 10000 ];
+  close 1. (Combinat.yao ~n ~m ~r:1) ~eps:1e-6;
+  close 1. (Combinat.cardenas ~m ~r:1) ~eps:1e-6;
+  (* selecting everything hits every block *)
+  close (float_of_int m) (Combinat.yao ~n ~m ~r:n) ~eps:1e-6
+
+let test_overlap_probability () =
+  (* picking 1 of t against x distinguished: x/t *)
+  close 5e-5 (Combinat.overlap_probability ~t:20000 ~x:1. ~y:1.) ~eps:1e-6;
+  close 0.0625 (Combinat.overlap_probability ~t:10000 ~x:1. ~y:625.) ~eps:1e-6;
+  close 0. (Combinat.overlap_probability ~t:100 ~x:0. ~y:10.);
+  close 0. (Combinat.overlap_probability ~t:100 ~x:10. ~y:0.);
+  close 1. (Combinat.overlap_probability ~t:100 ~x:60. ~y:60.);
+  close 1. (Combinat.overlap_probability ~t:0 ~x:1. ~y:1.)
+
+let test_distinct_pages () =
+  (* one hit -> one page; many hits -> approaches all pages *)
+  close 1. (Combinat.distinct_pages ~pages:100 ~hits:1) ~eps:1e-9;
+  Alcotest.(check bool) "saturates" true (Combinat.distinct_pages ~pages:100 ~hits:100000 > 99.9);
+  close 0. (Combinat.distinct_pages ~pages:0 ~hits:10)
+
+let prop_overlap_in_unit_interval =
+  QCheck.Test.make ~name:"overlap probability stays in [0,1]" ~count:500
+    QCheck.(triple (int_range 1 100000) (float_range 0. 1000.) (float_range 0. 1000.))
+    (fun (t, x, y) ->
+      let p = Combinat.overlap_probability ~t ~x ~y in
+      p >= 0. && p <= 1.)
+
+let prop_c_approx_monotone_in_r =
+  QCheck.Test.make ~name:"c(n,m,r) monotone in r" ~count:300
+    QCheck.(triple (int_range 1 1000) (int_range 1 1000) (int_range 1 500))
+    (fun (n, m, r) ->
+      Combinat.c_approx ~n ~m ~r <= Combinat.c_approx ~n ~m ~r:(r + 1) +. 1e-9)
+
+(* ---------------- Heap ---------------- *)
+
+let test_heap_basic () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop_min h);
+  List.iter (Heap.add h) [ 5; 3; 8; 1; 9; 2 ];
+  Alcotest.(check int) "length" 6 (Heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek_min h);
+  Alcotest.(check (option int)) "pop" (Some 1) (Heap.pop_min h);
+  Alcotest.(check (option int)) "pop" (Some 2) (Heap.pop_min h);
+  Alcotest.(check int) "length after pops" 4 (Heap.length h)
+
+let test_heap_sort_duplicates () =
+  let sorted = Heap.sort_list ~cmp:Int.compare [ 3; 1; 3; 2; 1 ] in
+  Alcotest.(check (list int)) "duplicates preserved" [ 1; 1; 2; 3; 3 ] sorted
+
+let test_merge_sorted () =
+  let merged = Heap.merge_sorted ~cmp:Int.compare [ [ 1; 4; 7 ]; [ 2; 5 ]; []; [ 3; 6; 9 ] ] in
+  Alcotest.(check (list int)) "k-way merge" [ 1; 2; 3; 4; 5; 6; 7; 9 ] merged
+
+let test_sort_with_runs () =
+  Alcotest.check_raises "bad run length" (Invalid_argument "Heap.sort_with_runs: run_length <= 0")
+    (fun () -> ignore (Heap.sort_with_runs ~cmp:Int.compare ~run_length:0 [ 1 ]));
+  let xs = [ 9; 2; 7; 4; 4; 1; 8; 0; 3 ] in
+  Alcotest.(check (list int)) "runs of 2" (List.sort Int.compare xs)
+    (Heap.sort_with_runs ~cmp:Int.compare ~run_length:2 xs)
+
+let prop_heap_sort_matches_list_sort =
+  QCheck.Test.make ~name:"heap sort with merging = List.sort" ~count:300
+    QCheck.(pair (list int) (int_range 1 16))
+    (fun (xs, run_length) ->
+      Heap.sort_with_runs ~cmp:Int.compare ~run_length xs = List.sort Int.compare xs)
+
+(* ---------------- Text table ---------------- *)
+
+let test_table_render () =
+  let t = Table.create ~header:[ "Class"; "|C|" ] in
+  Table.add_row t [ "Vehicle"; "20000" ];
+  Table.add_row t [ "Co" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length rendered > 0 && String.sub rendered 0 5 = "Class");
+  (* short row padded, no exception; over-wide row rejected *)
+  Alcotest.check_raises "wide row" (Invalid_argument "Text_table.add_row: row wider than header")
+    (fun () -> Table.add_row t [ "a"; "b"; "c" ])
+
+let test_table_alignment () =
+  let t = Table.create ~header:[ "a"; "b" ] in
+  Table.add_row t [ "xxxx"; "y" ];
+  let lines = String.split_on_char '\n' (Table.render t) in
+  match lines with
+  | header :: _rule :: row :: _ ->
+      Alcotest.(check int) "equal widths" (String.length header) (String.length row)
+  | _ -> Alcotest.fail "expected three lines"
+
+(* ---------------- PRNG ---------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:123 and b = Prng.create ~seed:123 in
+  let xs = List.init 20 (fun _ -> Prng.int a ~bound:1000) in
+  let ys = List.init 20 (fun _ -> Prng.int b ~bound:1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys;
+  let c = Prng.create ~seed:124 in
+  let zs = List.init 20 (fun _ -> Prng.int c ~bound:1000) in
+  Alcotest.(check bool) "different seed differs" true (xs <> zs)
+
+let test_prng_bounds () =
+  let rng = Prng.create ~seed:9 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng ~bound:17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done;
+  for _ = 1 to 1000 do
+    let f = Prng.float rng ~bound:2.5 in
+    if f < 0. || f >= 2.5 then Alcotest.failf "float out of bounds: %f" f
+  done
+
+let test_prng_split_independent () =
+  let rng = Prng.create ~seed:5 in
+  let s = Prng.split rng in
+  let xs = List.init 10 (fun _ -> Prng.int rng ~bound:100) in
+  let ys = List.init 10 (fun _ -> Prng.int s ~bound:100) in
+  Alcotest.(check bool) "split stream differs" true (xs <> ys)
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.create ~seed:1 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle rng arr;
+  Alcotest.(check (list int)) "same multiset"
+    (List.init 50 Fun.id)
+    (List.sort Int.compare (Array.to_list arr))
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suites =
+  [ ( "util.combinat",
+      [ Alcotest.test_case "ln_factorial" `Quick test_ln_factorial;
+        Alcotest.test_case "choose" `Quick test_choose;
+        Alcotest.test_case "c_approx regions" `Quick test_c_approx_regions;
+        Alcotest.test_case "yao vs cardenas" `Quick test_yao_vs_cardenas;
+        Alcotest.test_case "overlap probability" `Quick test_overlap_probability;
+        Alcotest.test_case "distinct pages" `Quick test_distinct_pages;
+        qtest prop_overlap_in_unit_interval;
+        qtest prop_c_approx_monotone_in_r
+      ] );
+    ( "util.heap",
+      [ Alcotest.test_case "basic" `Quick test_heap_basic;
+        Alcotest.test_case "sort duplicates" `Quick test_heap_sort_duplicates;
+        Alcotest.test_case "k-way merge" `Quick test_merge_sorted;
+        Alcotest.test_case "sort with runs" `Quick test_sort_with_runs;
+        qtest prop_heap_sort_matches_list_sort
+      ] );
+    ( "util.table",
+      [ Alcotest.test_case "render" `Quick test_table_render;
+        Alcotest.test_case "alignment" `Quick test_table_alignment
+      ] );
+    ( "util.prng",
+      [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "bounds" `Quick test_prng_bounds;
+        Alcotest.test_case "split" `Quick test_prng_split_independent;
+        Alcotest.test_case "shuffle" `Quick test_prng_shuffle_permutes
+      ] )
+  ]

@@ -1,0 +1,116 @@
+(* Tests for the workload generators: the generated data must realize
+   the statistical shape of Tables 13-15 (scaled), and the chain
+   generator must honour its fan/sharing/dist knobs. *)
+
+module Db = Mood.Db
+module Catalog = Mood_catalog.Catalog
+module Catalog_stats = Mood_catalog.Catalog_stats
+module Stats = Mood_cost.Stats
+module Chain = Mood_workload.Chain
+module Vehicle = Mood_workload.Vehicle
+module Value = Mood_model.Value
+
+let close_ratio expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "expected ~%g, got %g" expected actual)
+    true
+    (Float.abs (actual -. expected) /. Float.max 1. expected < 0.2)
+
+let test_vehicle_ratios () =
+  let db = Db.create () in
+  Vehicle.define_schema (Db.catalog db);
+  let g = Vehicle.generate ~catalog:(Db.catalog db) ~scale:0.02 () in
+  let stats = Catalog_stats.compute (Db.catalog db) in
+  (* paper ratios: |V| = 2|DT| = 2|E|, |Company| = 10|V| *)
+  let v = Stats.cardinality stats "Vehicle" in
+  Alcotest.(check int) "scale" 400 v;
+  Alcotest.(check int) "drivetrains" (v / 2) (Stats.cardinality stats "VehicleDriveTrain");
+  Alcotest.(check int) "engines" (v / 2) (Stats.cardinality stats "VehicleEngine");
+  Alcotest.(check int) "companies" (10 * v) (Stats.cardinality stats "Company");
+  (* reference structure of Table 15 *)
+  (match Stats.ref_stats stats ~cls:"Vehicle" ~attr:"drivetrain" with
+  | Some r ->
+      close_ratio 1. r.Stats.fan;
+      Alcotest.(check int) "totref = |DT| (sharing 2)" (v / 2) r.Stats.totref
+  | None -> Alcotest.fail "no drivetrain edge");
+  (match Stats.ref_stats stats ~cls:"Vehicle" ~attr:"company" with
+  | Some r ->
+      Alcotest.(check int) "companies all distinct" v r.Stats.totref;
+      close_ratio 0.1 (Stats.hitprb stats ~cls:"Vehicle" ~attr:"company")
+  | None -> Alcotest.fail "no company edge");
+  (* cylinders: 16 distinct even values in [2, 32] *)
+  (match Stats.attr_stats stats ~cls:"VehicleEngine" ~attr:"cylinders" with
+  | Some a ->
+      Alcotest.(check int) "dist" 16 a.Stats.dist;
+      Alcotest.(check (option (float 0.01))) "min" (Some 2.) a.Stats.min_value;
+      Alcotest.(check (option (float 0.01))) "max" (Some 32.) a.Stats.max_value
+  | None -> Alcotest.fail "no cylinder stats");
+  ignore g
+
+let test_vehicle_deterministic () =
+  let build () =
+    let db = Db.create () in
+    Vehicle.define_schema (Db.catalog db);
+    ignore (Vehicle.generate ~catalog:(Db.catalog db) ~scale:0.005 ~seed:11 ());
+    let r = Db.query db "SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2" in
+    List.length r.Mood_executor.Executor.rows
+  in
+  Alcotest.(check int) "same seed, same database" (build ()) (build ())
+
+let test_chain_structure () =
+  let db = Db.create () in
+  let spec = { Chain.default with Chain.head_cardinality = 120; depth = 3; fan = 1; sharing = 2 } in
+  let built = Chain.build ~catalog:(Db.catalog db) spec in
+  Alcotest.(check (list string)) "classes" [ "P0"; "P1"; "P2" ] built.Chain.class_names;
+  Alcotest.(check (list int)) "cardinalities" [ 120; 60; 30 ] built.Chain.cardinalities;
+  Alcotest.(check int) "heads" 120 (Array.length built.Chain.heads);
+  let stats = Catalog_stats.compute (Db.catalog db) in
+  (match Stats.ref_stats stats ~cls:"P0" ~attr:"next" with
+  | Some r ->
+      close_ratio 1. r.Stats.fan;
+      Alcotest.(check int) "sharing 2 -> totref = |P1|" 60 r.Stats.totref
+  | None -> Alcotest.fail "no P0 edge");
+  Alcotest.(check (list string)) "path attrs" [ "next"; "next"; "v" ] (Chain.path_attrs spec)
+
+let test_chain_path_query_runs () =
+  let db = Db.create () in
+  let spec = { Chain.default with Chain.head_cardinality = 100; distinct_values = 10 } in
+  ignore (Chain.build ~catalog:(Db.catalog db) spec);
+  Db.analyze db;
+  let r = Db.query db "SELECT p FROM P0 p WHERE p.next.next.v = 3" in
+  let n = List.length (Mood_executor.Executor.result_oids r) in
+  (* ~ 1/10 of the heads *)
+  Alcotest.(check bool) (Printf.sprintf "%d heads selected" n) true (n > 0 && n < 50)
+
+let test_chain_fan_greater_one () =
+  let db = Db.create () in
+  let spec =
+    { Chain.default with Chain.head_cardinality = 40; depth = 2; fan = 3; sharing = 1 }
+  in
+  ignore (Chain.build ~catalog:(Db.catalog db) spec);
+  let stats = Catalog_stats.compute (Db.catalog db) in
+  match Stats.ref_stats stats ~cls:"P0" ~attr:"next" with
+  | Some r -> close_ratio 3. r.Stats.fan
+  | None -> Alcotest.fail "no edge"
+
+let test_chain_validation () =
+  let db = Db.create () in
+  (match Chain.build ~catalog:(Db.catalog db) { Chain.default with Chain.depth = 1 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "depth 1 accepted");
+  match Chain.build ~catalog:(Db.catalog db) { Chain.default with Chain.fan = 0 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "fan 0 accepted"
+
+let suites =
+  [ ( "workload.vehicle",
+      [ Alcotest.test_case "table 13-15 ratios" `Quick test_vehicle_ratios;
+        Alcotest.test_case "deterministic" `Quick test_vehicle_deterministic
+      ] );
+    ( "workload.chain",
+      [ Alcotest.test_case "structure" `Quick test_chain_structure;
+        Alcotest.test_case "path query" `Quick test_chain_path_query_runs;
+        Alcotest.test_case "fan > 1" `Quick test_chain_fan_greater_one;
+        Alcotest.test_case "validation" `Quick test_chain_validation
+      ] )
+  ]
