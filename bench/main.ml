@@ -3,7 +3,10 @@
    and times the kernel's hot paths with Bechamel.
 
    Run everything:        dune exec bench/main.exe
-   Only one section:      dune exec bench/main.exe -- reports|sweeps|micro *)
+   Only one section:      dune exec bench/main.exe -- reports|sweeps|micro
+   Machine-readable:      dune exec bench/main.exe -- json
+                          (writes BENCH_micro.json; MOOD_BENCH_QUOTA
+                          shrinks the per-test quota for smoke runs) *)
 
 let () =
   let sections =
@@ -17,7 +20,8 @@ let () =
       | "reports" -> Reports.all ()
       | "sweeps" -> Sweeps.all ()
       | "micro" -> Micro.run_benchmarks ()
+      | "json" -> Micro.run_json ()
       | other ->
-          Printf.eprintf "unknown section %S (expected reports, sweeps or micro)\n" other;
+          Printf.eprintf "unknown section %S (expected reports, sweeps, micro or json)\n" other;
           exit 2)
     sections

@@ -52,9 +52,19 @@ type t = {
   join_indexes : (string * string, Join_index.Binary.t) Hashtbl.t;
   path_indexes : (string * string list, Join_index.Path.t) Hashtbl.t;
   mutable system_ready : bool;
+  mutable epoch : int;
+      (* bumped on every schema or index change: consumers (plan
+         caches, the effective-attribute memo) key on it *)
+  attrs_memo : (string, (string * Mtype.t) list) Hashtbl.t;
 }
 
 let store t = t.st
+
+let epoch t = t.epoch
+
+let bump_epoch t =
+  t.epoch <- t.epoch + 1;
+  Hashtbl.reset t.attrs_memo
 
 (* ------------------------------------------------------------------ *)
 (* Lookup                                                              *)
@@ -89,20 +99,24 @@ let all_classes t = List.rev_map (fun n -> info_of_entry (entry t n)) t.order
 
 (* Effective attributes: superclasses left to right (each contributing
    its own effective list), then own; first occurrence of a name wins,
-   conflicting types are a schema error. *)
+   conflicting types are a schema error. Memoized per class; the memo is
+   cleared whenever the schema epoch advances. *)
 let rec effective_attrs t name =
-  let e = entry t name in
-  let merge acc (attr, ty) =
-    match List.assoc_opt attr acc with
-    | None -> acc @ [ (attr, ty) ]
-    | Some existing when Mtype.equal existing ty -> acc
-    | Some _ ->
-        schema_error "class %s inherits attribute %s with conflicting types" name attr
-  in
-  let inherited =
-    List.concat_map (fun s -> effective_attrs t s) e.supers
-  in
-  List.fold_left merge [] (inherited @ e.attrs)
+  match Hashtbl.find_opt t.attrs_memo name with
+  | Some attrs -> attrs
+  | None ->
+      let e = entry t name in
+      let merge acc (attr, ty) =
+        match List.assoc_opt attr acc with
+        | None -> acc @ [ (attr, ty) ]
+        | Some existing when Mtype.equal existing ty -> acc
+        | Some _ ->
+            schema_error "class %s inherits attribute %s with conflicting types" name attr
+      in
+      let inherited = List.concat_map (fun s -> effective_attrs t s) e.supers in
+      let attrs = List.fold_left merge [] (inherited @ e.attrs) in
+      Hashtbl.replace t.attrs_memo name attrs;
+      attrs
 
 let attributes t name = effective_attrs t name
 
@@ -261,6 +275,7 @@ let define_class t ~name ?(kind = Class) ?(superclasses = []) ?(attributes = [])
   persist_type_row t e;
   List.iter (persist_attribute_row t e) attributes;
   List.iter (persist_function_row t e) methods;
+  bump_epoch t;
   info_of_entry e
 
 let system_class_names = [ moods_type; moods_attribute; moods_function; moods_name ]
@@ -322,20 +337,23 @@ let drop_class t name =
   in
   delete_rows moods_type ~owner_field:"typeId";
   delete_rows moods_attribute ~owner_field:"ownerTypeId";
-  delete_rows moods_function ~owner_field:"ownerTypeId"
+  delete_rows moods_function ~owner_field:"ownerTypeId";
+  bump_epoch t
 
 let add_method t ~class_name m =
   let e = entry t class_name in
   if List.exists (same_signature m) e.meths then
     schema_error "method %s.%s already defined with this signature" class_name m.method_name;
   e.meths <- e.meths @ [ m ];
-  persist_function_row t e m
+  persist_function_row t e m;
+  bump_epoch t
 
 let drop_method t ~class_name ~method_name =
   let e = entry t class_name in
   if not (List.exists (fun m -> String.equal m.method_name method_name) e.meths) then
     schema_error "class %s has no own method %s" class_name method_name;
-  e.meths <- List.filter (fun m -> not (String.equal m.method_name method_name)) e.meths
+  e.meths <- List.filter (fun m -> not (String.equal m.method_name method_name)) e.meths;
+  bump_epoch t
 
 let add_attribute t ~class_name attr ty =
   let e = entry t class_name in
@@ -343,13 +361,15 @@ let add_attribute t ~class_name attr ty =
     schema_error "class %s already has attribute %s" class_name attr;
   check_referenced_classes t class_name [ (attr, ty) ];
   e.attrs <- e.attrs @ [ (attr, ty) ];
-  persist_attribute_row t e (attr, ty)
+  persist_attribute_row t e (attr, ty);
+  bump_epoch t
 
 let drop_attribute t ~class_name attr =
   let e = entry t class_name in
   if not (List.mem_assoc attr e.attrs) then
     schema_error "class %s has no own attribute %s" class_name attr;
-  e.attrs <- List.remove_assoc attr e.attrs
+  e.attrs <- List.remove_assoc attr e.attrs;
+  bump_epoch t
 
 let rename_attribute t ~class_name ~old_name ~new_name =
   let e = entry t class_name in
@@ -358,7 +378,8 @@ let rename_attribute t ~class_name ~old_name ~new_name =
   if List.mem_assoc new_name (attributes t class_name) then
     schema_error "class %s already has attribute %s" class_name new_name;
   e.attrs <-
-    List.map (fun (n, ty) -> ((if String.equal n old_name then new_name else n), ty)) e.attrs
+    List.map (fun (n, ty) -> ((if String.equal n old_name then new_name else n), ty)) e.attrs;
+  bump_epoch t
 
 (* ------------------------------------------------------------------ *)
 (* Objects                                                             *)
@@ -369,7 +390,9 @@ let own_extent t name =
   | None -> schema_error "%s is a type, not a class: it has no extent" name
 
 (* Normalizes a tuple to the class's effective attribute list: declared
-   order, missing attributes Null, unknown attributes rejected. *)
+   order, missing attributes Null, unknown attributes rejected. Both
+   directions of the name matching go through one hash table per call,
+   keeping inserts linear in the attribute count. *)
 let normalize t class_name value =
   let attrs = attributes t class_name in
   let fields =
@@ -377,15 +400,19 @@ let normalize t class_name value =
     | Value.Tuple fields -> fields
     | _ -> schema_error "objects of class %s must be tuples" class_name
   in
+  let by_name = Hashtbl.create (2 * List.length fields + 1) in
+  List.iter (fun (n, v) -> if not (Hashtbl.mem by_name n) then Hashtbl.add by_name n v) fields;
+  let declared = Hashtbl.create (2 * List.length attrs + 1) in
+  List.iter (fun (n, _) -> Hashtbl.replace declared n ()) attrs;
   List.iter
     (fun (n, _) ->
-      if not (List.mem_assoc n attrs) then
+      if not (Hashtbl.mem declared n) then
         schema_error "class %s has no attribute %s" class_name n)
     fields;
   let normalized =
     List.map
       (fun (n, ty) ->
-        let v = Option.value ~default:Value.Null (List.assoc_opt n fields) in
+        let v = Option.value ~default:Value.Null (Hashtbl.find_opt by_name n) in
         if not (Value.type_check v ty) then
           schema_error "attribute %s.%s: value %s does not conform to %s" class_name n
             (Value.to_string v) (Mtype.to_string ty);
@@ -570,7 +597,16 @@ let create_index t ~class_name ~attr ~kind ?(unique = false) () =
       | None -> ())
     (extent_oids t class_name);
   Hashtbl.replace t.indexes (class_name, attr) ix;
+  bump_epoch t;
   ix
+
+let drop_index t ~class_name ~attr =
+  if Hashtbl.mem t.indexes (class_name, attr) then begin
+    Hashtbl.remove t.indexes (class_name, attr);
+    bump_epoch t;
+    true
+  end
+  else false
 
 let find_index t ~class_name ~attr =
   let rec search = function
@@ -613,6 +649,7 @@ let create_join_index t ~class_name ~attr =
       | None -> ())
     (extent_oids t class_name);
   Hashtbl.replace t.join_indexes (class_name, attr) jx;
+  bump_epoch t;
   jx
 
 let find_join_index t ~class_name ~attr =
@@ -692,6 +729,7 @@ let create_path_index t ~class_name ~path =
       | None -> ())
     (extent_oids t class_name);
   Hashtbl.replace t.path_indexes (class_name, path) px;
+  bump_epoch t;
   px
 
 let find_path_index t ~class_name ~path = Hashtbl.find_opt t.path_indexes (class_name, path)
@@ -788,7 +826,9 @@ let create ~store =
       indexes = Hashtbl.create 16;
       join_indexes = Hashtbl.create 16;
       path_indexes = Hashtbl.create 16;
-      system_ready = false
+      system_ready = false;
+      epoch = 0;
+      attrs_memo = Hashtbl.create 64
     }
   in
   let declare name =
@@ -877,7 +917,8 @@ let rebuild_indexes t =
           | None -> ())
         (extent_oids t cls);
       Hashtbl.replace t.path_indexes (cls, path) px)
-    path_keys
+    path_keys;
+  bump_epoch t
 
 let render_system_catalog t =
   let buf = Buffer.create 512 in

@@ -37,6 +37,14 @@ val create : store:Mood_storage.Store.t -> t
 
 val store : t -> Mood_storage.Store.t
 
+val epoch : t -> int
+(** The schema/index epoch: a counter bumped by every schema change
+    (class/attribute/method definition or removal) and every index
+    create/drop/rebuild. Consumers that derive state from the schema —
+    the [Db] plan cache, the internal effective-attribute memo — key on
+    it: a cached artifact stamped with an older epoch is stale. Data
+    (object) changes do {e not} advance the epoch. *)
+
 (** {1 Schema definition} *)
 
 val define_class :
@@ -116,6 +124,13 @@ val is_subclass_of : t -> sub:string -> super:string -> bool
 
 (** {1 Objects} *)
 
+val normalize : t -> string -> Mood_model.Value.t -> Mood_model.Value.t
+(** [normalize t class_name value] restates a tuple in the class's
+    declared attribute order: missing attributes become [Null], the
+    first binding of a duplicated field wins, unknown attributes and
+    type mismatches raise [Schema_error]. [insert_object] and
+    [update_object] apply this to every stored value. *)
+
 val insert_object : t -> ?txn:int -> class_name:string -> Mood_model.Value.t -> Mood_model.Oid.t
 (** Type-checks the tuple against the class's effective attributes
     (raises [Schema_error] on mismatch), stores it in the class's own
@@ -163,6 +178,11 @@ val create_index :
 val find_index : t -> class_name:string -> attr:string -> index option
 (** Also finds an index declared on a superclass (it covers the deep
     extent). *)
+
+val drop_index : t -> class_name:string -> attr:string -> bool
+(** Removes the secondary index declared on exactly (class, attr);
+    [false] when none exists. Advances the epoch, so cached plans that
+    counted on the index are invalidated. *)
 
 val indexes_list : t -> (string * string * [ `Btree | `Hash ]) list
 (** Every secondary index as (class, attribute, kind), sorted. *)

@@ -17,6 +17,17 @@ module Plan = Mood_optimizer.Plan
 module Executor = Mood_executor.Executor
 module Eval = Mood_executor.Eval
 
+(* A fully planned SELECT, ready to re-execute: the parsed query (for
+   statement locks), the optimizer output (for explain/traces) and the
+   closure-compiled plan. Plans hold no object data, so DML never
+   invalidates them — only schema/index/statistics changes do, via the
+   epoch the cache entry is stamped with. *)
+type cached_plan = {
+  cp_query : Ast.query;
+  cp_optimized : Optimizer.optimized;
+  cp_prepared : Executor.prepared;
+}
+
 type t = {
   st : Store.t;
   cat : Catalog.t;
@@ -24,6 +35,8 @@ type t = {
   mutable statistics : Stats.t;
   mutable session_scope : Fm.scope;
   mutable next_txn : int;
+  mutable stats_epoch : int;
+  plans : cached_plan Plan_cache.t;
 }
 
 type exec_result =
@@ -38,7 +51,7 @@ type exec_result =
   | Object_named of string * Oid.t
   | Name_dropped of string
 
-let create ?disk_params ?buffer_capacity () =
+let create ?disk_params ?buffer_capacity ?(plan_cache_capacity = 64) () =
   let st = Store.create ?disk_params ?buffer_capacity () in
   let cat = Catalog.create ~store:st in
   let funcs = Fm.create ~catalog:cat in
@@ -47,7 +60,9 @@ let create ?disk_params ?buffer_capacity () =
     funcs;
     statistics = Stats.create ();
     session_scope = Fm.enter_scope funcs;
-    next_txn = 1
+    next_txn = 1;
+    stats_epoch = 0;
+    plans = Plan_cache.create ~capacity:plan_cache_capacity
   }
 
 let store t = t.st
@@ -55,11 +70,22 @@ let catalog t = t.cat
 let functions t = t.funcs
 let stats t = t.statistics
 
+(* The plan-cache key epoch: any schema/index change (catalog epoch) or
+   statistics change (local counter) makes every cached plan stale.
+   Both components only grow, so their sum identifies a planning
+   state. *)
+let plan_epoch t = Catalog.epoch t.cat + t.stats_epoch
+
+let plan_cache_stats t = Plan_cache.stats t.plans
+
 let analyze t =
   t.statistics <- Catalog_stats.compute t.cat;
+  t.stats_epoch <- t.stats_epoch + 1;
   Store.reset_io t.st
 
-let set_stats t stats = t.statistics <- stats
+let set_stats t stats =
+  t.statistics <- stats;
+  t.stats_epoch <- t.stats_epoch + 1
 
 let optimizer_env t =
   { Dicts.catalog = t.cat; stats = t.statistics; params = Io_cost.default_params }
@@ -233,10 +259,47 @@ let with_statement_locks t stmt run =
         raise e
   end
 
-let exec t source =
+(* ------------------------------------------------------------------ *)
+(* The compile-once hot path                                           *)
+
+(* Typecheck + optimize + closure-compile one SELECT: everything a
+   repeated execution can skip. *)
+let build_plan t q =
+  Typecheck.check_statement ~catalog:t.cat (Ast.Select q);
+  let optimized = Optimizer.optimize (optimizer_env t) q in
+  { cp_query = q;
+    cp_optimized = optimized;
+    cp_prepared = Executor.prepare optimized.Optimizer.plan
+  }
+
+let run_cached t entry =
+  with_statement_locks t (Ast.Select entry.cp_query) (fun () ->
+      Rows (Executor.run_prepared (executor_env t) entry.cp_prepared))
+
+(* Only SELECT texts are worth a cache probe; everything else would
+   just pollute the miss counters (and DDL must not be cached anyway). *)
+let looks_like_select key =
+  String.length key >= 6
+  && String.uppercase_ascii (String.sub key 0 6) = "SELECT"
+
+let exec ?(cache = true) t source =
   match
-    (let stmt = Parser.parse source in
-     with_statement_locks t stmt (fun () -> exec_statement t stmt))
+    (let key = Plan_cache.normalize source in
+     let cache = cache && looks_like_select key in
+     let hit =
+       if cache then Plan_cache.find t.plans ~epoch:(plan_epoch t) key else None
+     in
+     match hit with
+     | Some entry -> run_cached t entry
+     | None -> begin
+         let stmt = Parser.parse source in
+         match stmt with
+         | Ast.Select q when cache ->
+             let entry = build_plan t q in
+             Plan_cache.add t.plans ~epoch:(plan_epoch t) key entry;
+             run_cached t entry
+         | _ -> with_statement_locks t stmt (fun () -> exec_statement t stmt)
+       end)
   with
   | result -> Ok result
   | exception Parser.Parse_error m -> Error ("parse error: " ^ m)
@@ -248,8 +311,8 @@ let exec t source =
   | exception Mood_model.Operand.Type_error m -> Error ("run-time type error: " ^ m)
   | exception Failure m -> Error m
 
-let query t source =
-  match exec t source with
+let query ?cache t source =
+  match exec ?cache t source with
   | Ok (Rows r) -> r
   | Ok _ -> failwith "query: not a SELECT statement"
   | Error m -> failwith m

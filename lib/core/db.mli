@@ -25,7 +25,13 @@ type exec_result =
   | Name_dropped of string
 
 val create :
-  ?disk_params:Mood_storage.Disk.params -> ?buffer_capacity:int -> unit -> t
+  ?disk_params:Mood_storage.Disk.params ->
+  ?buffer_capacity:int ->
+  ?plan_cache_capacity:int ->
+  unit ->
+  t
+(** [plan_cache_capacity] bounds the compiled-plan LRU cache (default
+    64 entries). *)
 
 val store : t -> Mood_storage.Store.t
 val catalog : t -> Mood_catalog.Catalog.t
@@ -47,14 +53,32 @@ val set_stats : t -> Mood_cost.Stats.t -> unit
 val optimizer_env : t -> Mood_optimizer.Dicts.env
 val executor_env : t -> Mood_executor.Eval.env
 
-val exec : t -> string -> (exec_result, string) result
+val exec : ?cache:bool -> t -> string -> (exec_result, string) result
 (** Parses, checks, optimizes and executes one MOODSQL statement.
     Returns [Error message] for parse/type/schema/run-time errors
     (the kernel's Exception class behaviour: failures are reported, the
-    server survives). *)
+    server survives).
 
-val query : t -> string -> Mood_executor.Executor.result
+    SELECT statements go through the {e compile-once hot path}: the
+    parsed, typechecked, optimized and closure-compiled plan is cached
+    under the normalized statement text, so re-executing the same query
+    skips everything up to and including plan compilation. Cached plans
+    are stamped with the schema/statistics epoch — DDL, index
+    create/drop, [analyze] and [set_stats] all advance it, lazily
+    invalidating every older plan. Data changes (INSERT/UPDATE/DELETE)
+    do not invalidate: plans re-read extents at execution. Pass
+    [~cache:false] to force the cold parse+typecheck+optimize+compile
+    pipeline (benchmark baseline, debugging). *)
+
+val query : ?cache:bool -> t -> string -> Mood_executor.Executor.result
 (** [exec] for SELECTs; raises [Failure] on errors or non-SELECTs. *)
+
+val plan_epoch : t -> int
+(** The epoch cached plans are keyed under: catalog schema/index epoch
+    plus the statistics generation. Any advance makes all cached plans
+    stale. *)
+
+val plan_cache_stats : t -> Plan_cache.stats
 
 val explain : t -> string -> string
 (** The optimizer's output for a SELECT: the access plan (with the

@@ -1,0 +1,121 @@
+(* LRU cache for compiled query plans, keyed by normalized statement
+   text and stamped with the schema/stats epoch that was current when
+   the plan was built. Same intrusive doubly-linked-list discipline as
+   the buffer pool: hit, insert and evict are all O(1). *)
+
+type 'a entry = {
+  key : string;
+  epoch : int;
+  value : 'a;
+  mutable prev : 'a entry option;
+  mutable next : 'a entry option;
+}
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable head : 'a entry option; (* most recently used *)
+  mutable tail : 'a entry option; (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; invalidations : int; evictions : int; entries : int }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Plan_cache.create: capacity <= 0";
+  { capacity;
+    table = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+    evictions = 0
+  }
+
+(* Collapses whitespace runs to single spaces and trims, so textual
+   re-spellings of one query share a cache slot. Identifier and string
+   literal case is preserved — normalization never changes meaning. *)
+let normalize source =
+  let buf = Buffer.create (String.length source) in
+  let pending_space = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> if Buffer.length buf > 0 then pending_space := true
+      | c ->
+          if !pending_space then begin
+            Buffer.add_char buf ' ';
+            pending_space := false
+          end;
+          Buffer.add_char buf c)
+    source;
+  Buffer.contents buf
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.prev <- None;
+  e.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let touch t e =
+  match t.head with
+  | Some h when h == e -> ()
+  | Some _ | None ->
+      unlink t e;
+      push_front t e
+
+let drop t e =
+  unlink t e;
+  Hashtbl.remove t.table e.key
+
+let find t ~epoch key =
+  match Hashtbl.find_opt t.table key with
+  | Some e when e.epoch = epoch ->
+      t.hits <- t.hits + 1;
+      touch t e;
+      Some e.value
+  | Some e ->
+      (* Built under an older schema/statistics state: stale. *)
+      drop t e;
+      t.invalidations <- t.invalidations + 1;
+      t.misses <- t.misses + 1;
+      None
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let add t ~epoch key value =
+  (match Hashtbl.find_opt t.table key with Some old -> drop t old | None -> ());
+  if Hashtbl.length t.table >= t.capacity then begin
+    match t.tail with
+    | Some lru ->
+        drop t lru;
+        t.evictions <- t.evictions + 1
+    | None -> ()
+  end;
+  let e = { key; epoch; value; prev = None; next = None } in
+  Hashtbl.replace t.table key e;
+  push_front t e
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let stats (t : _ t) =
+  { hits = t.hits;
+    misses = t.misses;
+    invalidations = t.invalidations;
+    evictions = t.evictions;
+    entries = Hashtbl.length t.table
+  }

@@ -1,0 +1,44 @@
+(** LRU cache for compiled query plans.
+
+    Keyed by the {e normalized} statement text ([normalize]) and
+    stamped with the schema/statistics epoch current at plan-build
+    time. A lookup under a newer epoch treats the entry as stale and
+    drops it — that is the whole invalidation protocol: DDL, index
+    create/drop and [analyze] advance the epoch, and every cached plan
+    built before them dies lazily on its next touch.
+
+    Hit, insert and evict are O(1) (hash table + intrusive recency
+    list), so the cache adds constant overhead to the query hot path it
+    exists to shorten. *)
+
+type 'a t
+
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;  (** entries dropped because their epoch was stale *)
+  evictions : int;      (** entries dropped by capacity pressure *)
+  entries : int;        (** currently cached *)
+}
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity <= 0]. *)
+
+val normalize : string -> string
+(** Whitespace-insensitive canonical form of a statement text: runs of
+    blanks/newlines collapse to one space, ends trimmed. Never changes
+    meaning (identifier and literal case are preserved). *)
+
+val find : 'a t -> epoch:int -> string -> 'a option
+(** [find t ~epoch key] returns the cached value when present {e and}
+    built under the same epoch; a stale entry is dropped and counted as
+    an invalidation plus a miss. The key must already be normalized. *)
+
+val add : 'a t -> epoch:int -> string -> 'a -> unit
+(** Inserts (replacing any entry under the same key), evicting the
+    least-recently-used entry when at capacity. *)
+
+val clear : 'a t -> unit
+(** Drops every entry; counters survive (they describe the session). *)
+
+val stats : 'a t -> stats

@@ -1,0 +1,29 @@
+(** Closure compilation of MOODSQL expressions and predicates.
+
+    The paper's Function Manager argument (Section 2) applied to the
+    query executor: interpreting an AST re-dispatches on every node for
+    every row, while compiling once turns per-row evaluation into a
+    plain closure call. [expr]/[predicate] walk the AST exactly once —
+    resolving operators, pre-compiling subexpressions, precomputing
+    aggregate keys and projection labels — and return closures that
+    only touch the data.
+
+    Semantics are identical to [Eval.expr]/[Eval.predicate] by
+    construction (the closures are built from the same primitives);
+    [interpret_expr]/[interpret_predicate] wrap the interpreter behind
+    the same types so an executor can run either path and a
+    differential test can compare them row for row. *)
+
+type expr_fn = Eval.env -> Eval.row -> Mood_model.Value.t
+type pred_fn = Eval.env -> Eval.row -> bool
+
+val expr : Mood_sql.Ast.expr -> expr_fn
+(** Compile once; the returned closure never inspects the AST again. *)
+
+val predicate : Mood_sql.Ast.predicate -> pred_fn
+
+val interpret_expr : Mood_sql.Ast.expr -> expr_fn
+(** The interpreter ([Eval.expr]) behind the compiled interface — the
+    fallback path and the differential-testing oracle. *)
+
+val interpret_predicate : Mood_sql.Ast.predicate -> pred_fn

@@ -35,3 +35,28 @@ val compare_values : Mood_model.Value.t -> Mood_model.Value.t -> int option
     numerically across kinds, strings/chars lexicographically,
     references by identity; [None] when incomparable or either side is
     [Null]. *)
+
+(** {1 Building blocks}
+
+    Exposed for the closure compiler ([Compile]), which lowers
+    expressions and predicates into OCaml closures once per plan and
+    needs the same navigation/comparison semantics per row. *)
+
+val navigate : env -> Mood_model.Value.t -> string list -> Mood_model.Value.t list
+(** All values reached from a value along an attribute path,
+    dereferencing references and fanning out over sets/lists. *)
+
+val lookup_var : row -> string -> Mood_algebra.Collection.item
+(** Raises [Eval_error] when the variable is unbound. *)
+
+val item_ref : Mood_algebra.Collection.item -> Mood_model.Value.t
+(** The item as a value: [Ref oid] for stored objects, the transient
+    value otherwise. *)
+
+val cmp_values :
+  Mood_sql.Ast.comparison -> Mood_model.Value.t -> Mood_model.Value.t -> bool
+(** One comparison under the predicate semantics: existential over
+    multi-valued sides, [Null] never compares. *)
+
+val eval_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raises [Eval_error] with a formatted message. *)

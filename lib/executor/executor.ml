@@ -13,6 +13,20 @@ module Hash_index = Mood_storage.Hash_index
 
 type result = { rows : Eval.row list; projected : Value.t list option }
 
+type mode = Compiled | Interpreted
+
+(* How predicates and expressions embedded in a plan are lowered into
+   per-row functions: the compiled lowering builds closures once, the
+   interpreted lowering defers to [Eval] on every row (the oracle). *)
+type lowering = {
+  lexpr : Ast.expr -> Compile.expr_fn;
+  lpred : Ast.predicate -> Compile.pred_fn;
+}
+
+let lowering_of = function
+  | Compiled -> { lexpr = Compile.expr; lpred = Compile.predicate }
+  | Interpreted -> { lexpr = Compile.interpret_expr; lpred = Compile.interpret_predicate }
+
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
 
@@ -64,20 +78,6 @@ let class_matches env ~class_name ~minus oid =
                   ~super:m)
               minus)
 
-(* Fetch a referenced object through a simple source: class membership
-   plus the residual predicate. *)
-let fetch_simple env (s : simple_source) oid =
-  if not (class_matches env ~class_name:s.s_class ~minus:s.s_minus oid) then None
-  else
-    match item_of env oid with
-    | None -> None
-    | Some item -> begin
-        match s.s_pred with
-        | None -> Some item
-        | Some pred ->
-            if Eval.predicate env [ (s.s_var, item) ] pred then Some item else None
-      end
-
 (* The pointer shape of a join predicate: [lv.attr = rv.self]. *)
 let pointer_pred = function
   | Ast.Cmp (Ast.Eq, Ast.Path (lv, (_ :: _ as path)), Ast.Path (rv, [])) ->
@@ -87,17 +87,148 @@ let pointer_pred = function
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
+(* Compiled plans                                                      *)
+
+(* The compile-once mirror of [Plan.node]: plan analysis (simple-source
+   detection, pointer-predicate shape, variable scoping, aggregate
+   keys, projection labels) and predicate/expression lowering all
+   happen in [prepare]; running a prepared plan touches only data. *)
+
+type csimple = {
+  c_class : string;
+  c_var : string;
+  c_minus : string list;
+  c_pred : Compile.pred_fn option;
+}
+
+type cagg = {
+  a_key : string;  (** the [#agg] field label, rendered once *)
+  a_fn : Ast.agg_fn;
+  a_arg : Compile.expr_fn option;
+}
+
+type cnode =
+  | CBind of { class_name : string; var : string; minus : string list }
+  | CNamed_obj of { name : string; var : string }
+  | CInd_sel of { simple : csimple; preds : Plan.indexed_pred list }
+  | CPath_ind_sel of {
+      class_name : string;
+      var : string;
+      path : string list;
+      cmp : Ast.comparison;
+      constant : Value.t;
+    }
+  | CSelect of { source : cnode; pred : Compile.pred_fn }
+  | CJoin of {
+      left : cnode;
+      right : cnode;
+      right_simple : csimple option;
+      method_ : Join_cost.method_choice;
+      pointer : (string * string list * string) option;
+          (** [lv.path = rv.self], already checked against the sides'
+              variable scopes *)
+      pred : Compile.pred_fn;
+    }
+  | CProject of { source : cnode }
+  | CGroup of {
+      source : cnode;
+      by : Compile.expr_fn list;
+      having : Compile.pred_fn option;
+      aggregates : cagg list;
+    }
+  | CSort of { source : cnode; keys : (Compile.expr_fn * Ast.order_direction) list }
+  | CUnion of cnode list
+
+type prepared = {
+  p_root : cnode;
+  p_project : (string * Compile.expr_fn) list option;
+      (** top-of-plan SELECT list: labels precomputed *)
+}
+
+let compile_simple lower (s : simple_source) =
+  { c_class = s.s_class;
+    c_var = s.s_var;
+    c_minus = s.s_minus;
+    c_pred = Option.map lower.lpred s.s_pred
+  }
+
+let compile_agg lower agg =
+  match agg with
+  | Ast.Aggregate (fn, inner) ->
+      { a_key = Ast.expr_to_string agg; a_fn = fn; a_arg = Option.map lower.lexpr inner }
+  | _ -> failwith "compile_agg: not an aggregate expression"
+
+let rec compile_node lower (node : Plan.node) : cnode =
+  match node with
+  | Plan.Bind { class_name; var; minus; every = _ } -> CBind { class_name; var; minus }
+  | Plan.Named_obj { name; var } -> CNamed_obj { name; var }
+  | Plan.Ind_sel { source; preds } -> begin
+      match as_simple source with
+      | None -> failwith "Ind_sel over a non-class source"
+      | Some s -> CInd_sel { simple = compile_simple lower s; preds }
+    end
+  | Plan.Path_ind_sel { class_name; var; path; cmp; constant } ->
+      CPath_ind_sel { class_name; var; path; cmp; constant }
+  | Plan.Select { source; pred; var = _ } ->
+      CSelect { source = compile_node lower source; pred = lower.lpred pred }
+  | Plan.Join { left; right; method_; pred } ->
+      let pointer =
+        match pointer_pred pred with
+        | Some (lv, path, rv)
+          when List.mem lv (Plan.vars left) && List.mem rv (Plan.vars right) ->
+            Some (lv, path, rv)
+        | Some _ | None -> None
+      in
+      CJoin
+        { left = compile_node lower left;
+          right = compile_node lower right;
+          right_simple = Option.map (compile_simple lower) (as_simple right);
+          method_;
+          pointer;
+          pred = lower.lpred pred
+        }
+  | Plan.Project { source; items = _ } ->
+      (* the SELECT list is applied at the top, via [p_project] *)
+      CProject { source = compile_node lower source }
+  | Plan.Group { source; by; having; aggregates } ->
+      CGroup
+        { source = compile_node lower source;
+          by = List.map lower.lexpr by;
+          having = Option.map lower.lpred having;
+          aggregates = List.map (compile_agg lower) aggregates
+        }
+  | Plan.Sort { source; keys } ->
+      CSort
+        { source = compile_node lower source;
+          keys = List.map (fun (e, dir) -> (lower.lexpr e, dir)) keys
+        }
+  | Plan.Union nodes -> CUnion (List.map (compile_node lower) nodes)
+
+(* Fetch a referenced object through a simple source: class membership
+   plus the residual predicate. *)
+let fetch_simple env (s : csimple) oid =
+  if not (class_matches env ~class_name:s.c_class ~minus:s.c_minus oid) then None
+  else
+    match item_of env oid with
+    | None -> None
+    | Some item -> begin
+        match s.c_pred with
+        | None -> Some item
+        | Some pred -> if pred env [ (s.c_var, item) ] then Some item else None
+      end
+
+(* ------------------------------------------------------------------ *)
 (* Plan evaluation                                                     *)
 
-let rec rows_of env node : Eval.row list =
+let rec rows_of env (node : cnode) : Eval.row list =
   match node with
-  | Plan.Bind { class_name; var; every = _; minus } ->
+  | CBind { class_name; var; minus } ->
       let out = ref [] in
       Catalog.scan_extent env.Eval.catalog ~every:true ~minus class_name
         ~f:(fun oid value ->
           out := [ (var, { Collection.oid = Some oid; value }) ] :: !out);
       List.rev !out
-  | Plan.Named_obj { name; var } -> begin
+  | CNamed_obj { name; var } -> begin
       match Catalog.named_object env.Eval.catalog name with
       | None -> failwith (Printf.sprintf "unknown named object %s" name)
       | Some oid -> begin
@@ -106,33 +237,27 @@ let rec rows_of env node : Eval.row list =
           | None -> []
         end
     end
-  | Plan.Ind_sel { source; preds } -> begin
-      match as_simple source with
-      | None -> failwith "Ind_sel over a non-class source"
-      | Some s ->
-          let probe (p : Plan.indexed_pred) =
-            match
-              Catalog.find_index env.Eval.catalog ~class_name:s.s_class
-                ~attr:p.Plan.ip_attr
-            with
-            | None -> None
-            | Some index -> Some (probe_index index p)
-          in
-          let oid_sets = List.filter_map probe preds in
-          let candidates =
-            match oid_sets with
-            | [] -> []
-            | first :: rest ->
-                List.fold_left
-                  (fun acc set -> List.filter (fun o -> List.exists (Oid.equal o) set) acc)
-                  first rest
-          in
-          List.filter_map
-            (fun oid ->
-              Option.map (fun item -> [ (s.s_var, item) ]) (fetch_simple env s oid))
-            (List.sort_uniq Oid.compare candidates)
-    end
-  | Plan.Path_ind_sel { class_name; var; path; cmp; constant } -> begin
+  | CInd_sel { simple = s; preds } ->
+      let probe (p : Plan.indexed_pred) =
+        match
+          Catalog.find_index env.Eval.catalog ~class_name:s.c_class ~attr:p.Plan.ip_attr
+        with
+        | None -> None
+        | Some index -> Some (probe_index index p)
+      in
+      let oid_sets = List.filter_map probe preds in
+      let candidates =
+        match oid_sets with
+        | [] -> []
+        | first :: rest ->
+            List.fold_left
+              (fun acc set -> List.filter (fun o -> List.exists (Oid.equal o) set) acc)
+              first rest
+      in
+      List.filter_map
+        (fun oid -> Option.map (fun item -> [ (s.c_var, item) ]) (fetch_simple env s oid))
+        (List.sort_uniq Oid.compare candidates)
+  | CPath_ind_sel { class_name; var; path; cmp; constant } -> begin
       match Catalog.find_path_index env.Eval.catalog ~class_name ~path with
       | None ->
           failwith
@@ -155,12 +280,11 @@ let rec rows_of env node : Eval.row list =
             (fun oid -> Option.map (fun item -> [ (var, item) ]) (item_of env oid))
             (List.sort_uniq Oid.compare heads)
     end
-  | Plan.Select { source; pred; var = _ } ->
-      List.filter (fun row -> Eval.predicate env row pred) (rows_of env source)
-  | Plan.Join { left; right; method_; pred } -> join env left right method_ pred
-  | Plan.Project { source; items = _ } ->
-      rows_of env source (* the SELECT list is applied by [run] at the top *)
-  | Plan.Group { source; by; having; aggregates } ->
+  | CSelect { source; pred } -> List.filter (fun row -> pred env row) (rows_of env source)
+  | CJoin { left; right; right_simple; method_; pointer; pred } ->
+      join env left right right_simple method_ pointer pred
+  | CProject { source } -> rows_of env source
+  | CGroup { source; by; having; aggregates } ->
       let input = rows_of env source in
       let groups =
         if by = [] then [ ([ Value.Null ], input) ] (* one group, possibly empty *)
@@ -173,8 +297,7 @@ let rec rows_of env node : Eval.row list =
             if aggregates = [] then representative
             else begin
               let fields =
-                List.map
-                  (fun agg -> (Ast.expr_to_string agg, compute_aggregate env members agg))
+                List.map (fun agg -> (agg.a_key, compute_aggregate env members agg))
                   aggregates
               in
               representative
@@ -185,61 +308,58 @@ let rec rows_of env node : Eval.row list =
       begin
         match having with
         | None -> rows
-        | Some pred -> List.filter (fun row -> Eval.predicate env row pred) rows
+        | Some pred -> List.filter (fun row -> pred env row) rows
       end
-  | Plan.Sort { source; keys } ->
+  | CSort { source; keys } ->
       let input = rows_of env source in
       let cmp a b = compare_rows env keys a b in
       Heap.sort_with_runs ~cmp ~run_length:1024 input
-  | Plan.Union nodes ->
+  | CUnion nodes ->
       let all = List.concat_map (rows_of env) nodes in
       dedup_rows all
 
 (* One aggregate value over a group's member rows. NULL inner values do
    not contribute; empty inputs give COUNT 0 and NULL for the rest. *)
 and compute_aggregate env members agg =
-  match agg with
-  | Ast.Aggregate (fn, inner) -> begin
-      let values =
-        match inner with
-        | None -> List.map (fun _ -> Value.Int 1) members
-        | Some e ->
-            List.filter_map
-              (fun row ->
-                match Eval.expr env row e with Value.Null -> None | v -> Some v)
-              members
-      in
-      match fn with
-      | Ast.Count -> Value.Int (List.length values)
-      | Ast.Sum -> begin
-          match values with
-          | [] -> Value.Null
-          | first :: rest ->
-              let open Mood_model.Operand in
-              to_value
-                (List.fold_left (fun acc v -> add acc (of_value v)) (of_value first) rest)
-        end
-      | Ast.Avg -> begin
-          let numerics = List.filter_map Value.as_float values in
-          match numerics with
-          | [] -> Value.Null
-          | _ ->
-              Value.Float
-                (List.fold_left ( +. ) 0. numerics /. float_of_int (List.length numerics))
-        end
-      | Ast.Min | Ast.Max ->
-          let better a b =
-            match Eval.compare_values a b with
-            | Some c -> if (fn = Ast.Min && c <= 0) || (fn = Ast.Max && c >= 0) then a else b
-            | None -> a
-          in
-          begin
-            match values with
-            | [] -> Value.Null
-            | first :: rest -> List.fold_left better first rest
-          end
+  let values =
+    match agg.a_arg with
+    | None -> List.map (fun _ -> Value.Int 1) members
+    | Some f ->
+        List.filter_map
+          (fun row -> match f env row with Value.Null -> None | v -> Some v)
+          members
+  in
+  match agg.a_fn with
+  | Ast.Count -> Value.Int (List.length values)
+  | Ast.Sum -> begin
+      match values with
+      | [] -> Value.Null
+      | first :: rest ->
+          let open Mood_model.Operand in
+          to_value
+            (List.fold_left (fun acc v -> add acc (of_value v)) (of_value first) rest)
     end
-  | _ -> failwith "compute_aggregate: not an aggregate expression"
+  | Ast.Avg -> begin
+      let numerics = List.filter_map Value.as_float values in
+      match numerics with
+      | [] -> Value.Null
+      | _ ->
+          Value.Float
+            (List.fold_left ( +. ) 0. numerics /. float_of_int (List.length numerics))
+    end
+  | Ast.Min | Ast.Max ->
+      let better a b =
+        match Eval.compare_values a b with
+        | Some c ->
+            if (agg.a_fn = Ast.Min && c <= 0) || (agg.a_fn = Ast.Max && c >= 0) then a
+            else b
+        | None -> a
+      in
+      begin
+        match values with
+        | [] -> Value.Null
+        | first :: rest -> List.fold_left better first rest
+      end
 
 and probe_index index (p : Plan.indexed_pred) =
   match index, p.Plan.ip_cmp with
@@ -268,7 +388,7 @@ and group_rows env rows by =
   let groups : (Value.t list * Eval.row list ref) list ref = ref [] in
   List.iter
     (fun row ->
-      let key = List.map (Eval.expr env row) by in
+      let key = List.map (fun f -> f env row) by in
       match
         List.find_opt
           (fun (k, _) -> List.length k = List.length key && List.for_all2 Value.equal k key)
@@ -282,8 +402,8 @@ and group_rows env rows by =
 and compare_rows env keys a b =
   let rec go = function
     | [] -> 0
-    | (e, dir) :: rest -> begin
-        let va = Eval.expr env a e and vb = Eval.expr env b e in
+    | (f, dir) :: rest -> begin
+        let va = f env a and vb = f env b in
         let c =
           match Eval.compare_values va vb with
           | Some c -> c
@@ -327,23 +447,22 @@ and dedup_rows rows =
 
 (* ---------------- Joins ---------------- *)
 
-and join env left right method_ pred =
+and join env left right right_simple method_ pointer pred =
   let left_rows = rows_of env left in
-  match pointer_pred pred with
-  | Some (lv, path, rv) when List.mem lv (Plan.vars left) && List.mem rv (Plan.vars right)
-    -> begin
-      let simple = as_simple right in
-      match method_, simple with
+  match pointer with
+  | Some (lv, path, rv) -> begin
+      match method_, right_simple with
       | (Join_cost.Forward_traversal | Join_cost.Hash_partition), Some s ->
           pointer_join_lazy env left_rows lv path rv s
-      | Join_cost.Binary_join_index, Some s ->
-          bji_join env left_rows lv path rv s
-      | (Join_cost.Forward_traversal | Join_cost.Hash_partition | Join_cost.Binary_join_index), None ->
+      | Join_cost.Binary_join_index, Some s -> bji_join env left_rows lv path rv s
+      | ( (Join_cost.Forward_traversal | Join_cost.Hash_partition
+          | Join_cost.Binary_join_index),
+          None ) ->
           pointer_join_materialized env left_rows lv path rv (rows_of env right)
       | Join_cost.Backward_traversal, _ ->
           backward_join env left_rows lv path rv (rows_of env right)
     end
-  | Some _ | None ->
+  | None ->
       (* General theta join / cross product: nested loop. *)
       let right_rows = rows_of env right in
       List.concat_map
@@ -351,7 +470,7 @@ and join env left right method_ pred =
           List.filter_map
             (fun r ->
               let merged = l @ r in
-              if Eval.predicate env merged pred then Some merged else None)
+              if pred env merged then Some merged else None)
             right_rows)
         left_rows
 
@@ -438,7 +557,7 @@ and bji_join env left_rows lv path rv s =
      pointer predicates fall back to lazy chasing. *)
   match path with
   | [ attr ] -> begin
-      match Catalog.find_join_index env.Eval.catalog ~class_name:s.s_class ~attr with
+      match Catalog.find_join_index env.Eval.catalog ~class_name:s.c_class ~attr with
       | None -> pointer_join_lazy env left_rows lv path rv s
       | Some _jx ->
           (* The forward direction of the index maps C objects to D
@@ -477,23 +596,6 @@ and backward_join env left_rows lv path rv right_rows =
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 
-let project_rows env items rows =
-  List.map
-    (fun row ->
-      let fields =
-        List.map
-          (fun (item : Ast.select_item) ->
-            let label =
-              match item.Ast.alias with
-              | Some a -> a
-              | None -> Ast.expr_to_string item.Ast.expr
-            in
-            (label, Eval.expr env row item.Ast.expr))
-          items
-      in
-      Value.Tuple fields)
-    rows
-
 let rec top_projection = function
   | Plan.Project { items; _ } -> Some items
   | Plan.Sort { source; _ } -> top_projection source
@@ -501,10 +603,37 @@ let rec top_projection = function
   | Plan.Select _ | Plan.Join _ | Plan.Group _ | Plan.Union _ ->
       None
 
-let run env node =
-  let rows = rows_of env node in
-  let projected = Option.map (fun items -> project_rows env items rows) (top_projection node) in
+let prepare ?(mode = Compiled) node =
+  let lower = lowering_of mode in
+  { p_root = compile_node lower node;
+    p_project =
+      Option.map
+        (fun items ->
+          List.map
+            (fun (item : Ast.select_item) ->
+              let label =
+                match item.Ast.alias with
+                | Some a -> a
+                | None -> Ast.expr_to_string item.Ast.expr
+              in
+              (label, lower.lexpr item.Ast.expr))
+            items)
+        (top_projection node)
+  }
+
+let run_prepared env p =
+  let rows = rows_of env p.p_root in
+  let projected =
+    Option.map
+      (fun items ->
+        List.map
+          (fun row -> Value.Tuple (List.map (fun (label, f) -> (label, f env row)) items))
+          rows)
+      p.p_project
+  in
   { rows; projected }
+
+let run ?mode env node = run_prepared env (prepare ?mode node)
 
 let run_query env opt_env q =
   let optimized = Optimizer.optimize opt_env q in

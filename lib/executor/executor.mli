@@ -16,7 +16,28 @@ type result = {
           bare binding results *)
 }
 
-val run : Eval.env -> Mood_optimizer.Plan.node -> result
+type mode =
+  | Compiled     (** predicates/expressions lowered to closures once per
+                     plan ([Compile]) — the hot path *)
+  | Interpreted  (** per-row AST walking through [Eval] — the fallback
+                     and the differential-testing oracle *)
+
+type prepared
+(** A compiled plan: all plan analysis (simple-source detection,
+    pointer-predicate shape, aggregate keys, projection labels) and
+    predicate/expression lowering done once. Prepared plans are
+    immutable and reusable across executions — the unit the [Db] plan
+    cache stores. A prepared plan holds no object data: executions see
+    the store as it is at run time. *)
+
+val prepare : ?mode:mode -> Mood_optimizer.Plan.node -> prepared
+(** Compile once (default [Compiled]). *)
+
+val run_prepared : Eval.env -> prepared -> result
+(** Invoke many: per-row work is closure calls, no AST inspection. *)
+
+val run : ?mode:mode -> Eval.env -> Mood_optimizer.Plan.node -> result
+(** [prepare] + [run_prepared]. *)
 
 val run_query : Eval.env -> Mood_optimizer.Dicts.env -> Mood_sql.Ast.query -> result
 (** Optimize then run. *)

@@ -2,13 +2,23 @@ type intent = Sequential | Random
 
 type stats = { hits : int; misses : int; evictions : int }
 
-type frame = { key : int * int; mutable dirty : bool; mutable stamp : int }
+(* Frames form an intrusive doubly-linked recency list: [head] is the
+   most recently used frame, [tail] the least. Touching a frame unlinks
+   and re-pushes it at the head; eviction pops the tail — both O(1),
+   so a miss never scans the resident set. *)
+type frame = {
+  key : int * int;
+  mutable dirty : bool;
+  mutable prev : frame option; (* towards the head (more recent) *)
+  mutable next : frame option; (* towards the tail (less recent) *)
+}
 
 type t = {
   disk : Disk.t;
   capacity : int;
   frames : (int * int, frame) Hashtbl.t;
-  mutable clock : int;
+  mutable head : frame option;
+  mutable tail : frame option;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -21,7 +31,8 @@ let create ~disk ~capacity =
   { disk;
     capacity;
     frames = Hashtbl.create (2 * capacity);
-    clock = 0;
+    head = None;
+    tail = None;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -30,23 +41,35 @@ let create ~disk ~capacity =
 
 let capacity t = t.capacity
 
-let tick t =
-  t.clock <- t.clock + 1;
-  t.clock
+let unlink t frame =
+  (match frame.prev with
+  | Some p -> p.next <- frame.next
+  | None -> t.head <- frame.next);
+  (match frame.next with
+  | Some n -> n.prev <- frame.prev
+  | None -> t.tail <- frame.prev);
+  frame.prev <- None;
+  frame.next <- None
+
+let push_front t frame =
+  frame.prev <- None;
+  frame.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some frame | None -> t.tail <- Some frame);
+  t.head <- Some frame
+
+let touch t frame =
+  match t.head with
+  | Some h when h == frame -> ()
+  | Some _ | None ->
+      unlink t frame;
+      push_front t frame
 
 let evict_lru t =
-  let victim =
-    Hashtbl.fold
-      (fun _ frame acc ->
-        match acc with
-        | None -> Some frame
-        | Some best -> if frame.stamp < best.stamp then Some frame else acc)
-      t.frames None
-  in
-  match victim with
+  match t.tail with
   | None -> ()
   | Some frame ->
       if frame.dirty then Disk.write_page t.disk;
+      unlink t frame;
       Hashtbl.remove t.frames frame.key;
       t.evictions <- t.evictions + 1
 
@@ -68,14 +91,16 @@ let fault t key intent =
         t.last_sequential <- Some key
   end;
   if Hashtbl.length t.frames >= t.capacity then evict_lru t;
-  Hashtbl.replace t.frames key { key; dirty = false; stamp = tick t }
+  let frame = { key; dirty = false; prev = None; next = None } in
+  Hashtbl.replace t.frames key frame;
+  push_front t frame
 
 let access t ~file ~page ~intent =
   let key = (file, page) in
   match Hashtbl.find_opt t.frames key with
   | Some frame ->
       t.hits <- t.hits + 1;
-      frame.stamp <- tick t;
+      touch t frame;
       (* A buffered page costs nothing, but it still advances a
          sequential run so the next on-disk page is not charged a seek. *)
       if intent = Sequential then t.last_sequential <- Some key
@@ -87,7 +112,7 @@ let modify t ~file ~page =
     match Hashtbl.find_opt t.frames key with
     | Some frame ->
         t.hits <- t.hits + 1;
-        frame.stamp <- tick t
+        touch t frame
     | None -> fault t key Random
   end;
   match Hashtbl.find_opt t.frames key with
@@ -105,9 +130,19 @@ let flush t =
 
 let invalidate t ~file =
   let doomed =
-    Hashtbl.fold (fun (f, p) _ acc -> if f = file then (f, p) :: acc else acc) t.frames []
+    Hashtbl.fold (fun _ frame acc -> if fst frame.key = file then frame :: acc else acc)
+      t.frames []
   in
-  List.iter (Hashtbl.remove t.frames) doomed
+  List.iter
+    (fun frame ->
+      unlink t frame;
+      Hashtbl.remove t.frames frame.key)
+    doomed;
+  (* The run marker may point into the dropped file: keeping it would
+     under-charge the next sequential access with a mid-run cost. *)
+  (match t.last_sequential with
+  | Some (f, _) when f = file -> t.last_sequential <- None
+  | Some _ | None -> ())
 
 let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }
 
@@ -120,5 +155,7 @@ let resident t ~file ~page = Hashtbl.mem t.frames (file, page)
 
 let clear t =
   Hashtbl.reset t.frames;
+  t.head <- None;
+  t.tail <- None;
   t.last_sequential <- None;
   reset_stats t

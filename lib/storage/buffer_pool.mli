@@ -4,7 +4,12 @@
     file (this is a simulator). A miss charges the simulated disk
     according to the access intent; a hit charges nothing, which is how
     "if D is accessed previously" clauses of the cost model (Section 6.2)
-    become observable in measurements. Dirty evictions charge a write. *)
+    become observable in measurements. Dirty evictions charge a write.
+
+    Replacement is true LRU implemented as an intrusive doubly-linked
+    recency list over the frame table: hits, misses and evictions are
+    all O(1) — the eviction path never scans the resident set, so a
+    large pool costs the same per access as a small one. *)
 
 type t
 
@@ -32,7 +37,10 @@ val flush : t -> unit
 (** Writes back all dirty pages (charging the disk) and cleans them. *)
 
 val invalidate : t -> file:int -> unit
-(** Drops all frames of a file without write-back (file destroyed). *)
+(** Drops all frames of a file without write-back (file destroyed).
+    Also forgets a sequential-run marker pointing into that file, so the
+    next sequential access is charged a fresh seek, not a mid-run
+    transfer. *)
 
 val clear : t -> unit
 (** Drops every frame without write-back and resets statistics —

@@ -1,0 +1,21 @@
+#!/bin/sh
+# CI gate: full build, test suite, and a benchmark smoke run.
+#
+# The bench smoke uses a tiny measurement quota (MOOD_BENCH_QUOTA, in
+# seconds) — it verifies the harness runs end to end and emits
+# BENCH_micro.json, not that the numbers are stable. Run
+# `dune exec bench/main.exe -- micro` without the quota for real
+# measurements.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench smoke (json) =="
+MOOD_BENCH_QUOTA="${MOOD_BENCH_QUOTA:-0.02}" dune exec bench/main.exe -- json
+
+echo "== ok =="

@@ -389,6 +389,68 @@ let test_stats_index_registration () =
   Alcotest.(check bool) "join index stats registered" true
     (Stats.index_stats stats ~cls:"Vehicle" ~attr:"#join:company" <> None)
 
+(* ---------------- schema epoch ---------------- *)
+
+let test_epoch_bumps_on_ddl () =
+  let cat = fresh () in
+  let e0 = Catalog.epoch cat in
+  ignore
+    (Catalog.define_class cat ~name:"Thing"
+       ~attributes:[ ("n", basic Mtype.Integer) ]
+       ());
+  let e1 = Catalog.epoch cat in
+  Alcotest.(check bool) "define_class bumps" true (e1 > e0);
+  Catalog.add_attribute cat ~class_name:"Thing" "m" (basic Mtype.Integer);
+  let e2 = Catalog.epoch cat in
+  Alcotest.(check bool) "add_attribute bumps" true (e2 > e1);
+  ignore (Catalog.create_index cat ~class_name:"Thing" ~attr:"n" ~kind:`Btree ());
+  let e3 = Catalog.epoch cat in
+  Alcotest.(check bool) "create_index bumps" true (e3 > e2);
+  Alcotest.(check bool) "drop_index hits" true
+    (Catalog.drop_index cat ~class_name:"Thing" ~attr:"n");
+  let e4 = Catalog.epoch cat in
+  Alcotest.(check bool) "drop_index bumps" true (e4 > e3);
+  (* dropping a missing index is a no-op: reports false, epoch stays *)
+  Alcotest.(check bool) "drop_index misses" false
+    (Catalog.drop_index cat ~class_name:"Thing" ~attr:"n");
+  Alcotest.(check int) "no-op keeps epoch" e4 (Catalog.epoch cat)
+
+let test_drop_index_removes_access_path () =
+  let cat = fresh () in
+  ignore
+    (Catalog.define_class cat ~name:"Thing"
+       ~attributes:[ ("n", basic Mtype.Integer) ]
+       ());
+  ignore (Catalog.create_index cat ~class_name:"Thing" ~attr:"n" ~kind:`Btree ());
+  Alcotest.(check bool) "index present" true
+    (Catalog.find_index cat ~class_name:"Thing" ~attr:"n" <> None);
+  Alcotest.(check bool) "dropped" true
+    (Catalog.drop_index cat ~class_name:"Thing" ~attr:"n");
+  Alcotest.(check bool) "index gone" true
+    (Catalog.find_index cat ~class_name:"Thing" ~attr:"n" = None)
+
+let test_normalize_semantics () =
+  let cat = fresh () in
+  ignore
+    (Catalog.define_class cat ~name:"P"
+       ~attributes:[ ("a", basic Mtype.Integer); ("b", basic Mtype.Integer) ]
+       ());
+  (* declared order restored, missing attributes filled with Null *)
+  (match Catalog.normalize cat "P" (Value.Tuple [ ("b", Value.Int 2) ]) with
+  | Value.Tuple [ ("a", Value.Null); ("b", Value.Int 2) ] -> ()
+  | v -> Alcotest.failf "unexpected %s" (Value.to_string v));
+  (* duplicate field: the first binding wins, as with assoc lookup *)
+  (match
+     Catalog.normalize cat "P"
+       (Value.Tuple [ ("a", Value.Int 1); ("b", Value.Int 2); ("a", Value.Int 9) ])
+   with
+  | Value.Tuple [ ("a", Value.Int 1); ("b", Value.Int 2) ] -> ()
+  | v -> Alcotest.failf "unexpected %s" (Value.to_string v));
+  (* unknown attributes still rejected *)
+  match Catalog.normalize cat "P" (Value.Tuple [ ("zz", Value.Int 0) ]) with
+  | exception Catalog.Schema_error _ -> ()
+  | v -> Alcotest.failf "accepted unknown attr: %s" (Value.to_string v)
+
 let suites =
   [ ( "catalog.schema",
       [ Alcotest.test_case "define/lookup" `Quick test_define_and_lookup;
@@ -411,7 +473,11 @@ let suites =
         Alcotest.test_case "path index" `Quick test_path_index_and_resolution
       ] );
     ( "catalog.drop",
-      [ Alcotest.test_case "drop class" `Quick test_drop_class ] );
+      [ Alcotest.test_case "drop class" `Quick test_drop_class;
+        Alcotest.test_case "drop index" `Quick test_drop_index_removes_access_path ] );
+    ( "catalog.epoch",
+      [ Alcotest.test_case "DDL bumps" `Quick test_epoch_bumps_on_ddl;
+        Alcotest.test_case "normalize semantics" `Quick test_normalize_semantics ] );
     ( "catalog.named",
       [ Alcotest.test_case "name/lookup/drop" `Quick test_named_objects ] );
     ( "catalog.system",

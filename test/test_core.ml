@@ -296,6 +296,87 @@ let test_query_rejects_non_select () =
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "query accepted DDL"
 
+(* ---------------- plan cache ---------------- *)
+
+module Plan_cache = Mood.Plan_cache
+
+let item_db () =
+  let db = fresh () in
+  ignore (ok db "CREATE CLASS Item TUPLE (n Integer)");
+  ignore (ok db "new Item <1>");
+  ignore (ok db "new Item <2>");
+  db
+
+let test_plan_cache_hits_and_dml () =
+  let db = item_db () in
+  let q = "SELECT i FROM Item i WHERE i.n > 0" in
+  Alcotest.(check int) "2 rows" 2 (List.length (Db.query db q).Executor.rows);
+  let s1 = Db.plan_cache_stats db in
+  Alcotest.(check int) "one entry" 1 s1.Plan_cache.entries;
+  Alcotest.(check int) "no hit yet" 0 s1.Plan_cache.hits;
+  ignore (Db.query db q);
+  (* normalization: re-spelled whitespace shares the slot *)
+  ignore (Db.query db "SELECT i   FROM Item i\n  WHERE i.n > 0");
+  let s2 = Db.plan_cache_stats db in
+  Alcotest.(check int) "two hits" 2 s2.Plan_cache.hits;
+  Alcotest.(check int) "still one entry" 1 s2.Plan_cache.entries;
+  (* DML never invalidates: the cached plan re-reads the extent *)
+  ignore (ok db "new Item <3>");
+  Alcotest.(check int) "sees new object" 3 (List.length (Db.query db q).Executor.rows);
+  let s3 = Db.plan_cache_stats db in
+  Alcotest.(check int) "hit after DML" 3 s3.Plan_cache.hits;
+  Alcotest.(check int) "no invalidation from DML" 0 s3.Plan_cache.invalidations;
+  (* ~cache:false bypasses the cache entirely *)
+  ignore (Db.query ~cache:false db q);
+  let s4 = Db.plan_cache_stats db in
+  Alcotest.(check int) "bypass does not hit" 3 s4.Plan_cache.hits;
+  Alcotest.(check int) "bypass does not miss" s3.Plan_cache.misses s4.Plan_cache.misses
+
+let test_plan_cache_invalidation () =
+  let db = item_db () in
+  let q = "SELECT i FROM Item i WHERE i.n > 0" in
+  let warm () = ignore (Db.query db q) in
+  let invalidations () = (Db.plan_cache_stats db).Plan_cache.invalidations in
+  warm ();
+  let e0 = Db.plan_epoch db in
+  (* CREATE INDEX: a new access path must be replanned into *)
+  (match ok db "CREATE INDEX ON Item (n)" with
+  | Db.Index_created ("Item", "n") -> ()
+  | _ -> Alcotest.fail "index result");
+  Alcotest.(check bool) "epoch advanced" true (Db.plan_epoch db > e0);
+  warm ();
+  Alcotest.(check int) "create index invalidates" 1 (invalidations ());
+  (* DROP INDEX (programmatic) *)
+  Alcotest.(check bool) "drop index" true
+    (Catalog.drop_index (Db.catalog db) ~class_name:"Item" ~attr:"n");
+  warm ();
+  Alcotest.(check int) "drop index invalidates" 2 (invalidations ());
+  (* schema DDL *)
+  ignore (ok db "CREATE CLASS Extra TUPLE (x Integer)");
+  warm ();
+  Alcotest.(check int) "DDL invalidates" 3 (invalidations ());
+  (* fresh statistics change plan choices: analyze invalidates too *)
+  Db.analyze db;
+  warm ();
+  Alcotest.(check int) "analyze invalidates" 4 (invalidations ());
+  (* and the replanned entries still answer correctly *)
+  Alcotest.(check int) "2 rows" 2 (List.length (Db.query db q).Executor.rows)
+
+let test_plan_cache_capacity_eviction () =
+  let db = Db.create ~plan_cache_capacity:2 () in
+  ignore (ok db "CREATE CLASS Item TUPLE (n Integer)");
+  ignore (ok db "new Item <1>");
+  ignore (Db.query db "SELECT i FROM Item i");
+  ignore (Db.query db "SELECT i FROM Item i WHERE i.n > 0");
+  ignore (Db.query db "SELECT i FROM Item i WHERE i.n < 9");
+  let s = Db.plan_cache_stats db in
+  Alcotest.(check int) "bounded" 2 s.Plan_cache.entries;
+  Alcotest.(check int) "one eviction" 1 s.Plan_cache.evictions;
+  (* the evicted (least recent) query recompiles, the recent one hits *)
+  ignore (Db.query db "SELECT i FROM Item i WHERE i.n < 9");
+  Alcotest.(check int) "recent entry hits" (s.Plan_cache.hits + 1)
+    (Db.plan_cache_stats db).Plan_cache.hits
+
 let suites =
   [ ( "core.db",
       [ Alcotest.test_case "DDL/DML roundtrip" `Quick test_ddl_dml_roundtrip;
@@ -313,5 +394,10 @@ let suites =
         Alcotest.test_case "IS NULL execution" `Quick test_is_null_execution;
         Alcotest.test_case "statement locking" `Quick test_statement_level_locking;
         Alcotest.test_case "query non-select" `Quick test_query_rejects_non_select
+      ] );
+    ( "core.plan_cache",
+      [ Alcotest.test_case "hits and DML" `Quick test_plan_cache_hits_and_dml;
+        Alcotest.test_case "invalidation" `Quick test_plan_cache_invalidation;
+        Alcotest.test_case "capacity eviction" `Quick test_plan_cache_capacity_eviction
       ] )
   ]

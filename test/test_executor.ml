@@ -320,6 +320,86 @@ let prop_random_queries_match_oracle =
       let slow = naive_oids src in
       List.length fast = List.length slow && List.for_all2 Oid.equal slow fast)
 
+(* ---------------- Compiled vs interpreted lowering ---------------- *)
+
+(* Atoms chosen to exercise the predicate compiler's specializations:
+   integer arithmetic fast paths (including / and % error guards),
+   integer comparison fast paths, and the generic fallbacks (string
+   equality, path navigation, IS NULL). *)
+let compiled_atoms =
+  [| "v.weight * 2 - v.id > 2500"; "v.id % 7 = 3"; "v.weight / 10 >= 150";
+     "v.weight + v.id < 1300"; "v.weight > 1500"; "v.id - 25 <= 0";
+     "v.drivetrain.transmission = 'AUTOMATIC'";
+     "v.drivetrain.engine.cylinders = 2"; "v.drivetrain IS NOT NULL"
+  |]
+
+let compiled_predicate_gen =
+  QCheck.Gen.(
+    let atom = map (fun i -> compiled_atoms.(i)) (int_bound (Array.length compiled_atoms - 1)) in
+    let rec gen n =
+      if n <= 1 then atom
+      else
+        frequency
+          [ (3, atom);
+            (2, map2 (Printf.sprintf "(%s AND %s)") (gen (n / 2)) (gen (n / 2)));
+            (2, map2 (Printf.sprintf "(%s OR %s)") (gen (n / 2)) (gen (n / 2)));
+            (1, map (Printf.sprintf "(NOT %s)") (gen (n - 1)))
+          ]
+    in
+    int_range 1 6 >>= gen)
+
+let mode_oids mode src =
+  let d = db () in
+  let plan = (Db.optimize d src).Mood_optimizer.Optimizer.plan in
+  Executor.result_oids (Executor.run ~mode (Db.executor_env d) plan)
+
+let prop_compiled_matches_interpreted =
+  QCheck.Test.make ~name:"compiled predicates = interpreted oracle" ~count:60
+    (QCheck.make ~print:Fun.id compiled_predicate_gen)
+    (fun pred ->
+      let src = "SELECT v FROM Vehicle v WHERE " ^ pred in
+      let c = List.sort Oid.compare (mode_oids Executor.Compiled src) in
+      let i = List.sort Oid.compare (mode_oids Executor.Interpreted src) in
+      List.length c = List.length i && List.for_all2 Oid.equal i c)
+
+let test_compiled_projection_matches_interpreter () =
+  let d = db () in
+  let src =
+    "SELECT v.weight * 3 + v.id % 7, v.weight - v.id FROM Vehicle v WHERE v.id < 40"
+  in
+  let plan = (Db.optimize d src).Mood_optimizer.Optimizer.plan in
+  let c = Executor.run ~mode:Executor.Compiled (Db.executor_env d) plan in
+  let i = Executor.run ~mode:Executor.Interpreted (Db.executor_env d) plan in
+  match (c.Executor.projected, i.Executor.projected) with
+  | Some cv, Some iv ->
+      Alcotest.(check int) "cardinality" (List.length iv) (List.length cv);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s = %s" (Value.to_string a) (Value.to_string b))
+            true
+            (Value.compare a b = 0))
+        iv cv
+  | _ -> Alcotest.fail "projection missing"
+
+let test_compiled_aggregates_match_interpreter () =
+  let d = db () in
+  let src =
+    "SELECT e.cylinders, COUNT(*), AVG(e.size) FROM VehicleEngine e \
+     GROUP BY e.cylinders HAVING COUNT(*) >= 2 ORDER BY e.cylinders"
+  in
+  let plan = (Db.optimize d src).Mood_optimizer.Optimizer.plan in
+  let c = Executor.run ~mode:Executor.Compiled (Db.executor_env d) plan in
+  let i = Executor.run ~mode:Executor.Interpreted (Db.executor_env d) plan in
+  match (c.Executor.projected, i.Executor.projected) with
+  | Some cv, Some iv ->
+      Alcotest.(check int) "cardinality" (List.length iv) (List.length cv);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool) "group row equal" true (Value.compare a b = 0))
+        iv cv
+  | _ -> Alcotest.fail "projection missing"
+
 (* ---------------- Aggregates ---------------- *)
 
 let single_value r =
@@ -540,6 +620,13 @@ let suites =
         Alcotest.test_case "both-sided path join" `Quick test_both_sided_path_join;
         Alcotest.test_case "multi-key group by" `Quick test_multi_key_group_by;
         QCheck_alcotest.to_alcotest prop_random_queries_match_oracle
+      ] );
+    ( "executor.compile",
+      [ Alcotest.test_case "projection differential" `Quick
+          test_compiled_projection_matches_interpreter;
+        Alcotest.test_case "aggregate differential" `Quick
+          test_compiled_aggregates_match_interpreter;
+        QCheck_alcotest.to_alcotest prop_compiled_matches_interpreted
       ] );
     ( "executor.semantics",
       [ Alcotest.test_case "union dedup" `Quick test_union_deduplicates;

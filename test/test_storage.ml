@@ -123,6 +123,53 @@ let test_buffer_sequential_run () =
   close (params.Disk.seek +. params.Disk.rot +. (10. *. params.Disk.ebt)) (Disk.elapsed disk);
   Alcotest.(check int) "one seek" 1 (Disk.counters disk).Disk.seeks
 
+let test_buffer_touch_reorders_lru () =
+  (* A re-access must move the frame to the recency front, changing the
+     eviction victim. *)
+  let disk = Disk.create () in
+  let pool = Buffer_pool.create ~disk ~capacity:2 in
+  Buffer_pool.access pool ~file:0 ~page:0 ~intent:Buffer_pool.Random;
+  Buffer_pool.access pool ~file:0 ~page:1 ~intent:Buffer_pool.Random;
+  Buffer_pool.access pool ~file:0 ~page:0 ~intent:Buffer_pool.Random;
+  Buffer_pool.access pool ~file:0 ~page:2 ~intent:Buffer_pool.Random;
+  Alcotest.(check bool) "page 1 evicted" false (Buffer_pool.resident pool ~file:0 ~page:1);
+  Alcotest.(check bool) "page 0 resident" true (Buffer_pool.resident pool ~file:0 ~page:0);
+  Alcotest.(check bool) "page 2 resident" true (Buffer_pool.resident pool ~file:0 ~page:2)
+
+let test_buffer_invalidate_resets_sequential () =
+  let disk = Disk.create () in
+  let pool = Buffer_pool.create ~disk ~capacity:16 in
+  Buffer_pool.access pool ~file:3 ~page:0 ~intent:Buffer_pool.Sequential;
+  Buffer_pool.access pool ~file:3 ~page:1 ~intent:Buffer_pool.Sequential;
+  Alcotest.(check int) "run pays one seek" 1 (Disk.counters disk).Disk.seeks;
+  Buffer_pool.invalidate pool ~file:3;
+  Alcotest.(check bool) "frames dropped" false (Buffer_pool.resident pool ~file:3 ~page:0);
+  (* the run marker died with the file: the next page in sequence is a
+     fresh run start, not a mid-run transfer *)
+  Buffer_pool.access pool ~file:3 ~page:2 ~intent:Buffer_pool.Sequential;
+  Alcotest.(check int) "restart pays a new seek" 2 (Disk.counters disk).Disk.seeks;
+  (* an unrelated file's run survives invalidation of another file *)
+  Buffer_pool.access pool ~file:5 ~page:0 ~intent:Buffer_pool.Sequential;
+  Buffer_pool.invalidate pool ~file:3;
+  Buffer_pool.access pool ~file:5 ~page:1 ~intent:Buffer_pool.Sequential;
+  Alcotest.(check int) "file 5 run uninterrupted" 3 (Disk.counters disk).Disk.seeks
+
+let test_buffer_clear_resets_state () =
+  let disk = Disk.create () in
+  let pool = Buffer_pool.create ~disk ~capacity:4 in
+  Buffer_pool.access pool ~file:1 ~page:0 ~intent:Buffer_pool.Sequential;
+  Buffer_pool.modify pool ~file:1 ~page:0;
+  Buffer_pool.clear pool;
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "hits reset" 0 s.Buffer_pool.hits;
+  Alcotest.(check int) "misses reset" 0 s.Buffer_pool.misses;
+  Alcotest.(check bool) "nothing resident" false (Buffer_pool.resident pool ~file:1 ~page:0);
+  let seeks_before = (Disk.counters disk).Disk.seeks in
+  (* dirty pages were dropped without write-back, and the sequential
+     marker was forgotten: the continuation page starts a new run *)
+  Buffer_pool.access pool ~file:1 ~page:1 ~intent:Buffer_pool.Sequential;
+  Alcotest.(check int) "fresh seek after clear" (seeks_before + 1) (Disk.counters disk).Disk.seeks
+
 (* ---------------- Heap file / Extent ---------------- *)
 
 let fresh_store () = Store.create ~buffer_capacity:64 ()
@@ -579,6 +626,32 @@ let prop_buffer_pool_bounded =
       !resident <= capacity
       && stats.Buffer_pool.hits + stats.Buffer_pool.misses = List.length accesses)
 
+let prop_lru_matches_reference =
+  (* The intrusive recency list must agree with a naive reference LRU
+     (most-recent-first key list) on which pages stay resident. *)
+  QCheck.Test.make ~name:"LRU residency = reference model" ~count:150
+    QCheck.(pair (int_range 1 6) (list (pair (int_bound 2) (int_bound 12))))
+    (fun (capacity, accesses) ->
+      let disk = Disk.create () in
+      let pool = Buffer_pool.create ~disk ~capacity in
+      let model = ref [] in
+      List.iter
+        (fun (file, page) ->
+          Buffer_pool.access pool ~file ~page ~intent:Buffer_pool.Random;
+          let key = (file, page) in
+          let rest = List.filter (fun k -> k <> key) !model in
+          model := key :: (if List.length rest >= capacity then
+                             List.filteri (fun i _ -> i < capacity - 1) rest
+                           else rest))
+        accesses;
+      List.for_all
+        (fun file ->
+          List.for_all
+            (fun page ->
+              Buffer_pool.resident pool ~file ~page = List.mem (file, page) !model)
+            (List.init 13 Fun.id))
+        [ 0; 1; 2 ])
+
 let prop_btree_range_matches_model =
   QCheck.Test.make ~name:"btree range = model filter" ~count:100
     QCheck.(triple (list (int_range 0 100)) (int_range 0 100) (int_range 0 100))
@@ -631,7 +704,12 @@ let suites =
     ( "storage.buffer",
       [ Alcotest.test_case "hits and LRU" `Quick test_buffer_hits_and_lru;
         Alcotest.test_case "dirty eviction" `Quick test_buffer_dirty_eviction_writes;
-        Alcotest.test_case "sequential run" `Quick test_buffer_sequential_run
+        Alcotest.test_case "sequential run" `Quick test_buffer_sequential_run;
+        Alcotest.test_case "touch reorders" `Quick test_buffer_touch_reorders_lru;
+        Alcotest.test_case "invalidate resets run" `Quick
+          test_buffer_invalidate_resets_sequential;
+        Alcotest.test_case "clear resets state" `Quick test_buffer_clear_resets_state;
+        qtest prop_lru_matches_reference
       ] );
     ( "storage.heap_file",
       [ Alcotest.test_case "scan cost" `Quick test_heap_file_scan_cost;
