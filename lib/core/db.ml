@@ -277,7 +277,9 @@ let run_cached t entry =
       Rows (Executor.run_prepared (executor_env t) entry.cp_prepared))
 
 (* Only SELECT texts are worth a cache probe; everything else would
-   just pollute the miss counters (and DDL must not be cached anyway). *)
+   just pollute the miss counters (and DDL must not be cached anyway).
+   Runs on the normalized key, which has leading [--] comments stripped,
+   so commented SELECT text still probes the cache. *)
 let looks_like_select key =
   String.length key >= 6
   && String.uppercase_ascii (String.sub key 0 6) = "SELECT"

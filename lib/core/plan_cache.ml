@@ -36,23 +36,56 @@ let create ~capacity =
     evictions = 0
   }
 
-(* Collapses whitespace runs to single spaces and trims, so textual
-   re-spellings of one query share a cache slot. Identifier and string
-   literal case is preserved — normalization never changes meaning. *)
+(* Collapses whitespace between tokens so textual re-spellings of one
+   query share a cache slot, mirroring the lexer's surface syntax:
+   quoted string literals are copied verbatim (honoring '' escapes) and
+   [--] line comments are dropped whole, exactly as the lexer treats
+   them — so normalization never changes meaning. An unterminated
+   literal is copied raw to the end: the parse fails either way, and
+   distinct texts must keep distinct keys. *)
 let normalize source =
-  let buf = Buffer.create (String.length source) in
+  let n = String.length source in
+  let buf = Buffer.create n in
   let pending_space = ref false in
-  String.iter
-    (fun c ->
-      match c with
-      | ' ' | '\t' | '\n' | '\r' -> if Buffer.length buf > 0 then pending_space := true
-      | c ->
-          if !pending_space then begin
-            Buffer.add_char buf ' ';
-            pending_space := false
-          end;
-          Buffer.add_char buf c)
-    source;
+  let emit c =
+    if !pending_space then begin
+      if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+      pending_space := false
+    end;
+    Buffer.add_char buf c
+  in
+  let i = ref 0 in
+  while !i < n do
+    match source.[!i] with
+    | ' ' | '\t' | '\n' | '\r' ->
+        pending_space := true;
+        incr i
+    | '-' when !i + 1 < n && source.[!i + 1] = '-' ->
+        (* line comment: whitespace to the lexer *)
+        while !i < n && source.[!i] <> '\n' do
+          incr i
+        done;
+        pending_space := true
+    | '\'' ->
+        emit '\'';
+        incr i;
+        let closed = ref false in
+        while (not !closed) && !i < n do
+          let c = source.[!i] in
+          Buffer.add_char buf c;
+          incr i;
+          if c = '\'' then
+            if !i < n && source.[!i] = '\'' then begin
+              (* '' escape: still inside the literal *)
+              Buffer.add_char buf '\'';
+              incr i
+            end
+            else closed := true
+        done
+    | c ->
+        emit c;
+        incr i
+  done;
   Buffer.contents buf
 
 let unlink t e =

@@ -25,9 +25,12 @@ val create : capacity:int -> 'a t
 (** Raises [Invalid_argument] when [capacity <= 0]. *)
 
 val normalize : string -> string
-(** Whitespace-insensitive canonical form of a statement text: runs of
-    blanks/newlines collapse to one space, ends trimmed. Never changes
-    meaning (identifier and literal case are preserved). *)
+(** Token-aware canonical form of a statement text: runs of
+    blanks/newlines {e between tokens} collapse to one space, ends are
+    trimmed, and [--] line comments are stripped whole — exactly the
+    lexer's treatment. Quoted string literals are copied verbatim
+    (honoring ['']-escapes), so normalization never changes meaning:
+    two texts share a key only if they lex identically. *)
 
 val find : 'a t -> epoch:int -> string -> 'a option
 (** [find t ~epoch key] returns the cached value when present {e and}

@@ -60,10 +60,16 @@ let rec expr (e : Ast.expr) : expr_fn =
         | Ast.Div -> Operand.div
         | Ast.Mod -> Operand.modulo
       in
+      let generic va vb =
+        try Operand.to_value (f (Operand.of_value va) (Operand.of_value vb))
+        with Operand.Type_error m -> Eval.eval_error "%s" m
+      in
       (* Int32-range operands stay Int through the operand layer
          (Int64 arithmetic then 63-bit truncation agrees with native
          int arithmetic), so this fast path is exact — anything wider
-         promotes to Long there and must take the generic route. *)
+         promotes to Long there and must take the generic route. Zero
+         divisors also take the generic route so failure behavior is
+         byte-identical to the interpreter's. *)
       let int_fast =
         match op with
         | Ast.Add -> fun x y -> Value.Int (x + y)
@@ -71,10 +77,11 @@ let rec expr (e : Ast.expr) : expr_fn =
         | Ast.Mul -> fun x y -> Value.Int (x * y)
         | Ast.Div ->
             fun x y ->
-              if y = 0 then Eval.eval_error "division by zero" else Value.Int (x / y)
+              if y = 0 then generic (Value.Int x) (Value.Int y) else Value.Int (x / y)
         | Ast.Mod ->
             fun x y ->
-              if y = 0 then Eval.eval_error "modulo by zero" else Value.Int (x mod y)
+              if y = 0 then generic (Value.Int x) (Value.Int y)
+              else Value.Int (x mod y)
       in
       fun env row ->
         begin
@@ -84,10 +91,7 @@ let rec expr (e : Ast.expr) : expr_fn =
                  && y <= 2147483647 ->
               int_fast x y
           | Value.Null, _ | _, Value.Null -> Value.Null
-          | va, vb -> begin
-              try Operand.to_value (f (Operand.of_value va) (Operand.of_value vb))
-              with Operand.Type_error m -> Eval.eval_error "%s" m
-            end
+          | va, vb -> generic va vb
         end
   | Ast.Neg a ->
       let ca = expr a in

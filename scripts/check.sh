@@ -3,9 +3,9 @@
 #
 # The bench smoke uses a tiny measurement quota (MOOD_BENCH_QUOTA, in
 # seconds) — it verifies the harness runs end to end and emits
-# BENCH_micro.json, not that the numbers are stable. Run
-# `dune exec bench/main.exe -- micro` without the quota for real
-# measurements.
+# BENCH_micro.json (generated, gitignored), not that the numbers are
+# stable. Run `dune exec bench/main.exe -- micro` without the quota
+# for real measurements; representative numbers live in DESIGN.md §3c.
 set -eu
 cd "$(dirname "$0")/.."
 

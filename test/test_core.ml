@@ -362,6 +362,59 @@ let test_plan_cache_invalidation () =
   (* and the replanned entries still answer correctly *)
   Alcotest.(check int) "2 rows" 2 (List.length (Db.query db q).Executor.rows)
 
+let test_normalize_token_aware () =
+  let n = Plan_cache.normalize in
+  (* inter-token whitespace collapses, leading/trailing trims *)
+  Alcotest.(check string) "collapse" "SELECT i FROM Item i"
+    (n "  SELECT   i\n\tFROM  Item i  ");
+  (* string literals are verbatim: internal whitespace is meaning *)
+  Alcotest.(check bool) "literal spaces distinct" false
+    (n "SELECT c FROM Co c WHERE c.name = 'a  b'"
+    = n "SELECT c FROM Co c WHERE c.name = 'a b'");
+  Alcotest.(check string) "literal untouched" "WHERE c.name = 'a  b'"
+    (n "WHERE   c.name =\n'a  b'");
+  (* '' escapes keep the scanner inside the literal *)
+  Alcotest.(check string) "quote escape" "x = 'it''s  ok' AND y"
+    (n "x = 'it''s  ok'   AND  y");
+  (* -- comments are stripped whole, like the lexer *)
+  Alcotest.(check string) "comment stripped" "SELECT x FROM t"
+    (n "SELECT x -- c\nFROM t");
+  Alcotest.(check string) "leading comment" "SELECT x FROM t"
+    (n "-- header\nSELECT x FROM t");
+  (* a comment swallowing the line tail must NOT share a key with the
+     multi-line spelling: the former is a parse error *)
+  Alcotest.(check bool) "comment tail distinct" false
+    (n "SELECT x -- c\nFROM t" = n "SELECT x -- c FROM t");
+  (* -- inside a literal is text, not a comment *)
+  Alcotest.(check string) "dashes in literal" "x = '--not  a comment'"
+    (n "x =  '--not  a comment'")
+
+let test_plan_cache_string_literals_and_comments () =
+  let db = fresh () in
+  ignore (ok db "CREATE CLASS Co TUPLE (name String)");
+  ignore (ok db "new Co <'a  b'>");
+  ignore (ok db "new Co <'a b'>");
+  let count q = List.length (Db.query db q).Executor.rows in
+  (* two queries differing only inside a literal must not share a plan *)
+  Alcotest.(check int) "double space" 1
+    (count "SELECT c FROM Co c WHERE c.name = 'a  b'");
+  Alcotest.(check int) "single space" 1
+    (count "SELECT c FROM Co c WHERE c.name = 'a b'");
+  Alcotest.(check int) "two entries" 2 (Db.plan_cache_stats db).Plan_cache.entries;
+  (* a SELECT behind a leading comment still probes (and warms) the cache *)
+  let commented = "-- dashboard query\nSELECT c FROM Co c WHERE c.name = 'a b'" in
+  let h0 = (Db.plan_cache_stats db).Plan_cache.hits in
+  Alcotest.(check int) "commented select" 1 (count commented);
+  Alcotest.(check int) "comment shares slot" (h0 + 1)
+    (Db.plan_cache_stats db).Plan_cache.hits;
+  (* commented-out tail stays a parse error even with a warm cache *)
+  (match Db.exec db "SELECT c -- x\nFROM Co c" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "multi-line comment should parse: %s" m);
+  match Db.exec db "SELECT c -- x FROM Co c" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "comment-swallowed tail must not reuse the cached plan"
+
 let test_plan_cache_capacity_eviction () =
   let db = Db.create ~plan_cache_capacity:2 () in
   ignore (ok db "CREATE CLASS Item TUPLE (n Integer)");
@@ -398,6 +451,9 @@ let suites =
     ( "core.plan_cache",
       [ Alcotest.test_case "hits and DML" `Quick test_plan_cache_hits_and_dml;
         Alcotest.test_case "invalidation" `Quick test_plan_cache_invalidation;
+        Alcotest.test_case "token-aware normalize" `Quick test_normalize_token_aware;
+        Alcotest.test_case "literals and comments" `Quick
+          test_plan_cache_string_literals_and_comments;
         Alcotest.test_case "capacity eviction" `Quick test_plan_cache_capacity_eviction
       ] )
   ]

@@ -362,6 +362,29 @@ let prop_compiled_matches_interpreted =
       let i = List.sort Oid.compare (mode_oids Executor.Interpreted src) in
       List.length c = List.length i && List.for_all2 Oid.equal i c)
 
+(* Failure behavior must be part of the differential contract too: a
+   query that errors must produce the identical exception in both
+   modes, or the Interpreted oracle cannot be trusted on edge cases. *)
+let mode_outcome mode src =
+  match mode_oids mode src with
+  | oids -> Printf.sprintf "%d rows" (List.length oids)
+  | exception Eval.Eval_error m -> "run-time error: " ^ m
+  | exception Mood_model.Operand.Type_error m -> "run-time type error: " ^ m
+
+let test_error_differential () =
+  List.iter
+    (fun src ->
+      Alcotest.(check string) src
+        (mode_outcome Executor.Interpreted src)
+        (mode_outcome Executor.Compiled src))
+    [ (* Int32 fast path: zero divisor must fail like the interpreter *)
+      "SELECT v FROM Vehicle v WHERE v.weight / 0 > 1";
+      "SELECT v FROM Vehicle v WHERE v.id % 0 = 0";
+      (* generic route for comparison *)
+      "SELECT v FROM Vehicle v WHERE v.weight / 0.0 > 1.0";
+      (* and a healthy query as a control *)
+      "SELECT v FROM Vehicle v WHERE v.weight / 2 > 700" ]
+
 let test_compiled_projection_matches_interpreter () =
   let d = db () in
   let src =
@@ -626,6 +649,7 @@ let suites =
           test_compiled_projection_matches_interpreter;
         Alcotest.test_case "aggregate differential" `Quick
           test_compiled_aggregates_match_interpreter;
+        Alcotest.test_case "error differential" `Quick test_error_differential;
         QCheck_alcotest.to_alcotest prop_compiled_matches_interpreted
       ] );
     ( "executor.semantics",
