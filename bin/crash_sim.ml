@@ -1,0 +1,38 @@
+(* Crash–recovery harness runner: the CI gate for ARIES-lite recovery.
+
+   Runs MOOD_SIM_QUOTA seeded workload/crash/recover/check cycles
+   (default 200) starting at MOOD_SIM_SEED (default 1). Every
+   violation prints the cycle's seed and crash point so the failure
+   reproduces exactly with
+
+     MOOD_SIM_QUOTA=1 MOOD_SIM_SEED=<seed> dune exec bin/crash_sim.exe *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> n
+      | None ->
+          Printf.eprintf "mood_sim: %s=%S is not an integer\n" name s;
+          exit 2)
+
+let () =
+  let quota = env_int "MOOD_SIM_QUOTA" 200 in
+  let base_seed = env_int "MOOD_SIM_SEED" 1 in
+  let report = Mood_sim.Harness.run ~quota ~base_seed () in
+  Format.printf "mood_sim: seeds %d..%d@.%a@." base_seed
+    (base_seed + quota - 1)
+    Mood_sim.Harness.pp_report report;
+  match report.Mood_sim.Harness.r_violations with
+  | [] -> ()
+  | violations ->
+      List.iter
+        (fun (seed, crash_point, message) ->
+          Printf.printf "VIOLATION seed=%d crash=[%s]\n  %s\n" seed crash_point
+            message)
+        violations;
+      Printf.printf
+        "reproduce one: MOOD_SIM_QUOTA=1 MOOD_SIM_SEED=<seed> dune exec \
+         bin/crash_sim.exe\n";
+      exit 1

@@ -28,6 +28,8 @@ type cached_plan = {
   cp_prepared : Executor.prepared;
 }
 
+type snapshot = (string * (int * Value.t) list) list
+
 type t = {
   st : Store.t;
   cat : Catalog.t;
@@ -35,6 +37,8 @@ type t = {
   mutable statistics : Stats.t;
   mutable session_scope : Fm.scope;
   mutable next_txn : int;
+  mutable active_txns : int list;
+  mutable last_checkpoint : (snapshot * Wal.lsn) option;
   mutable stats_epoch : int;
   plans : cached_plan Plan_cache.t;
 }
@@ -61,6 +65,8 @@ let create ?disk_params ?buffer_capacity ?(plan_cache_capacity = 64) () =
     statistics = Stats.create ();
     session_scope = Fm.enter_scope funcs;
     next_txn = 1;
+    active_txns = [];
+    last_checkpoint = None;
     stats_epoch = 0;
     plans = Plan_cache.create ~capacity:plan_cache_capacity
   }
@@ -443,8 +449,6 @@ let exec_script t source =
 (* ------------------------------------------------------------------ *)
 (* Backup / restore                                                    *)
 
-type snapshot = (string * (int * Value.t) list) list
-
 let snapshot t =
   List.filter_map
     (fun (info : Catalog.class_info) ->
@@ -458,17 +462,21 @@ let snapshot t =
       else None)
     (Catalog.all_classes t.cat)
 
-let restore t snap =
-  (* Validate the schema covers the snapshot before touching anything. *)
-  List.iter (fun (cls, _) -> ignore (Catalog.own_extent t.cat cls)) snap;
-  (* Classes present in the database but absent from the snapshot are
-     emptied too: restore means "back to exactly that state". *)
+(* Classes present in the database but absent from the snapshot are
+   emptied too: installing a base image means "back to exactly that
+   state". *)
+let install_contents t snap =
   List.iter
     (fun (info : Catalog.class_info) ->
       if info.Catalog.kind = Catalog.Class then
         Catalog.replace_extent_contents t.cat info.Catalog.class_name
           (Option.value ~default:[] (List.assoc_opt info.Catalog.class_name snap)))
-    (Catalog.all_classes t.cat);
+    (Catalog.all_classes t.cat)
+
+let restore t snap =
+  (* Validate the schema covers the snapshot before touching anything. *)
+  List.iter (fun (cls, _) -> ignore (Catalog.own_extent t.cat cls)) snap;
+  install_contents t snap;
   Catalog.rebuild_indexes t.cat;
   analyze t
 
@@ -512,15 +520,19 @@ let undo_update t ~file ~before =
       let slot, value = slot_of_payload before in
       ignore (Mood_storage.Extent.update ext ~slot value)
 
+let finish_txn t txn = t.active_txns <- List.filter (fun id -> id <> txn) t.active_txns
+
 let transaction t f =
   let txn = t.next_txn in
   t.next_txn <- txn + 1;
+  t.active_txns <- txn :: t.active_txns;
   let wal = Store.wal t.st in
   ignore (Wal.append wal (Wal.Begin txn));
   match f txn with
   | result ->
       ignore (Wal.append wal (Wal.Commit txn));
       Wal.flush wal;
+      finish_txn t txn;
       result
   | exception e ->
       (* Compensate the transaction's logged effects, newest first. *)
@@ -533,4 +545,72 @@ let transaction t f =
           | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _ -> ())
         (Wal.undo_records wal txn);
       ignore (Wal.append wal (Wal.Abort txn));
+      finish_txn t txn;
       raise e
+
+let active_transactions t = t.active_txns
+
+(* ------------------------------------------------------------------ *)
+(* ARIES-lite checkpoint / restart                                     *)
+
+let checkpoint t =
+  let wal = Store.wal t.st in
+  (* Sharp checkpoint: force dirty pages and the log tail, then record
+     the active-transaction table. The base image is installed only
+     after the checkpoint record is durable — a crash mid-checkpoint
+     leaves the previous checkpoint in force. *)
+  Mood_storage.Buffer_pool.flush (Store.buffer t.st);
+  let snap = snapshot t in
+  let lsn = Wal.append wal (Wal.Checkpoint t.active_txns) in
+  Wal.flush wal;
+  t.last_checkpoint <- Some (snap, lsn)
+
+let redo_record t record =
+  match record with
+  | Wal.Insert { file; payload; _ } -> (
+      match extent_of_file t file with
+      | None -> ()
+      | Some ext ->
+          let slot, value = slot_of_payload payload in
+          (try Mood_storage.Extent.insert_at ext ~slot value with Invalid_argument _ -> ()))
+  | Wal.Update { file; after; _ } -> (
+      match extent_of_file t file with
+      | None -> ()
+      | Some ext ->
+          let slot, value = slot_of_payload after in
+          ignore (Mood_storage.Extent.update ext ~slot value))
+  | Wal.Delete { file; before; _ } -> (
+      match extent_of_file t file with
+      | None -> ()
+      | Some ext ->
+          let slot, _ = slot_of_payload before in
+          ignore (Mood_storage.Extent.delete ext slot))
+  | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _ -> ()
+
+let undo_record t record =
+  match record with
+  | Wal.Insert { file; payload; _ } -> undo_insert t ~file ~payload
+  | Wal.Delete { file; before; _ } -> undo_delete t ~file ~before
+  | Wal.Update { file; before; _ } -> undo_update t ~file ~before
+  | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _ -> ()
+
+let recover t =
+  let wal = Store.wal t.st in
+  let checkpoint_lsn =
+    match t.last_checkpoint with
+    | Some (snap, lsn) ->
+        install_contents t snap;
+        lsn
+    | None ->
+        (* No durable base image: history is rebuilt from the log
+           alone, so only transactional (WAL-logged) effects survive. *)
+        install_contents t [];
+        0
+  in
+  let analysis =
+    Wal.recover wal ~checkpoint_lsn ~redo:(redo_record t) ~undo:(undo_record t)
+  in
+  t.active_txns <- [];
+  Catalog.rebuild_indexes t.cat;
+  analyze t;
+  analysis

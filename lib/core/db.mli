@@ -122,6 +122,28 @@ val transaction : t -> (int -> 'a) -> 'a
     abort — compensating logged operations — on exception, which is
     re-raised. *)
 
+val active_transactions : t -> int list
+(** Transactions currently inside [transaction] — the table a
+    checkpoint records. *)
+
+val checkpoint : t -> unit
+(** Sharp ARIES-lite checkpoint: forces dirty buffer pages and the log,
+    appends a [Checkpoint] record carrying the active-transaction
+    table, and installs the current database contents as the recovery
+    base image. The image is installed only after the checkpoint
+    record is durable, so a crash mid-checkpoint leaves the previous
+    one in force. *)
+
+val recover : t -> Mood_storage.Wal.analysis
+(** Crash restart: reinstalls the last checkpoint's base image (or
+    empties every extent when no checkpoint was taken), then runs the
+    WAL's redo-of-committed / undo-of-losers pass bounded by that
+    checkpoint, rebuilds all indexes and re-derives statistics. Only
+    WAL-logged (transactional) effects after the checkpoint survive —
+    non-transactional modifications are durable only up to the last
+    checkpoint. Returns the log analysis (committed set, losers,
+    checkpoint position) for inspection. *)
+
 val insert : t -> ?txn:int -> class_name:string -> Mood_model.Value.t -> Mood_model.Oid.t
 (** Programmatic object creation (type-checked against the catalog). *)
 

@@ -1,0 +1,292 @@
+module Prng = Mood_util.Prng
+module Store = Mood_storage.Store
+module Disk = Mood_storage.Disk
+module Buffer_pool = Mood_storage.Buffer_pool
+module Wal = Mood_storage.Wal
+module Lock = Mood_storage.Lock_manager
+
+type outcome = {
+  o_seed : int;
+  o_crash_point : string;
+  o_violations : string list;
+  o_steps : int;
+  o_commits : int;
+  o_aborts : int;
+  o_deadlocks : int;
+  o_checkpoints : int;
+  o_torn_pages : int;
+  o_lost_frames : int;
+  o_lost_log : int;
+}
+
+type report = {
+  r_cycles : int;
+  r_steps : int;
+  r_commits : int;
+  r_aborts : int;
+  r_deadlocks : int;
+  r_checkpoints : int;
+  r_torn_pages : int;
+  r_lost_frames : int;
+  r_lost_log : int;
+  r_violations : (int * string * string) list;
+}
+
+type txn_state = {
+  tx_id : int;
+  tx_lock : Lock.txn;
+  mutable tx_keys : int list;
+  mutable tx_ops : int;
+}
+
+let key_space = 40
+let max_open_txns = 3
+
+let run_cycle ?(skip_undo = false) ~seed () =
+  (* Independent streams: workload choices stay identical whether or
+     not the fault stream is consulted, so a seed reproduces exactly. *)
+  let root = Prng.create ~seed in
+  let p_work = Prng.split root in
+  let p_fault = Prng.split root in
+  let buffer_capacity = 4 + Prng.int p_fault ~bound:12 in
+  let store = Store.create ~buffer_capacity () in
+  (* Log forces hit the disk: they are charged, they can crash, and a
+     crash mid-flush tears the log tail. *)
+  Store.attach_wal_accounting store;
+  let disk = Store.disk store in
+  let wal = Store.wal store in
+  let locks = Store.locks store in
+  (* Crash either after a random number of page writes (fault
+     injection inside Disk) or after a random number of workload steps
+     (clean cut between operations). *)
+  let write_budget =
+    if Prng.bool p_fault then begin
+      let n = 1 + Prng.int p_fault ~bound:150 in
+      Disk.inject_fault disk ~crash_after_writes:n ~torn_page_prob:0.3
+        ~prng:(Prng.split p_fault) ();
+      Some n
+    end
+    else None
+  in
+  let step_budget =
+    match write_budget with
+    | Some _ -> 500 (* backstop if the write budget never fires *)
+    | None -> 1 + Prng.int p_fault ~bound:200
+  in
+  let table = Table.create ~store () in
+  let model = Model.create () in
+  let open_txns : txn_state list ref = ref [] in
+  let cp : Table.checkpoint option ref = ref None in
+  let committing = ref None in
+  let steps = ref 0 in
+  let commits = ref 0 in
+  let aborts = ref 0 in
+  let deadlocks = ref 0 in
+  let checkpoints = ref 0 in
+  let release st =
+    Lock.release_all locks st.tx_lock;
+    open_txns := List.filter (fun s -> s != st) !open_txns
+  in
+  let do_abort st =
+    Table.abort table ~txn:st.tx_id;
+    (* No disk write between here and the model update: a crash cannot
+       separate them. *)
+    Model.abort model st.tx_id;
+    incr aborts;
+    release st
+  in
+  let do_commit st =
+    ignore (Wal.append wal (Wal.Commit st.tx_id));
+    committing := Some st.tx_id;
+    Wal.flush wal;
+    (* The flush can crash after persisting the Commit record: the
+       transaction is then committed even though we never reach this
+       line. The crash handler resolves the limbo from the durable
+       prefix. *)
+    committing := None;
+    Model.commit model st.tx_id;
+    incr commits;
+    release st
+  in
+  let do_checkpoint () =
+    let active = List.map (fun st -> st.tx_id) !open_txns in
+    let result = Table.checkpoint table ~active in
+    cp := Some result;
+    incr checkpoints
+  in
+  let begin_txn () =
+    let tx_lock = Lock.begin_txn locks in
+    let st = { tx_id = Lock.txn_id tx_lock; tx_lock; tx_keys = []; tx_ops = 0 } in
+    ignore (Wal.append wal (Wal.Begin st.tx_id));
+    Model.begin_txn model st.tx_id;
+    open_txns := st :: !open_txns;
+    st
+  in
+  let random_data () =
+    Printf.sprintf "v%d-%s"
+      (Prng.int p_work ~bound:1000)
+      (String.make (1 + Prng.int p_work ~bound:24) 'x')
+  in
+  let do_op st =
+    let key = Prng.int p_work ~bound:key_space in
+    let granted =
+      if List.mem key st.tx_keys then `Ok
+      else
+        match
+          Lock.acquire locks st.tx_lock ("key:" ^ string_of_int key)
+            Lock.Exclusive
+        with
+        | Lock.Granted ->
+            st.tx_keys <- key :: st.tx_keys;
+            `Ok
+        | Lock.Would_block -> `Busy
+        | Lock.Deadlock -> `Deadlock
+    in
+    match granted with
+    | `Busy -> () (* conflicting key held elsewhere: skip this op *)
+    | `Deadlock ->
+        incr deadlocks;
+        do_abort st
+    | `Ok -> (
+        st.tx_ops <- st.tx_ops + 1;
+        (* Exclusive lock granted, so the live value of this key is
+           either committed or our own pending effect — the model's
+           live view is exactly what the heap holds. *)
+        match Model.find_live model key with
+        | None ->
+            let data = random_data () in
+            Table.insert table ~txn:st.tx_id ~key ~data;
+            Model.insert model ~txn:st.tx_id ~key ~data
+        | Some _ ->
+            if Prng.bool p_work then begin
+              let data = random_data () in
+              Table.update table ~txn:st.tx_id ~key ~data;
+              Model.update model ~txn:st.tx_id ~key ~data
+            end
+            else begin
+              Table.delete table ~txn:st.tx_id ~key;
+              Model.delete model ~txn:st.tx_id ~key
+            end)
+  in
+  (try
+     while true do
+       if !steps >= step_budget then raise Disk.Crash;
+       incr steps;
+       if Prng.int p_work ~bound:20 = 0 then do_checkpoint ()
+       else begin
+         if
+           !open_txns = []
+           || List.length !open_txns < max_open_txns
+              && Prng.int p_work ~bound:4 = 0
+         then ignore (begin_txn ());
+         let st =
+           List.nth !open_txns (Prng.int p_work ~bound:(List.length !open_txns))
+         in
+         if st.tx_ops > 0 && Prng.int p_work ~bound:6 = 0 then
+           if Prng.int p_work ~bound:4 = 0 then do_abort st else do_commit st
+         else do_op st
+       end
+     done
+   with Disk.Crash -> ());
+  let crash_point =
+    Printf.sprintf "step=%d/%d writes=%d%s open_txns=[%s]" !steps step_budget
+      (Disk.counters disk).Disk.writes
+      (match write_budget with
+      | Some n -> Printf.sprintf " write_budget=%d" n
+      | None -> " (op-budget crash)")
+      (String.concat ","
+         (List.map (fun st -> string_of_int st.tx_id) !open_txns))
+  in
+  (* The crash proper: the armed fault is spent, dirty frames and the
+     unpersisted log tail are gone. Durable truth is the checkpoint
+     image plus the persisted log prefix. *)
+  Disk.clear_fault disk;
+  let lost_frames = List.length (Buffer_pool.crash (Store.buffer store)) in
+  let lost_log = Wal.lose_unpersisted wal in
+  (match !committing with
+  | Some txn when Wal.commit_persisted wal txn ->
+      Model.commit model txn;
+      incr commits
+  | _ -> ());
+  Model.crash model;
+  let torn = List.length (Disk.torn_pages disk) in
+  let violations =
+    try
+      let recovered, _analysis = Table.recover ~skip_undo ~wal ~checkpoint:!cp () in
+      let got = Table.contents recovered in
+      let want = Model.committed_bindings model in
+      let mismatch =
+        if got = want then []
+        else begin
+          let render bindings =
+            String.concat "; "
+              (List.map (fun (k, d) -> Printf.sprintf "%d=%S" k d) bindings)
+          in
+          [ Printf.sprintf
+              "recovered state diverges from oracle: recovered {%s} oracle {%s}"
+              (render got) (render want) ]
+        end
+      in
+      mismatch @ Table.check recovered
+    with e ->
+      [ Printf.sprintf "recovery raised %s" (Printexc.to_string e) ]
+  in
+  {
+    o_seed = seed;
+    o_crash_point = crash_point;
+    o_violations = violations;
+    o_steps = !steps;
+    o_commits = !commits;
+    o_aborts = !aborts;
+    o_deadlocks = !deadlocks;
+    o_checkpoints = !checkpoints;
+    o_torn_pages = torn;
+    o_lost_frames = lost_frames;
+    o_lost_log = lost_log;
+  }
+
+let run ?(skip_undo = false) ?(quota = 200) ~base_seed () =
+  let empty =
+    {
+      r_cycles = 0;
+      r_steps = 0;
+      r_commits = 0;
+      r_aborts = 0;
+      r_deadlocks = 0;
+      r_checkpoints = 0;
+      r_torn_pages = 0;
+      r_lost_frames = 0;
+      r_lost_log = 0;
+      r_violations = [];
+    }
+  in
+  let add r o =
+    {
+      r_cycles = r.r_cycles + 1;
+      r_steps = r.r_steps + o.o_steps;
+      r_commits = r.r_commits + o.o_commits;
+      r_aborts = r.r_aborts + o.o_aborts;
+      r_deadlocks = r.r_deadlocks + o.o_deadlocks;
+      r_checkpoints = r.r_checkpoints + o.o_checkpoints;
+      r_torn_pages = r.r_torn_pages + o.o_torn_pages;
+      r_lost_frames = r.r_lost_frames + o.o_lost_frames;
+      r_lost_log = r.r_lost_log + o.o_lost_log;
+      r_violations =
+        r.r_violations
+        @ List.map (fun v -> (o.o_seed, o.o_crash_point, v)) o.o_violations;
+    }
+  in
+  let rec go r i =
+    if i >= quota then r
+    else go (add r (run_cycle ~skip_undo ~seed:(base_seed + i) ())) (i + 1)
+  in
+  go empty 0
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%d cycles: %d steps, %d commits, %d aborts, %d deadlock victims,@ %d \
+     checkpoints, %d torn pages, %d lost frames, %d lost log records,@ %d \
+     violations"
+    r.r_cycles r.r_steps r.r_commits r.r_aborts r.r_deadlocks r.r_checkpoints
+    r.r_torn_pages r.r_lost_frames r.r_lost_log
+    (List.length r.r_violations)

@@ -1,0 +1,52 @@
+(** Deterministic crash–recovery harness.
+
+    One cycle: seed a PRNG, run a randomized multi-transaction
+    workload (inserts/updates/deletes over a heap extent with B+-tree
+    and hash indexes, under per-key exclusive locks, with random sharp
+    checkpoints), crash it at a random point — either a disk-level
+    write fault (possibly mid log-flush or mid buffer write-back, with
+    torn pages) or a cut between operations — then lose the dirty
+    frames and the unpersisted log tail, run ARIES-lite recovery, and
+    compare the recovered table against a pure in-memory oracle.
+
+    Everything derives from the integer seed: a reported violation is
+    reproduced by rerunning [run_cycle ~seed]. *)
+
+type outcome = {
+  o_seed : int;
+  o_crash_point : string;  (** where the crash landed, for reports *)
+  o_violations : string list;  (** [] = recovery was correct *)
+  o_steps : int;
+  o_commits : int;
+  o_aborts : int;
+  o_deadlocks : int;
+  o_checkpoints : int;
+  o_torn_pages : int;
+  o_lost_frames : int;
+  o_lost_log : int;
+}
+
+type report = {
+  r_cycles : int;
+  r_steps : int;
+  r_commits : int;
+  r_aborts : int;
+  r_deadlocks : int;
+  r_checkpoints : int;
+  r_torn_pages : int;
+  r_lost_frames : int;
+  r_lost_log : int;
+  r_violations : (int * string * string) list;
+      (** seed, crash point, message — everything needed to reproduce *)
+}
+
+val run_cycle : ?skip_undo:bool -> seed:int -> unit -> outcome
+(** One workload–crash–recover–check cycle. [skip_undo] runs the
+    deliberately broken recovery (no undo pass) — used to prove the
+    harness detects protocol violations. *)
+
+val run : ?skip_undo:bool -> ?quota:int -> base_seed:int -> unit -> report
+(** [quota] cycles (default 200) under seeds [base_seed],
+    [base_seed+1], … *)
+
+val pp_report : Format.formatter -> report -> unit

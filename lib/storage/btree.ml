@@ -262,6 +262,93 @@ let iter t f =
   in
   walk (leftmost t.root)
 
+let validate t =
+  let problems = ref [] in
+  let bad fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  let in_bounds lo hi k =
+    (match lo with None -> true | Some l -> Value.compare k l >= 0)
+    && match hi with None -> true | Some h -> Value.compare k h < 0
+  in
+  let leaves_in_order = ref [] in
+  let depths = ref [] in
+  (* Every key of a subtree must lie in the half-open separator
+     interval [lo, hi) its parent routes there (equal keys route
+     right, see [child_index]). *)
+  let rec go node depth lo hi =
+    match node with
+    | Leaf leaf ->
+        leaves_in_order := leaf :: !leaves_in_order;
+        depths := depth :: !depths;
+        let n = Array.length leaf.keys in
+        if Array.length leaf.postings <> n then
+          bad "leaf@%d: %d keys but %d posting lists" leaf.leaf_page n
+            (Array.length leaf.postings);
+        if n > max_keys t then
+          bad "leaf@%d: %d keys exceeds 2*order=%d" leaf.leaf_page n (max_keys t);
+        for i = 0 to n - 1 do
+          if i > 0 && Value.compare leaf.keys.(i - 1) leaf.keys.(i) >= 0 then
+            bad "leaf@%d: keys not strictly ascending at %d" leaf.leaf_page i;
+          if not (in_bounds lo hi leaf.keys.(i)) then
+            bad "leaf@%d: key %s escapes its separator interval" leaf.leaf_page
+              (Value.to_string leaf.keys.(i));
+          if i < Array.length leaf.postings then begin
+            if leaf.postings.(i) = [] then
+              bad "leaf@%d: empty posting list under %s" leaf.leaf_page
+                (Value.to_string leaf.keys.(i));
+            if t.unique && List.length leaf.postings.(i) > 1 then
+              bad "leaf@%d: %d postings under %s in a unique index" leaf.leaf_page
+                (List.length leaf.postings.(i))
+                (Value.to_string leaf.keys.(i))
+          end
+        done
+    | Internal node_ ->
+        let n = Array.length node_.seps in
+        if n = 0 then bad "node@%d: internal node without separators" node_.node_page;
+        if n > max_keys t then
+          bad "node@%d: %d separators exceeds 2*order=%d" node_.node_page n (max_keys t);
+        if Array.length node_.children <> n + 1 then
+          bad "node@%d: %d separators but %d children" node_.node_page n
+            (Array.length node_.children);
+        for i = 0 to n - 1 do
+          if i > 0 && Value.compare node_.seps.(i - 1) node_.seps.(i) >= 0 then
+            bad "node@%d: separators not strictly ascending at %d" node_.node_page i;
+          if not (in_bounds lo hi node_.seps.(i)) then
+            bad "node@%d: separator %s escapes its interval" node_.node_page
+              (Value.to_string node_.seps.(i))
+        done;
+        Array.iteri
+          (fun i child ->
+            let clo = if i = 0 then lo else Some node_.seps.(i - 1) in
+            let chi = if i >= n then hi else Some node_.seps.(i) in
+            go child (depth + 1) clo chi)
+          node_.children
+  in
+  go t.root 1 None None;
+  (match List.sort_uniq Int.compare !depths with
+  | [] | [ _ ] -> ()
+  | ds -> bad "leaves at %d distinct depths" (List.length ds));
+  let in_order = List.rev !leaves_in_order in
+  (match in_order with
+  | [] -> ()
+  | first :: _ ->
+      let rec collect acc leaf =
+        match leaf.next with
+        | None -> List.rev (leaf :: acc)
+        | Some next -> collect (leaf :: acc) next
+      in
+      let chained = collect [] first in
+      if
+        List.length chained <> List.length in_order
+        || not (List.for_all2 (==) chained in_order)
+      then bad "leaf chain disagrees with tree order");
+  let total =
+    List.fold_left
+      (fun acc leaf -> Array.fold_left (fun a p -> a + List.length p) acc leaf.postings)
+      0 in_order
+  in
+  if total <> t.entries then bad "entries counter %d but %d postings stored" t.entries total;
+  List.rev !problems
+
 let stats (t : _ t) =
   let rec depth = function
     | Leaf _ -> 1

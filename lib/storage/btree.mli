@@ -55,3 +55,14 @@ val iter : 'a t -> (Mood_model.Value.t -> 'a list -> unit) -> unit
 (** All keys ascending. *)
 
 val stats : 'a t -> stats
+
+val validate : 'a t -> string list
+(** Structural-invariant check, one message per violation (empty =
+    healthy): strictly ascending keys within every node, separator
+    intervals respected by every subtree, node occupancy at most
+    [2*order], all leaves at one depth, the leaf chain agreeing with
+    tree order, no empty posting lists (and singleton postings when
+    [unique]), and the entry counter matching the stored postings.
+    Lazy deletion means there is deliberately no minimum-occupancy
+    check. Used standalone in tests and as the crash harness's
+    post-recovery index check. *)

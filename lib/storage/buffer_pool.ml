@@ -68,7 +68,7 @@ let evict_lru t =
   match t.tail with
   | None -> ()
   | Some frame ->
-      if frame.dirty then Disk.write_page t.disk;
+      if frame.dirty then Disk.write_page ~page:frame.key t.disk;
       unlink t frame;
       Hashtbl.remove t.frames frame.key;
       t.evictions <- t.evictions + 1
@@ -123,10 +123,21 @@ let flush t =
   Hashtbl.iter
     (fun _ frame ->
       if frame.dirty then begin
-        Disk.write_page t.disk;
+        Disk.write_page ~page:frame.key t.disk;
         frame.dirty <- false
       end)
     t.frames
+
+let dirty_keys t =
+  Hashtbl.fold (fun key frame acc -> if frame.dirty then key :: acc else acc) t.frames []
+
+let crash t =
+  let lost = dirty_keys t in
+  Hashtbl.reset t.frames;
+  t.head <- None;
+  t.tail <- None;
+  t.last_sequential <- None;
+  lost
 
 let invalidate t ~file =
   let doomed =

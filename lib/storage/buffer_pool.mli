@@ -46,6 +46,15 @@ val clear : t -> unit
 (** Drops every frame without write-back and resets statistics —
     cold-start for measurements. *)
 
+val dirty_keys : t -> (int * int) list
+(** (file, page) of every frame modified since its last write-back —
+    exactly what a crash would lose. *)
+
+val crash : t -> (int * int) list
+(** Simulates power loss: drops every frame without write-back and
+    returns the dirty keys that never reached the disk. Statistics are
+    kept (the harness reports them with the crash point). *)
+
 val stats : t -> stats
 
 val reset_stats : t -> unit

@@ -22,11 +22,64 @@ type counters = {
 let zero_counters =
   { seeks = 0; random_reads = 0; sequential_reads = 0; writes = 0; elapsed = 0. }
 
-type t = { params : params; mutable counters : counters }
+exception Crash
 
-let create ?(params = default_params) () = { params; counters = zero_counters }
+(* A fault plan, armed by the crash-recovery harness: the disk counts
+   down page writes (data pages and, when the WAL's persist hook is
+   wired here, log records too) and raises [Crash] when the budget is
+   exhausted. The in-flight write at the crash may additionally be
+   recorded as torn — its durable image is garbage. *)
+type fault = {
+  mutable writes_until_crash : int;
+  torn_page_prob : float;
+  fault_prng : Mood_util.Prng.t;
+}
+
+type t = {
+  params : params;
+  mutable counters : counters;
+  mutable fault : fault option;
+  torn : (int * int, unit) Hashtbl.t;
+}
+
+let create ?(params = default_params) () =
+  { params; counters = zero_counters; fault = None; torn = Hashtbl.create 8 }
 
 let params t = t.params
+
+let inject_fault t ~crash_after_writes ?(torn_page_prob = 0.) ~prng () =
+  if crash_after_writes <= 0 then invalid_arg "Disk.inject_fault: crash_after_writes <= 0";
+  t.fault <-
+    Some
+      { writes_until_crash = crash_after_writes;
+        torn_page_prob;
+        fault_prng = prng
+      }
+
+let clear_fault t = t.fault <- None
+
+let fault_armed t = t.fault <> None
+
+let torn_pages t = Hashtbl.fold (fun k () acc -> k :: acc) t.torn []
+
+let clear_torn t = Hashtbl.reset t.torn
+
+let check_write_fault t page =
+  match t.fault with
+  | None -> ()
+  | Some f ->
+      f.writes_until_crash <- f.writes_until_crash - 1;
+      if f.writes_until_crash <= 0 then begin
+        (* The write in flight at the crash may be torn: the sector was
+           partially overwritten, destroying the old image too. *)
+        (match page with
+        | Some key
+          when f.torn_page_prob > 0.
+               && Mood_util.Prng.float f.fault_prng ~bound:1. < f.torn_page_prob ->
+            Hashtbl.replace t.torn key ()
+        | Some _ | None -> ());
+        raise Crash
+      end
 
 let read_random t =
   let p = t.params in
@@ -49,7 +102,8 @@ let read_sequential t ~first =
       elapsed = c.elapsed +. position +. p.ebt
     }
 
-let write_page t =
+let write_page ?page t =
+  check_write_fault t page;
   let p = t.params in
   let c = t.counters in
   t.counters <-
@@ -57,7 +111,9 @@ let write_page t =
       seeks = c.seeks + 1;
       writes = c.writes + 1;
       elapsed = c.elapsed +. p.seek +. p.rot +. p.btt
-    }
+    };
+  (* A completed write repairs any earlier tear of the same page. *)
+  match page with Some key -> Hashtbl.remove t.torn key | None -> ()
 
 let counters t = t.counters
 

@@ -44,8 +44,38 @@ val read_sequential : t -> first:bool -> unit
     subsequent pages [ebt] each — so scanning [b] pages costs
     [SEQCOST(b) = s + r + b*ebt]. *)
 
-val write_page : t -> unit
-(** One page write: charges [s + r + btt]. *)
+val write_page : ?page:int * int -> t -> unit
+(** One page write: charges [s + r + btt]. [page] is the (file, page)
+    identity of the frame being written, used for torn-page tracking
+    under fault injection; raises [Crash] when an armed fault plan's
+    write budget is exhausted (counters are not charged for the failed
+    write). A completed write clears any earlier tear of the page. *)
+
+(** {2 Fault injection}
+
+    The crash-recovery harness arms a deterministic fault plan: the
+    disk counts down writes and raises [Crash] on the Nth, optionally
+    recording the in-flight page as torn (its durable image is garbage
+    — neither the new nor the old contents survive). All randomness
+    comes from the injected seeded [Prng], so every failure reproduces
+    from a printed seed. *)
+
+exception Crash
+
+val inject_fault :
+  t -> crash_after_writes:int -> ?torn_page_prob:float -> prng:Mood_util.Prng.t -> unit -> unit
+(** Arms the plan: the [crash_after_writes]-th subsequent write raises
+    [Crash] (and keeps raising until [clear_fault]). Raises
+    [Invalid_argument] if [crash_after_writes <= 0]. *)
+
+val clear_fault : t -> unit
+
+val fault_armed : t -> bool
+
+val torn_pages : t -> (int * int) list
+(** Pages whose last write was severed by a crash. *)
+
+val clear_torn : t -> unit
 
 val counters : t -> counters
 

@@ -121,3 +121,32 @@ let delete t ~key keep_out =
 let entries t = t.entries
 
 let bucket_count t = Array.length t.buckets
+
+let validate t =
+  let problems = ref [] in
+  let bad fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  let base = 1 lsl t.level in
+  if t.next_split < 0 || t.next_split >= base then
+    bad "next_split %d outside the round [0, %d)" t.next_split base;
+  let expected = base + t.next_split in
+  if Array.length t.buckets <> expected then
+    bad "%d buckets but linear-hash state (level %d, next_split %d) implies %d"
+      (Array.length t.buckets) t.level t.next_split expected;
+  let total = ref 0 in
+  Array.iteri
+    (fun i bucket ->
+      total := !total + List.length bucket.items;
+      List.iter
+        (fun (k, _) ->
+          let a = address t k in
+          if a <> i then
+            bad "key %s stored in bucket %d but addresses to %d" (Value.to_string k) i a)
+        bucket.items;
+      let needed = List.length bucket.items / t.bucket_capacity in
+      if List.length bucket.overflow < needed then
+        bad "bucket %d: %d items need %d overflow pages, chain has %d" i
+          (List.length bucket.items) needed
+          (List.length bucket.overflow))
+    t.buckets;
+  if !total <> t.entries then bad "entries counter %d but %d items stored" t.entries !total;
+  List.rev !problems

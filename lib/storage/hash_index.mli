@@ -24,3 +24,11 @@ val delete : 'a t -> key:Mood_model.Value.t -> ('a -> bool) -> int
 val entries : 'a t -> int
 
 val bucket_count : 'a t -> int
+
+val validate : 'a t -> string list
+(** Structural-invariant check, one message per violation (empty =
+    healthy): every item addresses to the bucket holding it, the
+    bucket array length matches the linear-hash round state, overflow
+    chains are long enough for their items, and the entry counter
+    matches the stored items. Used standalone in tests and as the
+    crash harness's post-recovery index check. *)

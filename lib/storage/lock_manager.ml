@@ -72,7 +72,17 @@ let acquire t txn resource mode =
       end
 
 let release_all t txn =
-  Hashtbl.iter (fun _ held -> held := List.remove_assoc txn.id !held) t.locks;
+  (* Drop the transaction's holds, and remove resource entries that are
+     drained by it: leaving empty holder lists behind would grow the
+     table without bound across transactions. *)
+  let drained =
+    Hashtbl.fold
+      (fun resource held acc ->
+        held := List.remove_assoc txn.id !held;
+        if !held = [] then resource :: acc else acc)
+      t.locks []
+  in
+  List.iter (Hashtbl.remove t.locks) drained;
   Hashtbl.remove t.waits_for txn.id;
   (* Drop waits-for edges pointing at the finished transaction. *)
   let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.waits_for [] in
@@ -89,5 +99,7 @@ let release_all t txn =
 
 let holders t resource =
   match Hashtbl.find_opt t.locks resource with Some r -> !r | None -> []
+
+let resource_count t = Hashtbl.length t.locks
 
 let active_transactions t = List.length t.active

@@ -38,4 +38,9 @@ val release_all : t -> txn -> unit
 val holders : t -> resource -> (int * mode) list
 (** For inspection and tests. *)
 
+val resource_count : t -> int
+(** Resources with at least one holder tracked in the lock table.
+    [release_all] drains empty entries, so this returns to 0 when all
+    transactions finish (leak regression guard). *)
+
 val active_transactions : t -> int

@@ -65,3 +65,6 @@ let reset_io t =
 let drop_cache t =
   Buffer_pool.clear t.buffer;
   Disk.reset_counters t.disk
+
+let attach_wal_accounting t =
+  Wal.set_persist_hook t.wal (fun _record -> Disk.write_page t.disk)

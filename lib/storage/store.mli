@@ -42,3 +42,10 @@ val reset_io : t -> unit
 val drop_cache : t -> unit
 (** Empties the buffer pool entirely (cold-start measurements), without
     write-back; also resets counters. *)
+
+val attach_wal_accounting : t -> unit
+(** Charges one disk page write per WAL record persisted by
+    [Wal.flush]. Opt-in (the crash harness uses it) so existing cost
+    measurements are unchanged; once attached, a log force both shows
+    up in the write counters and participates in fault injection — a
+    crash can sever a commit's log flush mid-way. *)

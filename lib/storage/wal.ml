@@ -1,3 +1,5 @@
+type lsn = int
+
 type record =
   | Begin of int
   | Commit of int
@@ -7,53 +9,184 @@ type record =
   | Update of { txn : int; file : int; rid : Heap_file.rid; before : string; after : string }
   | Checkpoint of int list
 
-type t = { mutable log : record list (* newest first *); mutable count : int; mutable persisted : int }
+type t = {
+  mutable log : (lsn * record) list; (* newest first *)
+  mutable count : int;
+  mutable persisted : int;
+  mutable next_lsn : lsn;
+  mutable on_persist : (record -> unit) option;
+}
 
-let create () = { log = []; count = 0; persisted = 0 }
+let create () = { log = []; count = 0; persisted = 0; next_lsn = 1; on_persist = None }
 
 let append t record =
-  t.log <- record :: t.log;
+  let lsn = t.next_lsn in
+  t.next_lsn <- lsn + 1;
+  t.log <- (lsn, record) :: t.log;
   t.count <- t.count + 1;
-  t.count
+  lsn
 
-let flush t = t.persisted <- t.count
+let set_persist_hook t hook = t.on_persist <- Some hook
+
+let clear_persist_hook t = t.on_persist <- None
+
+let rec drop n l = if n = 0 then l else match l with [] -> [] | _ :: rest -> drop (n - 1) rest
+
+let flush t =
+  match t.on_persist with
+  | None -> t.persisted <- t.count
+  | Some hook ->
+      (* Persist record by record, oldest first, advancing the watermark
+         only after the device accepted the write: a crash raised by the
+         hook leaves a correctly truncated (torn) log tail. *)
+      let unpersisted =
+        List.rev (List.filteri (fun i _ -> i < t.count - t.persisted) t.log)
+      in
+      List.iter
+        (fun (_, record) ->
+          hook record;
+          t.persisted <- t.persisted + 1)
+        unpersisted
 
 let lose_unpersisted t =
   let lost = t.count - t.persisted in
   if lost > 0 then begin
-    let rec drop n l = if n = 0 then l else match l with [] -> [] | _ :: rest -> drop (n - 1) rest in
     t.log <- drop lost t.log;
     t.count <- t.persisted
   end;
   lost
 
-let records t = List.rev t.log
+let records t = List.rev_map snd t.log
+
+let records_with_lsn t = List.rev t.log
+
+let persisted_records t =
+  List.rev (drop (t.count - t.persisted) t.log)
 
 let length t = t.count
+
+let last_lsn t = t.next_lsn - 1
 
 let txn_of = function
   | Begin id | Commit id | Abort id -> Some id
   | Insert { txn; _ } | Delete { txn; _ } | Update { txn; _ } -> Some txn
   | Checkpoint _ -> None
 
-let replay t ~apply =
-  let persisted = records t in
-  let committed =
-    List.filter_map (function Commit id -> Some id | _ -> None) persisted
-  in
-  let committed id = List.mem id committed in
+let is_data = function Insert _ | Delete _ | Update _ -> true | _ -> false
+
+let committed_set records =
+  let committed = Hashtbl.create 16 in
   List.iter
-    (fun record ->
-      match record with
-      | Insert { txn; _ } | Delete { txn; _ } | Update { txn; _ } ->
-          if committed txn then apply record
-      | Begin _ | Commit _ | Abort _ | Checkpoint _ -> ())
-    persisted
+    (fun (_, record) ->
+      match record with Commit id -> Hashtbl.replace committed id () | _ -> ())
+    records;
+  committed
+
+let commit_persisted t txn =
+  List.exists (fun (_, r) -> r = Commit txn) (persisted_records t)
+
+let last_checkpoint t =
+  (* Newest-first scan of the persisted prefix. *)
+  let unpersisted = t.count - t.persisted in
+  let rec find = function
+    | [] -> None
+    | (lsn, Checkpoint active) :: _ -> Some (lsn, active)
+    | _ :: rest -> find rest
+  in
+  find (drop unpersisted t.log)
+
+type analysis = {
+  a_checkpoint_lsn : lsn;
+  a_checkpoint_active : int list;
+  a_committed : (int, unit) Hashtbl.t;
+  a_losers : (int, unit) Hashtbl.t;
+}
+
+let analyze ?checkpoint_lsn t =
+  let plist = persisted_records t in
+  let committed = committed_set plist in
+  let cp_lsn, cp_active =
+    match checkpoint_lsn with
+    | Some l ->
+        let active =
+          List.find_map
+            (fun (lsn, r) ->
+              match r with Checkpoint a when lsn = l -> Some a | _ -> None)
+            plist
+        in
+        (l, Option.value ~default:[] active)
+    | None -> (
+        match last_checkpoint t with Some (l, a) -> (l, a) | None -> (0, []))
+  in
+  (* A loser is a transaction whose effects are baked into the
+     checkpoint base image (data records at or before the checkpoint)
+     but which neither committed nor finished aborting before the
+     image was taken. Aborts before the checkpoint were compensated in
+     place, so the image is already clean of them. *)
+  let aborted_before_cp = Hashtbl.create 8 in
+  List.iter
+    (fun (lsn, r) ->
+      match r with
+      | Abort id when lsn <= cp_lsn -> Hashtbl.replace aborted_before_cp id ()
+      | _ -> ())
+    plist;
+  let losers = Hashtbl.create 8 in
+  List.iter
+    (fun (lsn, r) ->
+      match txn_of r with
+      | Some id
+        when is_data r && lsn <= cp_lsn
+             && (not (Hashtbl.mem committed id))
+             && not (Hashtbl.mem aborted_before_cp id) ->
+          Hashtbl.replace losers id ()
+      | _ -> ())
+    plist;
+  { a_checkpoint_lsn = cp_lsn;
+    a_checkpoint_active = cp_active;
+    a_committed = committed;
+    a_losers = losers
+  }
+
+let recover ?checkpoint_lsn ?(redo = fun _ -> ()) ?(undo = fun _ -> ()) t =
+  let a = analyze ?checkpoint_lsn t in
+  let plist = persisted_records t in
+  (* Undo-of-losers first: scrub uncommitted effects out of the base
+     image (newest first, so compensations see the state their
+     operation produced)... *)
+  List.iter
+    (fun (lsn, r) ->
+      match txn_of r with
+      | Some id when is_data r && lsn <= a.a_checkpoint_lsn && Hashtbl.mem a.a_losers id
+        ->
+          undo r
+      | _ -> ())
+    (List.rev plist);
+  (* ...then redo-of-committed after the checkpoint, in log order. With
+     strict two-phase locking no loser and winner interleave on one
+     object, so the selective redo replays exactly history's surviving
+     suffix. *)
+  List.iter
+    (fun (lsn, r) ->
+      match txn_of r with
+      | Some id
+        when is_data r && lsn > a.a_checkpoint_lsn && Hashtbl.mem a.a_committed id ->
+          redo r
+      | _ -> ())
+    plist;
+  a
+
+let replay t ~apply =
+  let all = records_with_lsn t in
+  let committed = committed_set all in
+  List.iter
+    (fun (_, record) ->
+      match txn_of record with
+      | Some id when is_data record && Hashtbl.mem committed id -> apply record
+      | _ -> ())
+    all
 
 let undo_records t txn =
-  List.filter
-    (fun record ->
-      match record, txn_of record with
-      | (Insert _ | Delete _ | Update _), Some id -> id = txn
-      | _, _ -> false)
+  List.filter_map
+    (fun (_, record) ->
+      if is_data record && txn_of record = Some txn then Some record else None)
     t.log

@@ -1,12 +1,19 @@
-(** Write-ahead log with redo recovery and backup/restore.
+(** ARIES-lite write-ahead log.
 
     ESM supplies "backup and recovery of data"; this substitute logs
-    logical record operations against heap files, supports checkpoints,
-    and can rebuild file contents by replay. The log is an in-memory
-    sequence with an explicit [persisted] watermark so tests can model a
-    crash that loses the unpersisted tail. *)
+    logical record operations against heap files, stamps every record
+    with a monotonically increasing LSN, supports checkpoints carrying
+    the active-transaction table, and drives a redo-of-committed /
+    undo-of-losers recovery pass bounded by the last checkpoint. The
+    log is an in-memory sequence with an explicit [persisted]
+    watermark so tests can model a crash that loses the unpersisted
+    tail; an optional persist hook charges (and can fail) each log
+    write, modelling a torn log flush. *)
 
 type t
+
+type lsn = int
+(** Log sequence number: strictly increasing from 1, dense. *)
 
 type record =
   | Begin of int                       (** transaction id *)
@@ -15,35 +22,93 @@ type record =
   | Insert of { txn : int; file : int; rid : Heap_file.rid; payload : string }
   | Delete of { txn : int; file : int; rid : Heap_file.rid; before : string }
   | Update of { txn : int; file : int; rid : Heap_file.rid; before : string; after : string }
-  | Checkpoint of int list             (** active transactions *)
+  | Checkpoint of int list             (** active transactions at the checkpoint *)
 
 val create : unit -> t
 
-val append : t -> record -> int
-(** Appends and returns the LSN. *)
+val append : t -> record -> lsn
+(** Appends and returns the record's LSN. *)
+
+val set_persist_hook : t -> (record -> unit) -> unit
+(** Called once per record as [flush] persists it — typically wired to
+    [Disk.write_page] so log forces are charged (and can crash) like
+    any other write. If the hook raises, the watermark stops just
+    before the failing record: the log tail is torn exactly at the
+    crash point and the exception propagates (the commit was never
+    acknowledged). *)
+
+val clear_persist_hook : t -> unit
 
 val flush : t -> unit
 (** Moves the persisted watermark to the end of the log (force at
-    commit). *)
+    commit / checkpoint), invoking the persist hook per record. *)
 
 val lose_unpersisted : t -> int
-(** Simulates a crash: truncates the log at the watermark, returning the
-    number of records lost. *)
+(** Simulates a crash: truncates the log at the watermark, returning
+    the number of records lost. *)
 
 val records : t -> record list
 (** Persisted and unpersisted records, oldest first. *)
 
+val records_with_lsn : t -> (lsn * record) list
+
+val persisted_records : t -> (lsn * record) list
+(** The durable prefix only, oldest first. *)
+
 val length : t -> int
+
+val last_lsn : t -> lsn
+(** 0 when the log is empty. *)
+
+val commit_persisted : t -> int -> bool
+(** Is this transaction's [Commit] in the durable prefix? Resolves
+    commits in limbo after a crash mid-flush: the commit record made
+    it to disk iff this returns true. *)
+
+val last_checkpoint : t -> (lsn * int list) option
+(** The newest persisted [Checkpoint] (its LSN and active-transaction
+    table). *)
+
+type analysis = {
+  a_checkpoint_lsn : lsn;        (** 0 when recovering without a checkpoint *)
+  a_checkpoint_active : int list;
+  a_committed : (int, unit) Hashtbl.t;
+  a_losers : (int, unit) Hashtbl.t;
+      (** transactions with data records baked into the checkpoint base
+          image (LSN <= checkpoint) that neither committed nor finished
+          aborting before the image was taken — their image-resident
+          effects must be undone *)
+}
+
+val analyze : ?checkpoint_lsn:lsn -> t -> analysis
+(** The analysis pass over the durable prefix. [checkpoint_lsn]
+    overrides checkpoint discovery — pass the LSN of the checkpoint
+    whose base image you actually hold (0 for "no checkpoint, replay
+    from scratch"); omitting it uses the newest persisted checkpoint. *)
+
+val recover :
+  ?checkpoint_lsn:lsn ->
+  ?redo:(record -> unit) ->
+  ?undo:(record -> unit) ->
+  t ->
+  analysis
+(** The ARIES-lite restart pass against a store holding the checkpoint
+    base image: first [undo] is fed the losers' data records with
+    LSN <= checkpoint, newest first (scrubbing uncommitted effects out
+    of the image); then [redo] is fed committed transactions' data
+    records with LSN > checkpoint, in log order (replaying the
+    surviving suffix of history). Under strict two-phase locking the
+    two passes never touch the same object out of order. *)
 
 val replay :
   t ->
   apply:(record -> unit) ->
   unit
-(** Redo pass: feeds every persisted record belonging to a *committed*
-    transaction to [apply], in log order. Records of transactions with
-    no persisted [Commit] are skipped (their effects must not survive),
-    as are [Begin]/[Commit]/[Abort]/[Checkpoint] markers. *)
+(** Legacy redo-only pass over the whole log: feeds every record
+    belonging to a *committed* transaction to [apply], in log order
+    (no checkpoint bounding, no undo). *)
 
 val undo_records : t -> int -> record list
 (** The data records of the given transaction, newest first — what an
-    abort must compensate. *)
+    abort must compensate. Includes unpersisted records (a live abort
+    compensates everything it did, flushed or not). *)

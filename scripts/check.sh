@@ -18,4 +18,10 @@ dune runtest
 echo "== bench smoke (json) =="
 MOOD_BENCH_QUOTA="${MOOD_BENCH_QUOTA:-0.02}" dune exec bench/main.exe -- json
 
+echo "== crash/recover harness =="
+# MOOD_SIM_QUOTA seeded workload/crash/recover/check cycles (fixed
+# seeds, so CI is deterministic). A violation fails the build and
+# prints the seed and crash point needed to reproduce it.
+MOOD_SIM_QUOTA="${MOOD_SIM_QUOTA:-200}" dune exec bin/crash_sim.exe
+
 echo "== ok =="

@@ -125,6 +125,44 @@ let test_transaction_commit_and_abort () =
   Alcotest.(check int) "rolled back" 1
     (List.length (Db.query db "SELECT a FROM Acc a").Executor.rows)
 
+let test_checkpoint_and_recover () =
+  let db = fresh () in
+  ignore (ok db "CREATE CLASS Acc TUPLE (n Integer)");
+  let add txn n =
+    ignore (Db.insert db ~txn ~class_name:"Acc" (Value.Tuple [ ("n", Value.Int n) ]))
+  in
+  (* n=1 commits before the checkpoint: it lives in the base image. *)
+  Db.transaction db (fun txn -> add txn 1);
+  (* n=4 is in flight while the checkpoint is taken (steal: the image
+     holds its uncommitted insert and lists it as active), then the
+     transaction fails — a loser whose image effects must be undone. *)
+  (match
+     Db.transaction db (fun txn ->
+         add txn 4;
+         Alcotest.(check (list int)) "active table" [ txn ]
+           (Db.active_transactions db);
+         Db.checkpoint db;
+         failwith "crash")
+   with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  (* n=2 commits after the checkpoint: redo must replay it. *)
+  Db.transaction db (fun txn -> add txn 2);
+  (* n=99 is non-transactional: durable only up to the checkpoint. *)
+  ignore (ok db "new Acc <99>");
+  let analysis = Db.recover db in
+  Alcotest.(check bool) "a loser was found" true
+    (Hashtbl.length analysis.Mood_storage.Wal.a_losers > 0);
+  let values =
+    Executor.result_values (Db.query db "SELECT a.n FROM Acc a")
+    |> List.concat_map (function
+         | Value.Tuple [ (_, Value.Int n) ] -> [ n ]
+         | _ -> [])
+    |> List.sort Int.compare
+  in
+  Alcotest.(check (list int)) "committed survive, loser and unlogged gone"
+    [ 1; 2 ] values
+
 let test_scope_controls_function_cache () =
   let db = fresh () in
   ignore (ok db "CREATE CLASS S TUPLE (x Integer)");
@@ -438,6 +476,7 @@ let suites =
         Alcotest.test_case "error reporting" `Quick test_error_reporting_keeps_server_alive;
         Alcotest.test_case "explain" `Quick test_explain_contains_dictionaries;
         Alcotest.test_case "transactions" `Quick test_transaction_commit_and_abort;
+        Alcotest.test_case "checkpoint/recover" `Quick test_checkpoint_and_recover;
         Alcotest.test_case "scopes" `Quick test_scope_controls_function_cache;
         Alcotest.test_case "analyze/io" `Quick test_analyze_and_io_measurement;
         Alcotest.test_case "named objects" `Quick test_named_objects_via_sql;

@@ -574,6 +574,311 @@ let test_extent_wal_recovery () =
   Alcotest.(check int) "one object recovered" 1 (Extent.count ext2);
   Alcotest.(check bool) "the committed one" true (Extent.get ext2 s1 = Some (Value.Int 10))
 
+(* ---------------- ARIES-lite recovery / fault injection ---------------- *)
+
+let test_wal_lsn_monotonic () =
+  let wal = Wal.create () in
+  let l1 = Wal.append wal (Wal.Begin 1) in
+  let l2 = Wal.append wal (Wal.Insert { txn = 1; file = 0; rid = rid 0 0; payload = "a" }) in
+  let l3 = Wal.append wal (Wal.Commit 1) in
+  Alcotest.(check (list int)) "dense from 1" [ 1; 2; 3 ] [ l1; l2; l3 ];
+  Alcotest.(check int) "last_lsn" 3 (Wal.last_lsn wal);
+  Alcotest.(check bool) "with_lsn agrees" true
+    (List.map fst (Wal.records_with_lsn wal) = [ 1; 2; 3 ])
+
+let test_wal_recover_checkpoint_bounded () =
+  (* T1 commits before the checkpoint (in the image: no redo). T2 is
+     active at the checkpoint and never commits: its pre-checkpoint
+     record is baked into the image and must be undone; its
+     post-checkpoint record is neither undone nor redone. T3 commits
+     after the checkpoint: redo. *)
+  let wal = Wal.create () in
+  ignore (Wal.append wal (Wal.Begin 1));
+  ignore (Wal.append wal (Wal.Insert { txn = 1; file = 0; rid = rid 0 0; payload = "t1-a" }));
+  ignore (Wal.append wal (Wal.Commit 1));
+  ignore (Wal.append wal (Wal.Begin 2));
+  ignore (Wal.append wal (Wal.Insert { txn = 2; file = 0; rid = rid 0 1; payload = "t2-b" }));
+  let cp = Wal.append wal (Wal.Checkpoint [ 2 ]) in
+  ignore (Wal.append wal (Wal.Insert { txn = 2; file = 0; rid = rid 0 2; payload = "t2-c" }));
+  ignore (Wal.append wal (Wal.Begin 3));
+  ignore (Wal.append wal (Wal.Insert { txn = 3; file = 0; rid = rid 0 3; payload = "t3-d" }));
+  ignore (Wal.append wal (Wal.Commit 3));
+  Wal.flush wal;
+  let undone = ref [] and redone = ref [] in
+  let payload = function
+    | Wal.Insert { payload; _ } -> payload
+    | _ -> Alcotest.fail "data record expected"
+  in
+  let analysis =
+    Wal.recover wal
+      ~undo:(fun r -> undone := payload r :: !undone)
+      ~redo:(fun r -> redone := payload r :: !redone)
+  in
+  Alcotest.(check int) "checkpoint found" cp analysis.Wal.a_checkpoint_lsn;
+  Alcotest.(check (list int)) "active table" [ 2 ] analysis.Wal.a_checkpoint_active;
+  Alcotest.(check bool) "t1 committed" true (Hashtbl.mem analysis.Wal.a_committed 1);
+  Alcotest.(check bool) "t2 is a loser" true (Hashtbl.mem analysis.Wal.a_losers 2);
+  Alcotest.(check (list string)) "undo scrubs the image only" [ "t2-b" ] !undone;
+  Alcotest.(check (list string)) "redo replays the suffix only" [ "t3-d" ]
+    (List.rev !redone)
+
+let test_wal_abort_before_checkpoint_not_loser () =
+  (* A transaction that finished aborting before the image was taken
+     has its compensations baked in: undoing it again would corrupt. *)
+  let wal = Wal.create () in
+  ignore (Wal.append wal (Wal.Begin 1));
+  ignore (Wal.append wal (Wal.Insert { txn = 1; file = 0; rid = rid 0 0; payload = "a" }));
+  ignore (Wal.append wal (Wal.Abort 1));
+  ignore (Wal.append wal (Wal.Checkpoint []));
+  Wal.flush wal;
+  let analysis = Wal.analyze wal in
+  Alcotest.(check bool) "aborted-before-cp is no loser" false
+    (Hashtbl.mem analysis.Wal.a_losers 1);
+  (* Aborting only after the checkpoint leaves the image dirty. *)
+  let wal2 = Wal.create () in
+  ignore (Wal.append wal2 (Wal.Begin 1));
+  ignore (Wal.append wal2 (Wal.Insert { txn = 1; file = 0; rid = rid 0 0; payload = "a" }));
+  ignore (Wal.append wal2 (Wal.Checkpoint [ 1 ]));
+  ignore (Wal.append wal2 (Wal.Abort 1));
+  Wal.flush wal2;
+  let analysis2 = Wal.analyze wal2 in
+  Alcotest.(check bool) "aborted-after-cp is a loser" true
+    (Hashtbl.mem analysis2.Wal.a_losers 1)
+
+let test_wal_torn_flush_limbo () =
+  (* The persist hook fails on the second record: the watermark stops
+     just before it, the commit was never acknowledged, and after the
+     crash the durable prefix decides the limbo — here: not committed. *)
+  let wal = Wal.create () in
+  ignore (Wal.append wal (Wal.Begin 7));
+  ignore (Wal.append wal (Wal.Commit 7));
+  let calls = ref 0 in
+  Wal.set_persist_hook wal (fun _ ->
+      incr calls;
+      if !calls >= 2 then raise Disk.Crash);
+  (match Wal.flush wal with
+  | () -> Alcotest.fail "flush must propagate the crash"
+  | exception Disk.Crash -> ());
+  ignore (Wal.lose_unpersisted wal);
+  Alcotest.(check int) "only Begin survived" 1 (Wal.length wal);
+  Alcotest.(check bool) "commit in limbo resolves to false" false
+    (Wal.commit_persisted wal 7);
+  (* A flush that survives persists everything and acknowledges. *)
+  Wal.clear_persist_hook wal;
+  ignore (Wal.append wal (Wal.Commit 7));
+  Wal.flush wal;
+  Alcotest.(check bool) "commit persisted after clean flush" true
+    (Wal.commit_persisted wal 7)
+
+let test_disk_fault_injection () =
+  let disk = Disk.create () in
+  let prng = Mood_util.Prng.create ~seed:11 in
+  Disk.inject_fault disk ~crash_after_writes:3 ~torn_page_prob:1.0 ~prng ();
+  Alcotest.(check bool) "armed" true (Disk.fault_armed disk);
+  Disk.write_page ~page:(0, 0) disk;
+  Disk.write_page ~page:(0, 1) disk;
+  (match Disk.write_page ~page:(0, 2) disk with
+  | () -> Alcotest.fail "third write must crash"
+  | exception Disk.Crash -> ());
+  (* The failed write tore its in-flight page and was not charged. *)
+  Alcotest.(check (list (pair int int))) "torn page recorded" [ (0, 2) ]
+    (Disk.torn_pages disk);
+  Alcotest.(check int) "failed write not charged" 2 (Disk.counters disk).Disk.writes;
+  (* The fault latches: every subsequent write crashes too (and tears
+     its own in-flight page). *)
+  (match Disk.write_page ~page:(0, 3) disk with
+  | () -> Alcotest.fail "still down"
+  | exception Disk.Crash -> ());
+  Alcotest.(check (list (pair int int))) "second tear recorded" [ (0, 2); (0, 3) ]
+    (List.sort compare (Disk.torn_pages disk));
+  Disk.clear_fault disk;
+  Alcotest.(check bool) "disarmed" false (Disk.fault_armed disk);
+  (* A completed write repairs its torn page. *)
+  Disk.write_page ~page:(0, 2) disk;
+  Alcotest.(check (list (pair int int))) "tear repaired" [ (0, 3) ]
+    (Disk.torn_pages disk)
+
+let test_buffer_crash_loses_dirty () =
+  let disk = Disk.create () in
+  let pool = Buffer_pool.create ~disk ~capacity:8 in
+  Buffer_pool.access pool ~file:0 ~page:0 ~intent:Buffer_pool.Random;
+  Buffer_pool.access pool ~file:0 ~page:1 ~intent:Buffer_pool.Random;
+  Buffer_pool.modify pool ~file:0 ~page:1;
+  Buffer_pool.access pool ~file:1 ~page:4 ~intent:Buffer_pool.Random;
+  Buffer_pool.modify pool ~file:1 ~page:4;
+  Alcotest.(check (list (pair int int))) "dirty set" [ (0, 1); (1, 4) ]
+    (List.sort compare (Buffer_pool.dirty_keys pool));
+  let lost = Buffer_pool.crash pool in
+  Alcotest.(check (list (pair int int))) "unflushed frames lost" [ (0, 1); (1, 4) ]
+    (List.sort compare lost);
+  Alcotest.(check bool) "nothing resident" false
+    (Buffer_pool.resident pool ~file:0 ~page:0);
+  (* The pool keeps working after the restart. *)
+  Buffer_pool.access pool ~file:0 ~page:0 ~intent:Buffer_pool.Random;
+  Alcotest.(check bool) "usable again" true
+    (Buffer_pool.resident pool ~file:0 ~page:0)
+
+let test_lock_release_all_drains_table () =
+  (* Regression: release_all used to leave empty holder lists behind,
+     growing the resource table forever. *)
+  let lm = Lock.create () in
+  let t1 = Lock.begin_txn lm in
+  for i = 0 to 99 do
+    match Lock.acquire lm t1 (Printf.sprintf "r%d" i) Lock.Exclusive with
+    | Lock.Granted -> ()
+    | _ -> Alcotest.fail "uncontended acquire"
+  done;
+  Alcotest.(check int) "100 resources held" 100 (Lock.resource_count lm);
+  Lock.release_all lm t1;
+  Alcotest.(check int) "table drained" 0 (Lock.resource_count lm);
+  (* Shared holders on the same resource: releasing one must not drop
+     the entry while the other still holds it. *)
+  let t2 = Lock.begin_txn lm and t3 = Lock.begin_txn lm in
+  ignore (Lock.acquire lm t2 "s" Lock.Shared);
+  ignore (Lock.acquire lm t3 "s" Lock.Shared);
+  Lock.release_all lm t2;
+  Alcotest.(check int) "still held by t3" 1 (Lock.resource_count lm);
+  Lock.release_all lm t3;
+  Alcotest.(check int) "drained after both" 0 (Lock.resource_count lm)
+
+(* Randomized lock schedules, checked against an independently
+   maintained mirror of grants and waits:
+   - every [Deadlock] verdict corresponds to a real waits-for cycle
+     that granting the request would close;
+   - no schedule wedges with every transaction waiting and no victim. *)
+let test_lock_random_schedules () =
+  let resources = [| "a"; "b"; "c"; "d" |] in
+  for seed = 1 to 40 do
+    let prng = Mood_util.Prng.create ~seed in
+    let lm = Lock.create () in
+    let n = 3 + Mood_util.Prng.int prng ~bound:3 in
+    (* Each transaction: a script of exclusive requests, then release. *)
+    let scripts =
+      Array.init n (fun _ ->
+          List.init
+            (1 + Mood_util.Prng.int prng ~bound:4)
+            (fun _ -> Mood_util.Prng.pick prng resources))
+    in
+    let txns = Array.init n (fun _ -> Lock.begin_txn lm) in
+    let remaining = Array.map (fun s -> ref s) scripts in
+    let done_ = Array.make n false in
+    (* Mirror state, built only from outcomes we observed. *)
+    let holds = Hashtbl.create 16 (* resource -> holder txn index *) in
+    let waiting = Array.make n None (* txn index -> resource *) in
+    let holder_of r = Hashtbl.find_opt holds r in
+    (* Does granting [idx]'s request for [r] close a cycle back to
+       [idx] through the mirror waits-for graph? *)
+    let closes_cycle idx r =
+      let rec reaches seen j =
+        if List.mem j seen then false
+        else
+          j = idx
+          ||
+          match waiting.(j) with
+          | None -> false
+          | Some r' -> (
+              match holder_of r' with
+              | Some h -> reaches (j :: seen) h
+              | None -> false)
+      in
+      match holder_of r with Some h -> reaches [] h | None -> false
+    in
+    let finished () = Array.for_all (fun d -> d) done_ in
+    let guard = ref 0 in
+    while (not (finished ())) && !guard < 10_000 do
+      incr guard;
+      let progressed = ref false in
+      for idx = 0 to n - 1 do
+        if not done_.(idx) then
+          match !(remaining.(idx)) with
+          | [] ->
+              Lock.release_all lm txns.(idx);
+              Hashtbl.iter
+                (fun r h -> if h = idx then Hashtbl.remove holds r)
+                (Hashtbl.copy holds);
+              waiting.(idx) <- None;
+              done_.(idx) <- true;
+              progressed := true
+          | r :: rest -> (
+              match Lock.acquire lm txns.(idx) r Lock.Exclusive with
+              | Lock.Granted ->
+                  (match holder_of r with
+                  | Some h when h <> idx ->
+                      Alcotest.failf "seed %d: %s granted while held" seed r
+                  | _ -> ());
+                  Hashtbl.replace holds r idx;
+                  waiting.(idx) <- None;
+                  remaining.(idx) := rest;
+                  progressed := true
+              | Lock.Would_block ->
+                  if not (closes_cycle idx r || holder_of r <> None) then
+                    Alcotest.failf "seed %d: blocked on free resource %s" seed r;
+                  waiting.(idx) <- Some r
+              | Lock.Deadlock ->
+                  if not (closes_cycle idx r) then
+                    Alcotest.failf
+                      "seed %d: Deadlock verdict without a waits-for cycle"
+                      seed;
+                  Lock.release_all lm txns.(idx);
+                  Hashtbl.iter
+                    (fun r' h -> if h = idx then Hashtbl.remove holds r')
+                    (Hashtbl.copy holds);
+                  waiting.(idx) <- None;
+                  done_.(idx) <- true;
+                  progressed := true)
+      done;
+      if not !progressed then begin
+        (* Nobody moved: legal only if someone is merely queued behind a
+           live holder — never with every live transaction waiting in a
+           cycle the manager failed to break. *)
+        let live_waiting =
+          List.filter
+            (fun i -> (not done_.(i)) && waiting.(i) <> None)
+            (List.init n Fun.id)
+        in
+        let all_live_waiting =
+          List.for_all
+            (fun i -> done_.(i) || waiting.(i) <> None)
+            (List.init n Fun.id)
+        in
+        if all_live_waiting && live_waiting <> [] then
+          Alcotest.failf "seed %d: wedged — all transactions blocked, no victim"
+            seed
+      end
+    done;
+    if !guard >= 10_000 then Alcotest.failf "seed %d: schedule did not quiesce" seed
+  done
+
+let prop_btree_validate_under_churn =
+  (* Seeded random insert/delete churn: the structural validator stays
+     clean at every step, for both duplicate and unique trees. *)
+  QCheck.Test.make ~name:"btree: validate clean under churn" ~count:80
+    QCheck.(pair bool (list (pair bool (int_bound 60))))
+    (fun (unique, ops) ->
+      let store = fresh_store () in
+      let bt : int Btree.t = Store.new_btree store ~order:2 ~unique ~key_size:4 () in
+      List.for_all
+        (fun (ins, k) ->
+          (if ins then (
+             if not (unique && Btree.mem bt ~key:(int_key k)) then
+               Btree.insert bt ~key:(int_key k) k)
+           else ignore (Btree.delete bt ~key:(int_key k) (fun _ -> true)));
+          Btree.validate bt = [])
+        ops)
+
+let prop_hash_validate_under_churn =
+  QCheck.Test.make ~name:"hash: validate clean under churn" ~count:80
+    QCheck.(list (pair bool (int_bound 60)))
+    (fun ops ->
+      let store = fresh_store () in
+      let h : int Hash_index.t = Store.new_hash_index store ~bucket_capacity:2 () in
+      List.for_all
+        (fun (ins, k) ->
+          (if ins then Hash_index.insert h ~key:(int_key k) k
+           else ignore (Hash_index.delete h ~key:(int_key k) (fun _ -> true)));
+          Hash_index.validate h = [])
+        ops)
+
 (* ---------------- Additional properties ---------------- *)
 
 let prop_lock_exclusivity =
@@ -744,6 +1049,10 @@ let suites =
       [ Alcotest.test_case "compatibility" `Quick test_lock_compatibility;
         Alcotest.test_case "reentrancy" `Quick test_lock_reentrancy_and_upgrade;
         Alcotest.test_case "deadlock" `Quick test_lock_deadlock_detection;
+        Alcotest.test_case "release_all drains table" `Quick
+          test_lock_release_all_drains_table;
+        Alcotest.test_case "random schedules vs mirror graph" `Quick
+          test_lock_random_schedules;
         qtest prop_lock_exclusivity
       ] );
     ( "storage.properties",
@@ -755,6 +1064,22 @@ let suites =
       [ Alcotest.test_case "replay committed" `Quick test_wal_replay_committed_only;
         Alcotest.test_case "crash" `Quick test_wal_crash_loses_unpersisted;
         Alcotest.test_case "undo records" `Quick test_wal_undo_records;
-        Alcotest.test_case "extent recovery" `Quick test_extent_wal_recovery
+        Alcotest.test_case "extent recovery" `Quick test_extent_wal_recovery;
+        Alcotest.test_case "LSNs monotonic" `Quick test_wal_lsn_monotonic;
+        Alcotest.test_case "recover bounded by checkpoint" `Quick
+          test_wal_recover_checkpoint_bounded;
+        Alcotest.test_case "abort vs checkpoint losers" `Quick
+          test_wal_abort_before_checkpoint_not_loser;
+        Alcotest.test_case "torn flush leaves commit in limbo" `Quick
+          test_wal_torn_flush_limbo
+      ] );
+    ( "storage.faults",
+      [ Alcotest.test_case "disk fault injection" `Quick test_disk_fault_injection;
+        Alcotest.test_case "buffer crash loses dirty frames" `Quick
+          test_buffer_crash_loses_dirty
+      ] );
+    ( "storage.index_invariants",
+      [ qtest prop_btree_validate_under_churn;
+        qtest prop_hash_validate_under_churn
       ] )
   ]
