@@ -1,0 +1,320 @@
+(* The VOODB-style load generator: N concurrent client sessions drive a
+   seeded mixed read/write MOODSQL workload at a running mood_server,
+   then report throughput and latency percentiles and write
+   BENCH_server.json.
+
+     dune exec bin/load_gen.exe -- --port P --sessions 8 --ops 500
+
+   MOOD_LOAD_QUOTA (total statements across all sessions) overrides
+   --ops for CI smoke runs. The exit code is non-zero on any protocol
+   error or unexpected statement error — the acceptance bar is a
+   zero-error run. ABORTED (deadlock victim / lock timeout) and BUSY
+   (admission control) replies are part of the protocol: they are
+   counted, retried and reported, not errors. *)
+
+module Wire = Mood_server.Wire
+module Client = Mood_server.Client
+module Prng = Mood_util.Prng
+
+type session_result = {
+  mutable latencies : float list;  (* seconds per completed request *)
+  mutable requests : int;          (* non-BUSY responses received *)
+  mutable rows_seen : int;
+  mutable busy_retries : int;
+  mutable txn_aborts : int;        (* ABORTED replies (retried) *)
+  mutable errors : int;            (* ERR replies / protocol failures *)
+  mutable error_samples : string list;
+}
+
+let fresh_result () =
+  { latencies = [];
+    requests = 0;
+    rows_seen = 0;
+    busy_retries = 0;
+    txn_aborts = 0;
+    errors = 0;
+    error_samples = []
+  }
+
+let read_pool =
+  [| "SELECT v.id FROM Vehicle v WHERE v.weight > 3000";
+     "SELECT v.id FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 8";
+     "SELECT e.size FROM VehicleEngine e WHERE e.cylinders = 4";
+     "SELECT e.size FROM VehicleEngine e WHERE e.cylinders = 16";
+     "SELECT d.transmission FROM VehicleDriveTrain d WHERE d.engine.cylinders = 12";
+     "SELECT c.name FROM Company c WHERE c.location = 'Tokyo'"
+  |]
+
+let write_statement rng =
+  match Prng.int rng ~bound:3 with
+  | 0 ->
+      Printf.sprintf "new VehicleEngine <%d, %d>"
+        (1000 + Prng.int rng ~bound:2000)
+        (2 * (1 + Prng.int rng ~bound:16))
+  | 1 ->
+      Printf.sprintf "UPDATE VehicleEngine e SET size = e.size + 1 WHERE e.cylinders = %d"
+        (2 * (1 + Prng.int rng ~bound:16))
+  | _ ->
+      Printf.sprintf "UPDATE Vehicle v SET weight = v.weight + 1 WHERE v.id = %d"
+        (Prng.int rng ~bound:200)
+
+(* One request with BUSY backoff. Latency is the last (successful)
+   attempt; BUSY round-trips are counted separately. *)
+let send res client req =
+  let rec go tries =
+    let t0 = Unix.gettimeofday () in
+    match Client.request client req with
+    | Wire.Busy _ when tries < 200 ->
+        res.busy_retries <- res.busy_retries + 1;
+        Thread.delay 0.005;
+        go (tries + 1)
+    | resp ->
+        res.latencies <- (Unix.gettimeofday () -. t0) :: res.latencies;
+        res.requests <- res.requests + 1;
+        (match resp with
+        | Wire.Rows rows -> res.rows_seen <- res.rows_seen + List.length rows
+        | _ -> ());
+        resp
+  in
+  go 0
+
+let record_error res what =
+  res.errors <- res.errors + 1;
+  if List.length res.error_samples < 5 then
+    res.error_samples <- what :: res.error_samples
+
+(* A multi-statement transaction: update then read, fixed extent order
+   (most cross-session conflicts resolve as short BUSY waits; the
+   occasional deadlock comes back as ABORTED and is retried whole). *)
+let run_txn res client rng =
+  let body =
+    [ Wire.Exec (write_statement rng);
+      Wire.Query read_pool.(Prng.int rng ~bound:(Array.length read_pool))
+    ]
+  in
+  let commit = Prng.int rng ~bound:10 < 9 in
+  let rec attempt tries =
+    match send res client Wire.Begin with
+    | Wire.Ok_result _ -> (
+        let rec steps = function
+          | [] -> `Finish
+          | req :: rest -> (
+              match send res client req with
+              | Wire.Ok_result _ | Wire.Rows _ -> steps rest
+              | Wire.Aborted _ -> `Aborted
+              | Wire.Err m ->
+                  record_error res ("txn statement failed: " ^ m);
+                  `Failed
+              | _ ->
+                  record_error res "unexpected reply in transaction";
+                  `Failed)
+        in
+        match steps body with
+        | `Aborted ->
+            res.txn_aborts <- res.txn_aborts + 1;
+            if tries < 5 then attempt (tries + 1)
+        | `Failed -> ignore (send res client Wire.Abort)
+        | `Finish -> (
+            match send res client (if commit then Wire.Commit else Wire.Abort) with
+            | Wire.Ok_result _ -> ()
+            | Wire.Aborted _ -> res.txn_aborts <- res.txn_aborts + 1
+            | _ -> record_error res "commit/abort failed"))
+    | _ -> record_error res "BEGIN failed"
+  in
+  attempt 0
+
+let run_autocommit res client rng ~write_pct =
+  let roll = Prng.int rng ~bound:100 in
+  if roll < write_pct then begin
+    let rec attempt tries =
+      match send res client (Wire.Exec (write_statement rng)) with
+      | Wire.Ok_result _ | Wire.Rows _ -> ()
+      | Wire.Aborted _ ->
+          res.txn_aborts <- res.txn_aborts + 1;
+          if tries < 5 then attempt (tries + 1)
+      | Wire.Err m -> record_error res ("write failed: " ^ m)
+      | _ -> record_error res "unexpected write reply"
+    in
+    attempt 0
+  end
+  else begin
+    match
+      send res client (Wire.Query read_pool.(Prng.int rng ~bound:(Array.length read_pool)))
+    with
+    | Wire.Rows _ -> ()
+    | Wire.Aborted _ -> res.txn_aborts <- res.txn_aborts + 1
+    | Wire.Err m -> record_error res ("read failed: " ^ m)
+    | _ -> record_error res "unexpected read reply"
+  end
+
+let run_session ~connect ~ops ~seed ~write_pct ~txn_pct ~idx res =
+  let rng = Prng.create ~seed:(seed + (7919 * idx)) in
+  match connect () with
+  | exception e -> record_error res ("connect failed: " ^ Printexc.to_string e)
+  | client -> (
+      try
+        (match Client.ping client with
+        | Wire.Pong -> ()
+        | _ -> record_error res "ping: no pong");
+        for _ = 1 to ops do
+          if Prng.int rng ~bound:100 < txn_pct then run_txn res client rng
+          else run_autocommit res client rng ~write_pct
+        done;
+        Client.quit client
+      with e ->
+        record_error res ("session died: " ^ Printexc.to_string e);
+        Client.close client)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (p /. 100. *. float_of_int (n - 1) +. 0.5)))
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let run host port unix_path sessions ops seed write_pct txn_pct out =
+  let ops =
+    match Sys.getenv_opt "MOOD_LOAD_QUOTA" with
+    | Some q -> (
+        match int_of_string_opt (String.trim q) with
+        | Some total when total > 0 -> max 1 (total / max 1 sessions)
+        | _ -> ops)
+    | None -> ops
+  in
+  let connect () =
+    match unix_path with
+    | Some path -> Client.connect_unix ~path
+    | None -> Client.connect ~host ~port ()
+  in
+  let results = Array.init sessions (fun _ -> fresh_result ()) in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init sessions (fun idx ->
+        Thread.create
+          (fun () ->
+            run_session ~connect ~ops ~seed ~write_pct ~txn_pct ~idx results.(idx))
+          ())
+  in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let total f = Array.fold_left (fun acc r -> acc + f r) 0 results in
+  let requests = total (fun r -> r.requests) in
+  let errors = total (fun r -> r.errors) in
+  let busy = total (fun r -> r.busy_retries) in
+  let aborts = total (fun r -> r.txn_aborts) in
+  let rows = total (fun r -> r.rows_seen) in
+  let latencies =
+    Array.of_list (Array.fold_left (fun acc r -> r.latencies @ acc) [] results)
+  in
+  Array.sort compare latencies;
+  let ms p = percentile latencies p *. 1000. in
+  let throughput = if elapsed > 0. then float_of_int requests /. elapsed else 0. in
+  Printf.printf
+    "load_gen: %d session(s) x %d op(s): %d request(s) in %.3f s (%.0f req/s), %d row(s)\n"
+    sessions ops requests elapsed throughput rows;
+  Printf.printf "load_gen: latency p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, max %.3f ms\n"
+    (ms 50.) (ms 95.) (ms 99.) (ms 100.);
+  Printf.printf "load_gen: %d busy retry(ies), %d transaction abort(s), %d error(s)\n" busy
+    aborts errors;
+  Array.iteri
+    (fun i r ->
+      List.iter (fun m -> Printf.printf "load_gen: session %d error: %s\n" i m)
+        r.error_samples)
+    results;
+  let oc = open_out out in
+  Printf.fprintf oc
+    {|{
+  "bench": "mood_server_load",
+  "sessions": %d,
+  "ops_per_session": %d,
+  "seed": %d,
+  "write_pct": %d,
+  "txn_pct": %d,
+  "requests": %d,
+  "rows": %d,
+  "elapsed_s": %.6f,
+  "throughput_req_s": %.1f,
+  "latency_ms": { "p50": %.3f, "p95": %.3f, "p99": %.3f, "max": %.3f },
+  "busy_retries": %d,
+  "txn_aborts": %d,
+  "errors": %d,
+  "error_samples": [%s]
+}
+|}
+    sessions ops seed write_pct txn_pct requests rows elapsed throughput (ms 50.)
+    (ms 95.) (ms 99.) (ms 100.) busy aborts errors
+    (String.concat ", "
+       (List.concat_map
+          (fun r -> List.map (fun m -> "\"" ^ json_escape m ^ "\"") r.error_samples)
+          (Array.to_list results)));
+  close_out oc;
+  Printf.printf "load_gen: wrote %s\n%!" out;
+  if errors > 0 then 1 else 0
+
+open Cmdliner
+
+let host =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+
+let port =
+  Arg.(value & opt int 7450 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server TCP port.")
+
+let unix_path =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "unix" ] ~docv:"PATH" ~doc:"Connect to a unix-domain socket instead of TCP.")
+
+let sessions =
+  Arg.(value & opt int 8 & info [ "sessions" ] ~docv:"N" ~doc:"Concurrent client sessions.")
+
+let ops =
+  Arg.(
+    value
+    & opt int 200
+    & info [ "ops" ] ~docv:"N"
+        ~doc:
+          "Operations per session (an operation is one autocommit statement or one \
+           whole transaction). MOOD_LOAD_QUOTA, if set, is a total-statement budget \
+           that overrides this.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let write_pct =
+  Arg.(
+    value
+    & opt int 25
+    & info [ "write-pct" ] ~docv:"PCT" ~doc:"Percentage of autocommit ops that write.")
+
+let txn_pct =
+  Arg.(
+    value
+    & opt int 15
+    & info [ "txn-pct" ] ~docv:"PCT"
+        ~doc:"Percentage of ops run as multi-statement transactions.")
+
+let out =
+  Arg.(
+    value
+    & opt string "BENCH_server.json"
+    & info [ "out" ] ~docv:"FILE" ~doc:"JSON report path.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "load_gen" ~version:"1.0.0"
+       ~doc:"Concurrent load generator for mood_server (VOODB-style multi-user bench)")
+    Term.(
+      const run $ host $ port $ unix_path $ sessions $ ops $ seed $ write_pct $ txn_pct
+      $ out)
+
+let () = exit (Cmd.eval' cmd)

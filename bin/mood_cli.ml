@@ -8,11 +8,19 @@
      .admin             administration panel
      .history           query history
      .quit
-   Anything else is executed as a MOODSQL statement. *)
+   Anything else is executed as a MOODSQL statement.
+
+   With --connect HOST:PORT (or --connect unix:PATH) the same REPL
+   speaks the wire protocol to a running mood_server instead of an
+   in-process kernel: statements (including BEGIN/COMMIT/ABORT) go over
+   the network, the dot-panels that need the local kernel are
+   unavailable, and .ping round-trips a health check. *)
 
 module Db = Mood.Db
 module View = Mood_moodview.Moodview
 module Qm = Mood_moodview.Query_manager
+module Wire = Mood_server.Wire
+module Client = Mood_server.Client
 
 let starts_with prefix s =
   String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
@@ -63,14 +71,87 @@ let repl ~with_demo () =
   in
   loop ()
 
+(* ------------------------------------------------------------------ *)
+(* Remote mode: the REPL over the wire protocol                        *)
+
+let render_response = function
+  | Wire.Ok_result m -> "ok: " ^ m
+  | Wire.Rows [] -> "(no rows)"
+  | Wire.Rows rows -> String.concat "\n" rows
+  | Wire.Err m -> "error: " ^ m
+  | Wire.Aborted m -> "ABORTED: " ^ m ^ " (transaction rolled back; retry)"
+  | Wire.Busy m -> "BUSY: " ^ m
+  | Wire.Pong -> "pong"
+  | Wire.Bye -> "bye"
+
+let parse_endpoint spec =
+  if starts_with "unix:" spec then
+    `Unix (String.sub spec 5 (String.length spec - 5))
+  else
+    match String.rindex_opt spec ':' with
+    | None -> failwith ("--connect expects HOST:PORT or unix:PATH, got " ^ spec)
+    | Some i -> (
+        let host = String.sub spec 0 i in
+        let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match int_of_string_opt port with
+        | Some p -> `Tcp ((if host = "" then "127.0.0.1" else host), p)
+        | None -> failwith ("--connect: bad port in " ^ spec))
+
+let remote_repl spec =
+  let client =
+    match parse_endpoint spec with
+    | `Unix path -> Client.connect_unix ~path
+    | `Tcp (host, port) -> Client.connect ~host ~port ()
+  in
+  Printf.printf "Connected to mood_server at %s. .quit exits, .ping checks.\n" spec;
+  let rec loop () =
+    print_string "mood> ";
+    match In_channel.input_line stdin with
+    | None -> Client.quit client
+    | Some line -> (
+        let line = strip line in
+        if line = "" then loop ()
+        else if line = ".quit" || line = ".exit" then Client.quit client
+        else begin
+          (try
+             let reply =
+               match String.uppercase_ascii line with
+               | ".PING" -> Client.ping client
+               | "BEGIN" -> Client.begin_txn client
+               | "COMMIT" -> Client.commit client
+               | "ABORT" | "ROLLBACK" -> Client.abort client
+               | _ -> Client.exec client line
+             in
+             print_endline (render_response reply)
+           with
+          | Client.Disconnected -> failwith "server closed the connection"
+          | Wire.Protocol_error m -> failwith ("protocol error: " ^ m));
+          loop ()
+        end)
+  in
+  loop ()
+
 open Cmdliner
 
 let demo_flag =
   Arg.(value & flag & info [ "demo" ] ~doc:"Preload the paper's vehicle database.")
 
+let connect_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Run the shell against a running mood_server (HOST:PORT or unix:PATH) \
+           instead of an in-process kernel.")
+
 let repl_cmd =
-  let run demo = repl ~with_demo:demo () in
-  Cmd.v (Cmd.info "repl" ~doc:"Interactive MOODSQL shell") Term.(const run $ demo_flag)
+  let run demo connect =
+    match connect with None -> repl ~with_demo:demo () | Some spec -> remote_repl spec
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive MOODSQL shell (local kernel or --connect)")
+    Term.(const run $ demo_flag $ connect_opt)
 
 let plans_cmd =
   let run () =

@@ -1,0 +1,123 @@
+(* The MOOD server daemon: serves the wire protocol over TCP (and
+   optionally a unix-domain socket) until SIGINT/SIGTERM, then shuts
+   down gracefully and audits for leaked sessions/transactions/locks —
+   a dirty shutdown is a non-zero exit, so CI smoke runs catch leaks.
+
+     dune exec bin/mood_server.exe -- --demo --port 0 --port-file p.txt
+
+   --port 0 binds an ephemeral port; --port-file publishes the bound
+   port for scripts that need to connect without parsing stdout. *)
+
+module Db = Mood.Db
+module Server = Mood_server.Server
+
+let run host port unix_path workers queue demo scale port_file lock_timeout =
+  let db = Db.create () in
+  if demo then begin
+    Mood_workload.Vehicle.define_schema (Db.catalog db);
+    ignore (Mood_workload.Vehicle.generate ~catalog:(Db.catalog db) ~scale ());
+    Db.analyze db
+  end;
+  let config =
+    { Server.default_config with
+      Server.host;
+      port = Some port;
+      unix_path;
+      workers;
+      queue_capacity = queue;
+      lock_timeout
+    }
+  in
+  let server = Server.start ~config db in
+  let bound = Option.value ~default:0 (Server.port server) in
+  Printf.printf "mood_server listening on %s:%d%s%s\n%!" host bound
+    (match unix_path with Some p -> " and unix:" ^ p | None -> "")
+    (if demo then " (vehicle demo loaded)" else "");
+  (match port_file with
+  | Some path ->
+      (* Write then rename so readers never observe a partial file. *)
+      let tmp = path ^ ".tmp" in
+      Out_channel.with_open_text tmp (fun oc ->
+          Printf.fprintf oc "%d\n" bound);
+      Sys.rename tmp path
+  | None -> ());
+  let stop = Atomic.make false in
+  let request_stop _ = Atomic.set stop true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  while not (Atomic.get stop) do
+    Thread.delay 0.05
+  done;
+  prerr_endline "mood_server: shutting down";
+  Server.shutdown server;
+  let st = Server.stats server in
+  Printf.eprintf
+    "mood_server: %d session(s) served, %d statement(s), %d busy, %d deadlock abort(s), %d disconnect abort(s), %d protocol error(s)\n%!"
+    st.Server.sessions_opened st.Server.statements st.Server.busy_rejections
+    st.Server.deadlock_aborts st.Server.disconnect_aborts st.Server.protocol_errors;
+  match Server.audit server with
+  | Ok () ->
+      prerr_endline "mood_server: clean shutdown";
+      0
+  | Error m ->
+      Printf.eprintf "mood_server: LEAK at shutdown: %s\n%!" m;
+      1
+
+open Cmdliner
+
+let host =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"TCP bind address.")
+
+let port =
+  Arg.(
+    value
+    & opt int 7450
+    & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port; 0 binds an ephemeral port.")
+
+let unix_path =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "unix" ] ~docv:"PATH" ~doc:"Also listen on a unix-domain socket at $(docv).")
+
+let workers =
+  Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc:"Worker-pool size (>= 2).")
+
+let queue =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "queue" ] ~docv:"N"
+        ~doc:"Admission-control bound: requests queued beyond this get BUSY.")
+
+let demo =
+  Arg.(value & flag & info [ "demo" ] ~doc:"Preload the paper's vehicle database.")
+
+let scale =
+  Arg.(
+    value
+    & opt float 0.01
+    & info [ "scale" ] ~docv:"S" ~doc:"Demo database scale (with --demo).")
+
+let port_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "port-file" ] ~docv:"FILE" ~doc:"Write the bound TCP port to $(docv).")
+
+let lock_timeout =
+  Arg.(
+    value
+    & opt float 10.0
+    & info [ "lock-timeout" ] ~docv:"SECONDS"
+        ~doc:"Abort a transaction whose statement waited this long for locks.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "mood_server" ~version:"1.0.0"
+       ~doc:"MOOD network server: concurrent MOODSQL over the wire protocol")
+    Term.(
+      const run $ host $ port $ unix_path $ workers $ queue $ demo $ scale $ port_file
+      $ lock_timeout)
+
+let () = exit (Cmd.eval' cmd)

@@ -127,13 +127,13 @@ let exec_create_class t ~cc_name ~cc_supers ~cc_attrs ~cc_methods =
        ());
   Class_created cc_name
 
-let exec_new t ~no_class ~no_values =
+let exec_new t ?txn ~no_class ~no_values () =
   let attrs = Catalog.attributes t.cat no_class in
   let values = List.map (eval_standalone t []) no_values in
   let fields =
     List.mapi (fun i (name, _) -> (name, Option.value ~default:Value.Null (List.nth_opt values i))) attrs
   in
-  Object_created (Catalog.insert_object t.cat ~class_name:no_class (Value.Tuple fields))
+  Object_created (Catalog.insert_object t.cat ?txn ~class_name:no_class (Value.Tuple fields))
 
 let matching_oids t ~class_name ~var ~where =
   let env = executor_env t in
@@ -144,7 +144,7 @@ let matching_oids t ~class_name ~var ~where =
       if keep then out := oid :: !out);
   List.rev !out
 
-let exec_update t ~up_class ~up_var ~up_set ~up_where =
+let exec_update t ?txn ~up_class ~up_var ~up_set ~up_where () =
   let env = executor_env t in
   let victims = matching_oids t ~class_name:up_class ~var:up_var ~where:up_where in
   let touched = ref 0 in
@@ -159,15 +159,15 @@ let exec_update t ~up_class ~up_var ~up_set ~up_where =
               (fun acc (attr, e) -> Value.tuple_set acc attr (Eval.expr env row e))
               value up_set
           in
-          if Catalog.update_object t.cat oid updated then incr touched)
+          if Catalog.update_object t.cat ?txn oid updated then incr touched)
     victims;
   Updated !touched
 
-let exec_delete t ~de_class ~de_var ~de_where =
+let exec_delete t ?txn ~de_class ~de_var ~de_where () =
   let victims = matching_oids t ~class_name:de_class ~var:de_var ~where:de_where in
   let removed =
     List.fold_left
-      (fun acc oid -> if Catalog.delete_object t.cat oid then acc + 1 else acc)
+      (fun acc oid -> if Catalog.delete_object t.cat ?txn oid then acc + 1 else acc)
       0 victims
   in
   Deleted removed
@@ -176,7 +176,7 @@ let optimize t source =
   let q = Parser.parse_query source in
   Optimizer.optimize (optimizer_env t) q
 
-let exec_statement t stmt =
+let exec_statement t ?txn stmt =
   Typecheck.check_statement ~catalog:t.cat stmt;
   match stmt with
   | Ast.Select q ->
@@ -188,10 +188,10 @@ let exec_statement t stmt =
       ignore
         (Catalog.create_index t.cat ~class_name:ci_class ~attr:ci_attr ~kind:ci_kind ());
       Index_created (ci_class, ci_attr)
-  | Ast.New_object { no_class; no_values } -> exec_new t ~no_class ~no_values
+  | Ast.New_object { no_class; no_values } -> exec_new t ?txn ~no_class ~no_values ()
   | Ast.Update { up_class; up_var; up_set; up_where } ->
-      exec_update t ~up_class ~up_var ~up_set ~up_where
-  | Ast.Delete { de_class; de_var; de_where } -> exec_delete t ~de_class ~de_var ~de_where
+      exec_update t ?txn ~up_class ~up_var ~up_set ~up_where ()
+  | Ast.Delete { de_class; de_var; de_where } -> exec_delete t ?txn ~de_class ~de_var ~de_where ()
   | Ast.Define_method { dm_class; dm_decl; dm_body } ->
       Fm.define t.funcs ~class_name:dm_class ~signature:(method_signature dm_decl)
         (Fm.Moodc dm_body);
@@ -290,34 +290,44 @@ let looks_like_select key =
   String.length key >= 6
   && String.uppercase_ascii (String.sub key 0 6) = "SELECT"
 
-let exec ?(cache = true) t source =
-  match
-    (let key = Plan_cache.normalize source in
-     let cache = cache && looks_like_select key in
-     let hit =
-       if cache then Plan_cache.find t.plans ~epoch:(plan_epoch t) key else None
-     in
-     match hit with
-     | Some entry -> run_cached t entry
-     | None -> begin
-         let stmt = Parser.parse source in
-         match stmt with
-         | Ast.Select q when cache ->
-             let entry = build_plan t q in
-             Plan_cache.add t.plans ~epoch:(plan_epoch t) key entry;
-             run_cached t entry
-         | _ -> with_statement_locks t stmt (fun () -> exec_statement t stmt)
-       end)
-  with
+(* The kernel's Exception-class behaviour, shared by every statement
+   entry point: failures become messages, the server survives. Unknown
+   exceptions (bugs) keep propagating. *)
+let error_of_exn = function
+  | Parser.Parse_error m -> Some ("parse error: " ^ m)
+  | Typecheck.Type_error m -> Some ("type error: " ^ m)
+  | Catalog.Schema_error m -> Some ("schema error: " ^ m)
+  | Eval.Eval_error m -> Some ("run-time error: " ^ m)
+  | Fm.Mood_exception { class_name; function_name; message } ->
+      Some (Printf.sprintf "exception in %s::%s: %s" class_name function_name message)
+  | Mood_model.Operand.Type_error m -> Some ("run-time type error: " ^ m)
+  | Failure m -> Some m
+  | _ -> None
+
+let protect f =
+  match f () with
   | result -> Ok result
-  | exception Parser.Parse_error m -> Error ("parse error: " ^ m)
-  | exception Typecheck.Type_error m -> Error ("type error: " ^ m)
-  | exception Catalog.Schema_error m -> Error ("schema error: " ^ m)
-  | exception Eval.Eval_error m -> Error ("run-time error: " ^ m)
-  | exception Fm.Mood_exception { class_name; function_name; message } ->
-      Error (Printf.sprintf "exception in %s::%s: %s" class_name function_name message)
-  | exception Mood_model.Operand.Type_error m -> Error ("run-time type error: " ^ m)
-  | exception Failure m -> Error m
+  | exception e -> (
+      match error_of_exn e with Some m -> Error m | None -> raise e)
+
+let exec ?(cache = true) t source =
+  protect (fun () ->
+      let key = Plan_cache.normalize source in
+      let cache = cache && looks_like_select key in
+      let hit =
+        if cache then Plan_cache.find t.plans ~epoch:(plan_epoch t) key else None
+      in
+      match hit with
+      | Some entry -> run_cached t entry
+      | None -> begin
+          let stmt = Parser.parse source in
+          match stmt with
+          | Ast.Select q when cache ->
+              let entry = build_plan t q in
+              Plan_cache.add t.plans ~epoch:(plan_epoch t) key entry;
+              run_cached t entry
+          | _ -> with_statement_locks t stmt (fun () -> exec_statement t stmt)
+        end)
 
 let query ?cache t source =
   match exec ?cache t source with
@@ -522,30 +532,118 @@ let undo_update t ~file ~before =
 
 let finish_txn t txn = t.active_txns <- List.filter (fun id -> id <> txn) t.active_txns
 
-let transaction t f =
+(* Compensate a transaction's logged effects, newest first. *)
+let compensate t txn =
+  let wal = Store.wal t.st in
+  List.iter
+    (fun record ->
+      match record with
+      | Wal.Insert { file; payload; _ } -> undo_insert t ~file ~payload
+      | Wal.Delete { file; before; _ } -> undo_delete t ~file ~before
+      | Wal.Update { file; before; _ } -> undo_update t ~file ~before
+      | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _ -> ())
+    (Wal.undo_records wal txn)
+
+(* ------------------------------------------------------------------ *)
+(* Session transactions: the server's BEGIN/COMMIT/ABORT surface.      *)
+
+type session_txn = {
+  stxn_id : int;
+  stxn_lock : Lock.txn;
+  mutable stxn_open : bool;
+}
+
+type txn_error =
+  | Txn_busy
+  | Txn_deadlock
+  | Txn_fail of string
+
+let begin_session_txn t =
   let txn = t.next_txn in
   t.next_txn <- txn + 1;
   t.active_txns <- txn :: t.active_txns;
+  ignore (Wal.append (Store.wal t.st) (Wal.Begin txn));
+  { stxn_id = txn; stxn_lock = Lock.begin_txn (Store.locks t.st); stxn_open = true }
+
+let session_txn_id s = s.stxn_id
+
+let session_txn_open s = s.stxn_open
+
+let commit_session_txn t s =
+  if not s.stxn_open then invalid_arg "commit_session_txn: transaction already finished";
+  s.stxn_open <- false;
   let wal = Store.wal t.st in
-  ignore (Wal.append wal (Wal.Begin txn));
-  match f txn with
+  ignore (Wal.append wal (Wal.Commit s.stxn_id));
+  Wal.flush wal;
+  finish_txn t s.stxn_id;
+  Lock.release_all (Store.locks t.st) s.stxn_lock
+
+let abort_session_txn t s =
+  if not s.stxn_open then invalid_arg "abort_session_txn: transaction already finished";
+  s.stxn_open <- false;
+  compensate t s.stxn_id;
+  ignore (Wal.append (Store.wal t.st) (Wal.Abort s.stxn_id));
+  finish_txn t s.stxn_id;
+  Lock.release_all (Store.locks t.st) s.stxn_lock
+
+(* Strict 2PL growth: statement locks go to the session's lock
+   transaction and stay held until commit/abort. A conflict leaves the
+   locks granted so far in place (incremental acquisition — that is
+   what makes a cross-session deadlock detectable) and reports
+   [Txn_busy]; the caller retries the statement without rolling back.
+   A waits-for cycle makes this transaction the victim: [Txn_deadlock],
+   and the caller must [abort_session_txn]. *)
+let acquire_txn_locks t s stmt =
+  let locks = Store.locks t.st in
+  let rec go = function
+    | [] -> Ok ()
+    | (cls, mode) :: rest -> (
+        match Lock.acquire locks s.stxn_lock ("extent:" ^ cls) mode with
+        | Lock.Granted -> go rest
+        | Lock.Would_block -> Error Txn_busy
+        | Lock.Deadlock -> Error Txn_deadlock)
+  in
+  go (statement_locks t stmt)
+
+let exec_in_txn ?(cache = true) t s source =
+  if not s.stxn_open then Error (Txn_fail "transaction is not open")
+  else
+    let protect_txn f =
+      match protect f with Ok r -> Ok r | Error m -> Error (Txn_fail m)
+    in
+    let key = Plan_cache.normalize source in
+    let cache = cache && looks_like_select key in
+    let hit = if cache then Plan_cache.find t.plans ~epoch:(plan_epoch t) key else None in
+    match hit with
+    | Some entry -> (
+        match acquire_txn_locks t s (Ast.Select entry.cp_query) with
+        | Error _ as e -> e
+        | Ok () ->
+            protect_txn (fun () ->
+                Rows (Executor.run_prepared (executor_env t) entry.cp_prepared)))
+    | None -> (
+        match protect (fun () -> Parser.parse source) with
+        | Error m -> Error (Txn_fail m)
+        | Ok stmt -> (
+            match acquire_txn_locks t s stmt with
+            | Error _ as e -> e
+            | Ok () -> (
+                match stmt with
+                | Ast.Select q when cache ->
+                    protect_txn (fun () ->
+                        let entry = build_plan t q in
+                        Plan_cache.add t.plans ~epoch:(plan_epoch t) key entry;
+                        Rows (Executor.run_prepared (executor_env t) entry.cp_prepared))
+                | _ -> protect_txn (fun () -> exec_statement t ~txn:s.stxn_id stmt))))
+
+let transaction t f =
+  let s = begin_session_txn t in
+  match f s.stxn_id with
   | result ->
-      ignore (Wal.append wal (Wal.Commit txn));
-      Wal.flush wal;
-      finish_txn t txn;
+      commit_session_txn t s;
       result
   | exception e ->
-      (* Compensate the transaction's logged effects, newest first. *)
-      List.iter
-        (fun record ->
-          match record with
-          | Wal.Insert { file; payload; _ } -> undo_insert t ~file ~payload
-          | Wal.Delete { file; before; _ } -> undo_delete t ~file ~before
-          | Wal.Update { file; before; _ } -> undo_update t ~file ~before
-          | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _ -> ())
-        (Wal.undo_records wal txn);
-      ignore (Wal.append wal (Wal.Abort txn));
-      finish_txn t txn;
+      abort_session_txn t s;
       raise e
 
 let active_transactions t = t.active_txns

@@ -122,6 +122,62 @@ val transaction : t -> (int -> 'a) -> 'a
     abort — compensating logged operations — on exception, which is
     re-raised. *)
 
+(** {2 Session transactions}
+
+    The open-ended counterpart of [transaction], built for the network
+    server's BEGIN/COMMIT/ABORT statements: the transaction spans many
+    [exec_in_txn] calls, DML inside it is WAL-logged under its id, and
+    statement locks follow strict two-phase locking — they accumulate
+    on the session's lock-manager transaction and are only released by
+    [commit_session_txn]/[abort_session_txn].
+
+    {b Thread-safety:} [t] is single-threaded — the plan cache, buffer
+    pool LRU, catalog hash tables and the statistics snapshot are all
+    unsynchronized mutable state. A multi-threaded caller (the server)
+    must serialize every call into the same [t] behind one kernel lock;
+    [Txn_busy] is returned precisely so the caller can retry {e
+    outside} that lock while the conflicting session commits. *)
+
+type session_txn
+
+type txn_error =
+  | Txn_busy
+      (** A statement lock is held by another live transaction; the
+          wait is registered in the waits-for graph. Locks granted so
+          far stay held (2PL growth). Retry the same statement. *)
+  | Txn_deadlock
+      (** Waiting would close a waits-for cycle: this transaction is
+          the victim. The caller must [abort_session_txn] and report a
+          retryable abort. *)
+  | Txn_fail of string
+      (** Parse/type/schema/run-time error. The transaction stays
+          open; earlier effects are kept until commit/abort. *)
+
+val begin_session_txn : t -> session_txn
+(** Appends [Begin] to the WAL, registers the transaction as active
+    (checkpoints record it) and opens a lock-manager transaction. *)
+
+val session_txn_id : session_txn -> int
+
+val session_txn_open : session_txn -> bool
+
+val exec_in_txn : ?cache:bool -> t -> session_txn -> string -> (exec_result, txn_error) result
+(** [exec] within a session transaction: SELECTs share the compiled
+    plan cache (prepared-statement reuse across sessions and
+    statements); DML is WAL-logged under the transaction's id so
+    [abort_session_txn] compensates it. Statement locks are acquired on
+    the session's lock transaction and {e not} released when the
+    statement finishes. *)
+
+val commit_session_txn : t -> session_txn -> unit
+(** Appends [Commit], forces the log, and releases every lock. Raises
+    [Invalid_argument] when the transaction is already finished. *)
+
+val abort_session_txn : t -> session_txn -> unit
+(** Compensates the transaction's logged effects (newest first),
+    appends [Abort] and releases every lock — also the path the server
+    takes for orphaned transactions of disconnected sessions. *)
+
 val active_transactions : t -> int list
 (** Transactions currently inside [transaction] — the table a
     checkpoint records. *)

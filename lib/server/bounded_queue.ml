@@ -1,0 +1,63 @@
+type 'a t = {
+  items : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+  m : Mutex.t;
+  nonempty : Condition.t;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Bounded_queue.create: capacity must be positive";
+  { items = Queue.create ();
+    capacity;
+    closed = false;
+    m = Mutex.create ();
+    nonempty = Condition.create ()
+  }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  match f () with
+  | v ->
+      Mutex.unlock t.m;
+      v
+  | exception e ->
+      Mutex.unlock t.m;
+      raise e
+
+let try_push t x =
+  with_lock t (fun () ->
+      if t.closed || Queue.length t.items >= t.capacity then false
+      else begin
+        Queue.add x t.items;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let push_force t x =
+  with_lock t (fun () ->
+      if t.closed then false
+      else begin
+        Queue.add x t.items;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.items) then Some (Queue.take t.items)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.m;
+          wait ()
+        end
+      in
+      wait ())
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let length t = with_lock t (fun () -> Queue.length t.items)

@@ -1,0 +1,31 @@
+(** Bounded multi-producer/multi-consumer FIFO — the admission-control
+    point between connection handlers and the worker pool.
+
+    [try_push] never blocks: a full (or closed) queue refuses the item,
+    and the caller turns the refusal into a [BUSY] wire reply instead
+    of queueing unbounded latency. [pop] blocks until an item arrives
+    or the queue is closed {e and} drained — so closing gives graceful
+    shutdown: in-flight and already-admitted requests finish, new ones
+    are refused. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity <= 0]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when the queue is full or closed. *)
+
+val push_force : 'a t -> 'a -> bool
+(** Enqueues even over capacity — for {e re-admitting} work that
+    already passed admission control once (parked lock-waiters), which
+    must never be refused or it would be lost. [false] only when the
+    queue is closed. *)
+
+val pop : 'a t -> 'a option
+(** Blocks; [None] once the queue is closed and empty. *)
+
+val close : 'a t -> unit
+(** Idempotent. Wakes every blocked [pop]. *)
+
+val length : 'a t -> int

@@ -1,0 +1,48 @@
+exception Disconnected
+
+type t = { cfd : Unix.file_descr; mutable open_ : bool }
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     Unix.close fd;
+     raise e);
+  { cfd = fd; open_ = true }
+
+let connect_unix ~path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     Unix.close fd;
+     raise e);
+  { cfd = fd; open_ = true }
+
+let request t req =
+  if not t.open_ then raise Disconnected;
+  Wire.write_request t.cfd req;
+  match Wire.read_response t.cfd with
+  | Some resp -> resp
+  | None -> raise Disconnected
+
+let exec t sql = request t (Wire.Exec sql)
+let query t sql = request t (Wire.Query sql)
+let begin_txn t = request t Wire.Begin
+let commit t = request t Wire.Commit
+let abort t = request t Wire.Abort
+let ping t = request t Wire.Ping
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.cfd with Unix.Unix_error _ -> ()
+  end
+
+let quit t =
+  if t.open_ then begin
+    (try ignore (request t Wire.Quit)
+     with Disconnected | Wire.Protocol_error _ | Unix.Unix_error _ -> ());
+    close t
+  end
+
+let fd t = t.cfd

@@ -1,0 +1,35 @@
+(** Blocking wire-protocol client: one socket, one outstanding request.
+
+    Shared by the load generator, [mood_cli --connect] and the tests —
+    there is exactly one implementation of the framing rules on the
+    client side. All calls raise {!Wire.Protocol_error} on framing
+    violations and {!Disconnected} when the server hangs up. *)
+
+exception Disconnected
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> t
+(** TCP; [host] defaults to 127.0.0.1. *)
+
+val connect_unix : path:string -> t
+
+val request : t -> Wire.request -> Wire.response
+(** Sends one frame, reads one frame. *)
+
+val exec : t -> string -> Wire.response
+val query : t -> string -> Wire.response
+val begin_txn : t -> Wire.response
+val commit : t -> Wire.response
+val abort : t -> Wire.response
+val ping : t -> Wire.response
+
+val quit : t -> unit
+(** Sends [QUIT], waits for [BYE] (best effort) and closes. *)
+
+val close : t -> unit
+(** Closes the socket without the QUIT handshake — from the server's
+    point of view, an abrupt disconnect. Idempotent. *)
+
+val fd : t -> Unix.file_descr
+(** For tests that need to tear the connection apart mid-frame. *)

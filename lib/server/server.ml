@@ -1,0 +1,519 @@
+module Db = Mood.Db
+module Value = Mood_model.Value
+module Oid = Mood_model.Oid
+module Executor = Mood_executor.Executor
+module Lock = Mood_storage.Lock_manager
+module Store = Mood_storage.Store
+
+type config = {
+  host : string;
+  port : int option;
+  unix_path : string option;
+  workers : int;
+  queue_capacity : int;
+  max_frame : int;
+  lock_timeout : float;
+  lock_retry_delay : float;
+}
+
+let default_config =
+  { host = "127.0.0.1";
+    port = Some 0;
+    unix_path = None;
+    workers = 4;
+    queue_capacity = 64;
+    max_frame = Wire.default_max_frame;
+    lock_timeout = 10.0;
+    lock_retry_delay = 0.002
+  }
+
+(* A unit of admitted work: the handler blocks on [jdone] while a
+   worker fills [jresponse]. Workers never touch the socket — the
+   handler owns all frame I/O for its connection.
+
+   [jdeadline]/[jtxn] carry lock-wait state across park/retry cycles:
+   a statement whose lock is held elsewhere is parked, not busy-waited,
+   so a worker thread is never pinned down by a lock conflict (blocking
+   in the pool would let 4 waiters starve the very commit that would
+   release them — the classic convoy). *)
+type job = {
+  jsession : Session.t;
+  jrequest : Wire.request;
+  jdeadline : float;  (* give up (abort, reply ABORTED) past this *)
+  mutable jtxn : Mood.Db.session_txn option;
+      (* the autocommit transaction owned by this statement, kept
+         across retries; [None] until first attempt or when the
+         session transaction is used instead *)
+  jm : Mutex.t;
+  jdone : Condition.t;
+  mutable jresponse : Wire.response option;
+}
+
+type stats = {
+  sessions_opened : int;
+  sessions_active : int;
+  statements : int;
+  busy_rejections : int;
+  deadlock_aborts : int;
+  timeout_aborts : int;
+  disconnect_aborts : int;
+  protocol_errors : int;
+}
+
+type t = {
+  database : Db.t;
+  config : config;
+  registry : Session.registry;
+  queue : job Bounded_queue.t;
+  kernel : Mutex.t;  (* serializes every Db.t touch — see server.mli *)
+  parked_m : Mutex.t;
+  mutable parked : job list;  (* lock-waiters awaiting their next retry *)
+  mutable listeners : Unix.file_descr list;
+  mutable tcp_port : int option;
+  stop_r : Unix.file_descr;  (* self-pipe waking acceptors *)
+  stop_w : Unix.file_descr;
+  mutable acceptors : Thread.t list;
+  mutable workers : Thread.t list;
+  mutable parker : Thread.t option;
+  mutable parker_stop : bool;
+  handlers_m : Mutex.t;
+  mutable handlers : Thread.t list;
+  mutable stopping : bool;
+  mutable stopped : bool;
+  c_statements : int Atomic.t;
+  c_busy : int Atomic.t;
+  c_deadlock : int Atomic.t;
+  c_timeout : int Atomic.t;
+  c_disconnect : int Atomic.t;
+  c_protocol : int Atomic.t;
+}
+
+let with_kernel t f =
+  Mutex.lock t.kernel;
+  match f () with
+  | v ->
+      Mutex.unlock t.kernel;
+      v
+  | exception e ->
+      Mutex.unlock t.kernel;
+      raise e
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution (worker side)                                   *)
+
+let render_rows r = Wire.Rows (List.map Value.to_string (Executor.result_values r))
+
+let render_result = function
+  | Db.Rows r -> render_rows r
+  | Db.Class_created c -> Wire.Ok_result ("class " ^ c)
+  | Db.Index_created (c, a) -> Wire.Ok_result (Printf.sprintf "index %s.%s" c a)
+  | Db.Object_created oid -> Wire.Ok_result ("oid " ^ Oid.to_string oid)
+  | Db.Updated n -> Wire.Ok_result (Printf.sprintf "updated %d" n)
+  | Db.Deleted n -> Wire.Ok_result (Printf.sprintf "deleted %d" n)
+  | Db.Method_defined (c, m) -> Wire.Ok_result (Printf.sprintf "method %s::%s" c m)
+  | Db.Method_dropped (c, m) ->
+      Wire.Ok_result (Printf.sprintf "dropped method %s::%s" c m)
+  | Db.Object_named (n, oid) ->
+      Wire.Ok_result (Printf.sprintf "named %s = %s" n (Oid.to_string oid))
+  | Db.Name_dropped n -> Wire.Ok_result ("dropped name " ^ n)
+
+let abort_txn t (session : Session.t) txn =
+  with_kernel t (fun () -> Db.abort_session_txn t.database txn);
+  session.Session.txn <- None;
+  session.Session.aborts <- session.Session.aborts + 1
+
+(* One execution attempt of a Query/Exec job. [`Park] means a needed
+   lock is held by another live transaction: the worker must NOT wait —
+   it hands the job to the parking lot and serves someone else (the
+   blocker's own COMMIT may be right behind this job in the queue).
+   Locks granted so far stay with the transaction across retries.
+
+   [~query] = the Q opcode: the reply must be rows. A non-SELECT under
+   Q is refused; in autocommit its (WAL-logged) effects are rolled
+   back with the transaction. *)
+let attempt_statement t job ~query sql =
+  let session = job.jsession in
+  let autocommit, txn =
+    match session.Session.txn with
+    | Some txn -> (false, txn)
+    | None -> (
+        match job.jtxn with
+        | Some txn -> (true, txn) (* retry of a parked autocommit statement *)
+        | None ->
+            let txn = with_kernel t (fun () -> Db.begin_session_txn t.database) in
+            job.jtxn <- Some txn;
+            (true, txn))
+  in
+  let rollback resp =
+    with_kernel t (fun () -> Db.abort_session_txn t.database txn);
+    session.Session.aborts <- session.Session.aborts + 1;
+    if autocommit then job.jtxn <- None else session.Session.txn <- None;
+    resp
+  in
+  let give_up counter reason =
+    Atomic.incr counter;
+    `Reply (rollback (Wire.Aborted reason))
+  in
+  match with_kernel t (fun () -> Db.exec_in_txn t.database txn sql) with
+  | Ok r -> (
+      let finish resp =
+        if autocommit then begin
+          with_kernel t (fun () -> Db.commit_session_txn t.database txn);
+          job.jtxn <- None
+        end;
+        resp
+      in
+      match r with
+      | Db.Rows _ -> `Reply (finish (render_result r))
+      | _ when query ->
+          let resp = Wire.Err "QUERY expects a SELECT statement" in
+          `Reply (if autocommit then rollback resp else resp)
+      | _ -> `Reply (finish (render_result r)))
+  | Error Db.Txn_busy ->
+      if Unix.gettimeofday () < job.jdeadline then `Park
+      else give_up t.c_timeout "lock timeout"
+  | Error Db.Txn_deadlock -> give_up t.c_deadlock "deadlock"
+  | Error (Db.Txn_fail m) ->
+      (* Statement error: an open session transaction survives it (the
+         client decides whether to COMMIT or ABORT); an autocommit
+         statement has nothing to keep and rolls back. *)
+      `Reply (if autocommit then rollback (Wire.Err m) else Wire.Err m)
+
+let execute t job =
+  let session = job.jsession in
+  match job.jrequest with
+  | Wire.Query sql -> attempt_statement t job ~query:true sql
+  | Wire.Exec sql -> attempt_statement t job ~query:false sql
+  | Wire.Begin -> (
+      match session.Session.txn with
+      | Some _ -> `Reply (Wire.Err "already in a transaction")
+      | None ->
+          session.Session.txn <-
+            Some (with_kernel t (fun () -> Db.begin_session_txn t.database));
+          `Reply (Wire.Ok_result "BEGIN"))
+  | Wire.Commit -> (
+      match session.Session.txn with
+      | None -> `Reply (Wire.Err "no open transaction")
+      | Some txn ->
+          with_kernel t (fun () -> Db.commit_session_txn t.database txn);
+          session.Session.txn <- None;
+          `Reply (Wire.Ok_result "COMMIT"))
+  | Wire.Abort -> (
+      match session.Session.txn with
+      | None -> `Reply (Wire.Err "no open transaction")
+      | Some txn ->
+          abort_txn t session txn;
+          `Reply (Wire.Ok_result "ABORT"))
+  | Wire.Ping -> `Reply Wire.Pong (* normally answered inline by the handler *)
+  | Wire.Quit -> `Reply Wire.Bye
+
+let respond job resp =
+  Mutex.lock job.jm;
+  job.jresponse <- Some resp;
+  Condition.signal job.jdone;
+  Mutex.unlock job.jm
+
+let await job =
+  Mutex.lock job.jm;
+  let rec wait () =
+    match job.jresponse with
+    | Some r ->
+        Mutex.unlock job.jm;
+        r
+    | None ->
+        Condition.wait job.jdone job.jm;
+        wait ()
+  in
+  wait ()
+
+let park t job =
+  Mutex.lock t.parked_m;
+  t.parked <- job :: t.parked;
+  Mutex.unlock t.parked_m
+
+let take_parked t =
+  Mutex.lock t.parked_m;
+  let jobs = t.parked in
+  t.parked <- [];
+  Mutex.unlock t.parked_m;
+  List.rev jobs
+
+let worker_loop t =
+  let rec loop () =
+    match Bounded_queue.pop t.queue with
+    | None -> () (* closed and drained *)
+    | Some job ->
+        (match
+           try execute t job with
+           | e -> `Reply (Wire.Err ("internal error: " ^ Printexc.to_string e))
+         with
+        | `Reply resp ->
+            job.jsession.Session.statements <- job.jsession.Session.statements + 1;
+            Atomic.incr t.c_statements;
+            respond job resp
+        | `Park -> park t job);
+        loop ()
+  in
+  loop ()
+
+(* Re-admits parked lock-waiters every retry tick. Runs until shutdown
+   has joined every handler — at that point no job can be outstanding,
+   so nothing is ever stranded in the lot. *)
+let parker_loop t =
+  let rec loop () =
+    Thread.delay t.config.lock_retry_delay;
+    List.iter
+      (fun job ->
+        if not (Bounded_queue.push_force t.queue job) then
+          respond job (Wire.Aborted "server shutting down"))
+      (take_parked t);
+    if not t.parker_stop then loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Connection handling                                                 *)
+
+(* Abort the orphaned transaction of a dead/leaving session, release
+   its locks (the second session's retry loop picks them up at once),
+   untrack it and close the socket. *)
+let teardown t (session : Session.t) =
+  (match session.Session.txn with
+  | Some txn when Db.session_txn_open txn ->
+      Atomic.incr t.c_disconnect;
+      with_kernel t (fun () -> Db.abort_session_txn t.database txn)
+  | _ -> ());
+  session.Session.txn <- None;
+  Session.remove_and_close t.registry session
+
+let handle_connection t (session : Session.t) =
+  let fd = session.Session.fd in
+  (try
+     let rec loop () =
+       match Wire.read_request ~max_frame:t.config.max_frame fd with
+       | None -> () (* clean EOF between frames *)
+       | Some Wire.Ping ->
+           (* Health checks skip the queue: a loaded server still pongs. *)
+           Wire.write_response fd Wire.Pong;
+           loop ()
+       | Some Wire.Quit -> Wire.write_response fd Wire.Bye
+       | Some request ->
+           let job =
+             { jsession = session;
+               jrequest = request;
+               jdeadline = Unix.gettimeofday () +. t.config.lock_timeout;
+               jtxn = None;
+               jm = Mutex.create ();
+               jdone = Condition.create ();
+               jresponse = None
+             }
+           in
+           if Bounded_queue.try_push t.queue job then begin
+             Wire.write_response fd (await job);
+             loop ()
+           end
+           else begin
+             Atomic.incr t.c_busy;
+             Wire.write_response fd
+               (Wire.Busy
+                  (Printf.sprintf "request queue full (%d)" t.config.queue_capacity));
+             loop ()
+           end
+     in
+     loop ()
+   with
+  | Wire.Protocol_error m ->
+      Atomic.incr t.c_protocol;
+      (* Best effort: tell the peer why before hanging up. *)
+      (try Wire.write_response fd (Wire.Err ("protocol error: " ^ m))
+       with Wire.Protocol_error _ | Unix.Unix_error _ -> ())
+  | Unix.Unix_error _ -> Atomic.incr t.c_protocol);
+  teardown t session
+
+(* ------------------------------------------------------------------ *)
+(* Listeners                                                           *)
+
+let sockaddr_name = function
+  | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+  | Unix.ADDR_UNIX p -> "unix:" ^ p
+
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> failwith ("mood_server: cannot resolve host " ^ host))
+
+let listen_tcp ~host ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
+     Unix.listen fd 64;
+     Unix.set_nonblock fd
+   with e ->
+     Unix.close fd;
+     raise e);
+  let actual =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  (fd, actual)
+
+let listen_unix ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX path);
+     Unix.listen fd 64;
+     Unix.set_nonblock fd
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let record_handler t th =
+  Mutex.lock t.handlers_m;
+  t.handlers <- th :: t.handlers;
+  Mutex.unlock t.handlers_m
+
+(* Each acceptor selects on its listener plus the stop pipe, so
+   shutdown wakes it deterministically (closing a descriptor under a
+   blocked accept is not portable). *)
+let acceptor_loop t lfd =
+  let rec loop () =
+    if t.stopping then ()
+    else begin
+      match Unix.select [ lfd; t.stop_r ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | readable, _, _ ->
+          if List.mem t.stop_r readable || t.stopping then ()
+          else begin
+            (match Unix.accept lfd with
+            | fd, addr ->
+                Unix.clear_nonblock fd;
+                let session =
+                  Session.register t.registry ~fd ~peer:(sockaddr_name addr)
+                in
+                record_handler t (Thread.create (handle_connection t) session)
+            | exception
+                Unix.Unix_error
+                  ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED | Unix.EINTR), _, _)
+              ->
+                ());
+            loop ()
+          end
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let start ?(config = default_config) database =
+  (* A peer hanging up mid-write must be an EPIPE error, not a fatal
+     signal. Writes already map it to Protocol_error. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let stop_r, stop_w = Unix.pipe () in
+  let tcp =
+    match config.port with
+    | Some port -> Some (listen_tcp ~host:config.host ~port)
+    | None -> None
+  in
+  let unix_l = Option.map (fun path -> listen_unix ~path) config.unix_path in
+  let t =
+    { database;
+      config;
+      registry = Session.create_registry ();
+      queue = Bounded_queue.create ~capacity:config.queue_capacity;
+      kernel = Mutex.create ();
+      parked_m = Mutex.create ();
+      parked = [];
+      listeners =
+        (match tcp with Some (fd, _) -> [ fd ] | None -> [])
+        @ (match unix_l with Some fd -> [ fd ] | None -> []);
+      tcp_port = Option.map snd tcp;
+      stop_r;
+      stop_w;
+      acceptors = [];
+      workers = [];
+      parker = None;
+      parker_stop = false;
+      handlers_m = Mutex.create ();
+      handlers = [];
+      stopping = false;
+      stopped = false;
+      c_statements = Atomic.make 0;
+      c_busy = Atomic.make 0;
+      c_deadlock = Atomic.make 0;
+      c_timeout = Atomic.make 0;
+      c_disconnect = Atomic.make 0;
+      c_protocol = Atomic.make 0
+    }
+  in
+  t.workers <- List.init (max 1 config.workers) (fun _ -> Thread.create worker_loop t);
+  t.parker <- Some (Thread.create parker_loop t);
+  t.acceptors <- List.map (fun lfd -> Thread.create (acceptor_loop t) lfd) t.listeners;
+  t
+
+let port t = t.tcp_port
+
+let db t = t.database
+
+let stats t =
+  { sessions_opened = Session.total_opened t.registry;
+    sessions_active = Session.count t.registry;
+    statements = Atomic.get t.c_statements;
+    busy_rejections = Atomic.get t.c_busy;
+    deadlock_aborts = Atomic.get t.c_deadlock;
+    timeout_aborts = Atomic.get t.c_timeout;
+    disconnect_aborts = Atomic.get t.c_disconnect;
+    protocol_errors = Atomic.get t.c_protocol
+  }
+
+let shutdown t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    t.stopping <- true;
+    (* Wake acceptors, then retire the listeners. *)
+    (try ignore (Unix.write t.stop_w (Bytes.of_string "x") 0 1) with Unix.Unix_error _ -> ());
+    List.iter (fun th -> Thread.join th) t.acceptors;
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
+    (match t.config.unix_path with
+    | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | None -> ());
+    (* Half-close every session: blocked readers see EOF and run their
+       teardown (which aborts orphaned transactions); handlers waiting
+       on an admitted job still get the response written back first. *)
+    List.iter (Session.shutdown_read t.registry) (Session.snapshot t.registry);
+    Mutex.lock t.handlers_m;
+    let handlers = t.handlers in
+    Mutex.unlock t.handlers_m;
+    List.iter Thread.join handlers;
+    (* Every job has been answered (handlers are gone), so the parking
+       lot is empty and stays empty: retire the parker, then drain the
+       queue and retire the pool. *)
+    t.parker_stop <- true;
+    Option.iter Thread.join t.parker;
+    Bounded_queue.close t.queue;
+    List.iter Thread.join t.workers;
+    (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+    try Unix.close t.stop_w with Unix.Unix_error _ -> ()
+  end
+
+let audit t =
+  let problems = ref [] in
+  let check cond msg = if not cond then problems := msg :: !problems in
+  let locks = Store.locks (Db.store t.database) in
+  check (Session.count t.registry = 0)
+    (Printf.sprintf "%d session(s) still registered" (Session.count t.registry));
+  check
+    (Db.active_transactions t.database = [])
+    (Printf.sprintf "%d kernel transaction(s) still active"
+       (List.length (Db.active_transactions t.database)));
+  check
+    (Lock.active_transactions locks = 0)
+    (Printf.sprintf "%d lock-manager transaction(s) still active"
+       (Lock.active_transactions locks));
+  check
+    (Lock.resource_count locks = 0)
+    (Printf.sprintf "%d locked resource(s) leaked" (Lock.resource_count locks));
+  match !problems with [] -> Ok () | ps -> Error (String.concat "; " ps)

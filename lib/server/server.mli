@@ -1,0 +1,86 @@
+(** The MOOD network front end: a concurrent multi-client server over
+    one shared kernel.
+
+    Architecture (DESIGN.md §3e):
+
+    - One {e acceptor} thread per listener (TCP and/or a unix-domain
+      socket) registers a session and spawns a {e handler} thread per
+      connection.
+    - Handlers read request frames and submit jobs to a {b bounded}
+      request queue; a full queue is answered with [BUSY] immediately
+      (admission control — the client retries, the server never builds
+      unbounded latency). [PING]/[QUIT] are answered inline.
+    - A fixed {e worker pool} drains the queue and executes statements
+      against the shared [Db.t] under one {b kernel lock} — the kernel
+      is single-threaded by design (plan cache, buffer-pool LRU,
+      catalog tables are unsynchronized), so execution is serialized
+      and the pool's win is overlapping network I/O, parsing and lock
+      waits across sessions. Lock conflicts surface as [Txn_busy]
+      {e outside} the kernel lock, and the worker {b never waits}: the
+      statement is parked and periodically re-admitted (a worker
+      blocked on a lock could starve the very COMMIT that releases it
+      — the convoy this design exists to avoid). The wait ends when
+      the blocker commits, the deadline passes, or the lock manager
+      picks this session as a deadlock victim — the latter two are
+      reported as a retryable [ABORTED] reply, never a stall.
+    - Disconnects (clean or torn) abort the session's open transaction
+      through the WAL compensation path and release all its locks.
+
+    Graceful {!shutdown} stops accepting, wakes idle readers, drains
+    in-flight and queued statements, aborts orphaned transactions and
+    joins every thread; {!audit} then verifies nothing leaked. *)
+
+type config = {
+  host : string;             (** TCP bind address (default 127.0.0.1) *)
+  port : int option;         (** [Some 0] binds an ephemeral port; [None]
+                                 disables TCP *)
+  unix_path : string option; (** optional unix-domain listener *)
+  workers : int;             (** worker-pool size (lock waits never pin
+                                 a worker, so a small pool suffices) *)
+  queue_capacity : int;      (** admission-control bound *)
+  max_frame : int;           (** request-frame size limit *)
+  lock_timeout : float;      (** seconds a statement may wait for locks
+                                 before its transaction is aborted *)
+  lock_retry_delay : float;  (** parked lock-waiters are re-admitted on
+                                 this tick *)
+}
+
+val default_config : config
+(** 127.0.0.1, ephemeral TCP port, no unix socket, 4 workers, queue of
+    64, 4 MiB frames, 10 s lock timeout, 2 ms retry backoff. *)
+
+type t
+
+type stats = {
+  sessions_opened : int;
+  sessions_active : int;
+  statements : int;          (** jobs executed by the worker pool *)
+  busy_rejections : int;     (** admission-control [BUSY] replies *)
+  deadlock_aborts : int;     (** transactions aborted as deadlock victims *)
+  timeout_aborts : int;      (** transactions aborted on lock timeout *)
+  disconnect_aborts : int;   (** orphaned transactions aborted at teardown *)
+  protocol_errors : int;     (** sessions torn down on framing violations *)
+}
+
+val start : ?config:config -> Mood.Db.t -> t
+(** Binds, listens and spawns the acceptor/worker threads. The caller
+    keeps ownership of the [Db.t] but must stop touching it from other
+    threads until [shutdown] (the server serializes all access behind
+    its kernel lock). Raises [Unix.Unix_error] when binding fails. *)
+
+val port : t -> int option
+(** The actually bound TCP port (resolves [Some 0]). *)
+
+val stats : t -> stats
+
+val db : t -> Mood.Db.t
+
+val shutdown : t -> unit
+(** Graceful: stop accepting, half-close every session's read side,
+    drain in-flight and queued statements, abort orphaned transactions,
+    join all threads, close sockets. Idempotent. *)
+
+val audit : t -> (unit, string) result
+(** After [shutdown]: checks that no session is still registered, no
+    transaction is active in the kernel or the lock manager, and the
+    lock table holds no resources. [Error] describes the leak. *)

@@ -1,0 +1,57 @@
+type t = {
+  id : int;
+  fd : Unix.file_descr;
+  peer : string;
+  mutable txn : Mood.Db.session_txn option;
+  mutable statements : int;
+  mutable aborts : int;
+  mutable alive : bool;
+}
+
+type registry = {
+  m : Mutex.t;
+  mutable next_id : int;
+  mutable live : t list;
+  mutable opened : int;
+}
+
+let create_registry () = { m = Mutex.create (); next_id = 1; live = []; opened = 0 }
+
+let with_lock r f =
+  Mutex.lock r.m;
+  match f () with
+  | v ->
+      Mutex.unlock r.m;
+      v
+  | exception e ->
+      Mutex.unlock r.m;
+      raise e
+
+let register r ~fd ~peer =
+  with_lock r (fun () ->
+      let s =
+        { id = r.next_id; fd; peer; txn = None; statements = 0; aborts = 0; alive = true }
+      in
+      r.next_id <- r.next_id + 1;
+      r.live <- s :: r.live;
+      r.opened <- r.opened + 1;
+      s)
+
+let remove_and_close r s =
+  with_lock r (fun () ->
+      if s.alive then begin
+        s.alive <- false;
+        r.live <- List.filter (fun other -> other.id <> s.id) r.live;
+        try Unix.close s.fd with Unix.Unix_error _ -> ()
+      end)
+
+let shutdown_read r s =
+  with_lock r (fun () ->
+      if s.alive then
+        try Unix.shutdown s.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+
+let count r = with_lock r (fun () -> List.length r.live)
+
+let total_opened r = with_lock r (fun () -> r.opened)
+
+let snapshot r = with_lock r (fun () -> r.live)

@@ -1,0 +1,48 @@
+(** Per-connection server sessions and their registry.
+
+    A session is born when a connection is accepted and dies when the
+    peer quits, disconnects, or commits a protocol violation. It
+    carries the connection's identity (id, peer name), its current
+    transaction (at most one — the wire protocol has no nesting) and
+    its statement counters. The registry is the server's authoritative
+    view of who is connected: shutdown walks it to wake blocked
+    readers, and the leak audit checks it drains to zero.
+
+    The registry also owns the socket lifecycle: [remove_and_close]
+    and [shutdown_read] are serialized by the registry lock and gated
+    on the session's liveness, so a handler tearing its session down
+    can never race the server shutting the same descriptor down (or a
+    recycled descriptor belonging to someone else). *)
+
+type t = {
+  id : int;
+  fd : Unix.file_descr;
+  peer : string;
+  mutable txn : Mood.Db.session_txn option;  (** open transaction, if any *)
+  mutable statements : int;   (** statements executed (all kinds) *)
+  mutable aborts : int;       (** transactions rolled back on this session *)
+  mutable alive : bool;       (** flipped once, by [remove_and_close] *)
+}
+
+type registry
+
+val create_registry : unit -> registry
+
+val register : registry -> fd:Unix.file_descr -> peer:string -> t
+(** Allocates the next session id and tracks the session. *)
+
+val remove_and_close : registry -> t -> unit
+(** Untracks, marks dead, closes the descriptor. Idempotent. *)
+
+val shutdown_read : registry -> t -> unit
+(** Half-closes the receive side so a blocked frame read returns EOF
+    and the handler runs its normal teardown (aborting any orphaned
+    transaction). No-op on a dead session. *)
+
+val count : registry -> int
+(** Live sessions. *)
+
+val total_opened : registry -> int
+
+val snapshot : registry -> t list
+(** The live sessions at this instant (shutdown iterates this). *)

@@ -1,0 +1,203 @@
+exception Protocol_error of string
+
+type request =
+  | Query of string
+  | Exec of string
+  | Begin
+  | Commit
+  | Abort
+  | Ping
+  | Quit
+
+type response =
+  | Ok_result of string
+  | Rows of string list
+  | Err of string
+  | Aborted of string
+  | Busy of string
+  | Pong
+  | Bye
+
+let default_max_frame = 4 * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Payload encoding                                                    *)
+
+let put_u32 buf n =
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff))
+
+let get_u32 b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+(* One frame = u32 payload length + payload ('opcode byte' + body). *)
+let frame payload_writer =
+  let payload = Buffer.create 64 in
+  payload_writer payload;
+  let out = Buffer.create (Buffer.length payload + 4) in
+  put_u32 out (Buffer.length payload);
+  Buffer.add_buffer out payload;
+  Buffer.to_bytes out
+
+let encode_request req =
+  frame (fun buf ->
+      match req with
+      | Query sql ->
+          Buffer.add_char buf 'Q';
+          Buffer.add_string buf sql
+      | Exec sql ->
+          Buffer.add_char buf 'E';
+          Buffer.add_string buf sql
+      | Begin -> Buffer.add_char buf 'B'
+      | Commit -> Buffer.add_char buf 'C'
+      | Abort -> Buffer.add_char buf 'A'
+      | Ping -> Buffer.add_char buf 'P'
+      | Quit -> Buffer.add_char buf 'X')
+
+let encode_response resp =
+  frame (fun buf ->
+      match resp with
+      | Ok_result m ->
+          Buffer.add_char buf 'K';
+          Buffer.add_string buf m
+      | Rows rows ->
+          Buffer.add_char buf 'R';
+          put_u32 buf (List.length rows);
+          List.iter
+            (fun row ->
+              put_u32 buf (String.length row);
+              Buffer.add_string buf row)
+            rows
+      | Err m ->
+          Buffer.add_char buf 'E';
+          Buffer.add_string buf m
+      | Aborted m ->
+          Buffer.add_char buf 'A';
+          Buffer.add_string buf m
+      | Busy m ->
+          Buffer.add_char buf 'Y';
+          Buffer.add_string buf m
+      | Pong -> Buffer.add_char buf 'P'
+      | Bye -> Buffer.add_char buf 'X')
+
+(* ------------------------------------------------------------------ *)
+(* Payload decoding                                                    *)
+
+let body payload = Bytes.sub_string payload 1 (Bytes.length payload - 1)
+
+let expect_empty what payload =
+  if Bytes.length payload <> 1 then
+    raise (Protocol_error (what ^ ": unexpected body"))
+
+let decode_request payload =
+  if Bytes.length payload = 0 then raise (Protocol_error "empty request frame");
+  match Bytes.get payload 0 with
+  | 'Q' -> Query (body payload)
+  | 'E' -> Exec (body payload)
+  | 'B' ->
+      expect_empty "BEGIN" payload;
+      Begin
+  | 'C' ->
+      expect_empty "COMMIT" payload;
+      Commit
+  | 'A' ->
+      expect_empty "ABORT" payload;
+      Abort
+  | 'P' ->
+      expect_empty "PING" payload;
+      Ping
+  | 'X' ->
+      expect_empty "QUIT" payload;
+      Quit
+  | c -> raise (Protocol_error (Printf.sprintf "unknown request opcode %C" c))
+
+let decode_response payload =
+  if Bytes.length payload = 0 then raise (Protocol_error "empty response frame");
+  let n = Bytes.length payload in
+  match Bytes.get payload 0 with
+  | 'K' -> Ok_result (body payload)
+  | 'E' -> Err (body payload)
+  | 'A' -> Aborted (body payload)
+  | 'Y' -> Busy (body payload)
+  | 'P' ->
+      expect_empty "PONG" payload;
+      Pong
+  | 'X' ->
+      expect_empty "BYE" payload;
+      Bye
+  | 'R' ->
+      if n < 5 then raise (Protocol_error "ROWS: truncated count");
+      let count = get_u32 payload 1 in
+      if count < 0 then raise (Protocol_error "ROWS: negative count");
+      let off = ref 5 in
+      let rows = ref [] in
+      for _ = 1 to count do
+        if !off + 4 > n then raise (Protocol_error "ROWS: truncated row length");
+        let len = get_u32 payload !off in
+        off := !off + 4;
+        if len < 0 || !off + len > n then raise (Protocol_error "ROWS: truncated row");
+        rows := Bytes.sub_string payload !off len :: !rows;
+        off := !off + len
+      done;
+      if !off <> n then raise (Protocol_error "ROWS: trailing bytes");
+      Rows (List.rev !rows)
+  | c -> raise (Protocol_error (Printf.sprintf "unknown response opcode %C" c))
+
+(* ------------------------------------------------------------------ *)
+(* Blocking stream I/O                                                 *)
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd b off len
+      with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        raise (Protocol_error "connection closed by peer")
+    in
+    write_all fd b (off + n) (len - n)
+  end
+
+let write_frame fd b = write_all fd b 0 (Bytes.length b)
+
+(* Reads exactly [len] bytes, looping over partial reads. [`Eof] only
+   when zero bytes were read so far — EOF mid-buffer is a torn frame. *)
+let read_exactly fd len =
+  let b = Bytes.create len in
+  let rec go off =
+    if off >= len then `Bytes b
+    else
+      let n =
+        try Unix.read fd b off (len - off)
+        with Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+          raise (Protocol_error "connection reset mid-frame")
+      in
+      if n = 0 then if off = 0 then `Eof else raise (Protocol_error "torn frame")
+      else go (off + n)
+  in
+  go 0
+
+let read_frame ?(max_frame = default_max_frame) fd =
+  match read_exactly fd 4 with
+  | `Eof -> None
+  | `Bytes prefix ->
+      let len = get_u32 prefix 0 in
+      if len < 0 || len > max_frame then
+        raise
+          (Protocol_error
+             (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" len max_frame));
+      if len = 0 then raise (Protocol_error "empty frame");
+      (match read_exactly fd len with
+      | `Eof -> raise (Protocol_error "torn frame")
+      | `Bytes payload -> Some payload)
+
+let write_request fd req = write_frame fd (encode_request req)
+
+let write_response fd resp = write_frame fd (encode_response resp)
+
+let read_request ?max_frame fd = Option.map decode_request (read_frame ?max_frame fd)
+
+let read_response ?max_frame fd = Option.map decode_response (read_frame ?max_frame fd)

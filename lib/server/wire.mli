@@ -1,0 +1,79 @@
+(** The MOOD wire protocol: length-prefixed frames over a byte stream.
+
+    Every message is one frame: a 4-byte big-endian payload length
+    followed by the payload, whose first byte is the opcode. The
+    protocol is strictly request/response — a client sends one request
+    frame and reads exactly one response frame (MoodView and MOODSQL
+    both reach the kernel through SQL text over this boundary, the
+    paper's uniform client/server architecture).
+
+    Requests:  [Q]uery sql | [E]xec sql | [B]egin | [C]ommit |
+               [A]bort | [P]ing | [X] quit
+    Responses: o[K] message | [R]ows | [E]rror message |
+               [A]borted message (transaction rolled back, retryable) |
+               bus[Y] message (admission control, retry later) |
+               [P]ong | bye [X]
+
+    Decoding is defensive: a frame longer than [max_frame] raises
+    {!Protocol_error} {e before} any payload is read (no allocation
+    proportional to attacker input), as do unknown opcodes, torn length
+    prefixes and EOF mid-frame. Only EOF {e between} frames is a clean
+    end of stream ([None]). *)
+
+exception Protocol_error of string
+(** Framing violation: oversized or torn frame, unknown opcode, or a
+    connection reset mid-frame. The stream is unsynchronized after
+    this — the peer must be disconnected. *)
+
+type request =
+  | Query of string  (** expects a [Rows] reply *)
+  | Exec of string   (** any MOODSQL statement *)
+  | Begin
+  | Commit
+  | Abort
+  | Ping
+  | Quit
+
+type response =
+  | Ok_result of string    (** statement succeeded; human-readable summary *)
+  | Rows of string list    (** one rendered value per result row *)
+  | Err of string          (** statement failed; session (and any open
+                               transaction) survives *)
+  | Aborted of string      (** the transaction was rolled back (deadlock
+                               victim, lock timeout, disconnect) — safe
+                               to retry from BEGIN *)
+  | Busy of string         (** admission control rejected the request
+                               before execution — retry after backoff *)
+  | Pong
+  | Bye
+
+val default_max_frame : int
+(** 4 MiB. *)
+
+(** {2 Pure codecs} (unit-testable without sockets) *)
+
+val encode_request : request -> bytes
+(** The full frame: length prefix included. *)
+
+val encode_response : response -> bytes
+
+val decode_request : bytes -> request
+(** Decodes one payload (no length prefix). Raises {!Protocol_error}. *)
+
+val decode_response : bytes -> response
+
+(** {2 Blocking stream I/O} *)
+
+val write_frame : Unix.file_descr -> bytes -> unit
+(** Writes the whole buffer, looping over partial writes. *)
+
+val read_frame : ?max_frame:int -> Unix.file_descr -> bytes option
+(** Reads one frame's payload. [None] on clean EOF at a frame
+    boundary; {!Protocol_error} on torn prefix/payload, oversized
+    frame, or connection reset. Loops over partial reads. *)
+
+val write_request : Unix.file_descr -> request -> unit
+val write_response : Unix.file_descr -> response -> unit
+
+val read_request : ?max_frame:int -> Unix.file_descr -> request option
+val read_response : ?max_frame:int -> Unix.file_descr -> response option

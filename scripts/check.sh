@@ -24,4 +24,31 @@ echo "== crash/recover harness =="
 # prints the seed and crash point needed to reproduce it.
 MOOD_SIM_QUOTA="${MOOD_SIM_QUOTA:-200}" dune exec bin/crash_sim.exe
 
+echo "== server smoke (wire protocol + load) =="
+# Boots the network front end on an ephemeral port, drives it with the
+# seeded load generator under a tiny statement budget (MOOD_LOAD_QUOTA,
+# total statements across all sessions), then SIGTERMs the daemon. The
+# daemon's exit status is the zero-leak audit: non-zero if any session,
+# transaction or lock survived shutdown. Binaries are invoked from
+# _build directly — a backgrounded `dune exec` would hold the dune lock
+# and deadlock the load generator's own invocation.
+SMOKE_PORT_FILE="$(mktemp)"
+rm -f BENCH_server.json
+./_build/default/bin/mood_server.exe --demo --port 0 \
+  --port-file "$SMOKE_PORT_FILE" &
+SERVER_PID=$!
+tries=0
+while [ ! -s "$SMOKE_PORT_FILE" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -le 100 ] || { echo "server never published its port"; exit 1; }
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died on startup"; exit 1; }
+  sleep 0.1
+done
+MOOD_LOAD_QUOTA="${MOOD_LOAD_QUOTA:-160}" ./_build/default/bin/load_gen.exe \
+  --port "$(cat "$SMOKE_PORT_FILE")" --sessions 8
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "server shutdown was not clean"; exit 1; }
+rm -f "$SMOKE_PORT_FILE"
+test -s BENCH_server.json || { echo "BENCH_server.json missing or empty"; exit 1; }
+
 echo "== ok =="
