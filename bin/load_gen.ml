@@ -165,11 +165,6 @@ let run_session ~connect ~ops ~seed ~write_pct ~txn_pct ~idx res =
         record_error res ("session died: " ^ Printexc.to_string e);
         Client.close client)
 
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0.
-  else sorted.(min (n - 1) (int_of_float (p /. 100. *. float_of_int (n - 1) +. 0.5)))
-
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -197,6 +192,16 @@ let run host port unix_path sessions ops seed write_pct txn_pct out =
     | None -> Client.connect ~host ~port ()
   in
   let results = Array.init sessions (fun _ -> fresh_result ()) in
+  (* A dedicated session brackets the run with STATS snapshots: the
+     delta of the server's statement counter must equal the requests
+     the sessions observed (plus the opening STATS itself) — the
+     cross-layer consistency check of the whole accounting chain. *)
+  let stats_client = try Some (connect ()) with _ -> None in
+  let stat rows name = Option.value ~default:0 (List.assoc_opt name rows) in
+  let s0 = match stats_client with
+    | Some c -> (try Client.stats c with _ -> [])
+    | None -> []
+  in
   let t0 = Unix.gettimeofday () in
   let threads =
     List.init sessions (fun idx ->
@@ -217,7 +222,7 @@ let run host port unix_path sessions ops seed write_pct txn_pct out =
     Array.of_list (Array.fold_left (fun acc r -> r.latencies @ acc) [] results)
   in
   Array.sort compare latencies;
-  let ms p = percentile latencies p *. 1000. in
+  let ms p = Mood_util.Percentile.nearest_rank latencies p *. 1000. in
   let throughput = if elapsed > 0. then float_of_int requests /. elapsed else 0. in
   Printf.printf
     "load_gen: %d session(s) x %d op(s): %d request(s) in %.3f s (%.0f req/s), %d row(s)\n"
@@ -226,6 +231,41 @@ let run host port unix_path sessions ops seed write_pct txn_pct out =
     (ms 50.) (ms 95.) (ms 99.) (ms 100.);
   Printf.printf "load_gen: %d busy retry(ies), %d transaction abort(s), %d error(s)\n" busy
     aborts errors;
+  let stats_errors =
+    match stats_client with
+    | None -> 0
+    | Some c -> (
+        match Client.stats c with
+        | exception e ->
+            Printf.printf "load_gen: STATS failed: %s\n" (Printexc.to_string e);
+            Client.close c;
+            1
+        | s1 ->
+            Client.quit c;
+            List.iter
+              (fun (k, v) -> Printf.printf "load_gen: stat %s %d\n" k v)
+              (List.filter
+                 (fun (k, _) ->
+                   List.exists
+                     (fun p ->
+                       String.length k >= String.length p
+                       && String.sub k 0 (String.length p) = p)
+                     [ "server."; "stmt."; "plan_cache."; "buffer."; "locks.deadlocks" ])
+                 s1);
+            (* The opening STATS is counted by the time the closing one
+               snapshots; the closing one is not yet. *)
+            let expected = requests + if s0 = [] then 0 else 1 in
+            let delta = stat s1 "server.statements" - stat s0 "server.statements" in
+            if s0 <> [] && delta <> expected then begin
+              Printf.printf
+                "load_gen: STATS inconsistent: server saw %d statement(s), clients got \
+                 %d response(s)\n"
+                delta expected;
+              1
+            end
+            else 0)
+  in
+  let errors = errors + stats_errors in
   Array.iteri
     (fun i r ->
       List.iter (fun m -> Printf.printf "load_gen: session %d error: %s\n" i m)

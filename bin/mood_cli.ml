@@ -5,6 +5,8 @@
      .schema            class hierarchy browser
      .class <Name>      class designer panel
      .explain <SELECT>  optimizer plan + dictionaries
+     .analyze <SELECT>  EXPLAIN ANALYZE: est-vs-actual operator tree
+     .stats             kernel metrics snapshot
      .admin             administration panel
      .history           query history
      .quit
@@ -60,6 +62,17 @@ let repl ~with_demo () =
               | text -> print_endline text
               | exception e -> Printf.printf "error: %s\n" (Printexc.to_string e)
             end
+            else if starts_with ".analyze " line then begin
+              match
+                Db.explain_analyze db (strip (String.sub line 9 (String.length line - 9)))
+              with
+              | text -> print_endline text
+              | exception e -> Printf.printf "error: %s\n" (Printexc.to_string e)
+            end
+            else if line = ".stats" then
+              List.iter
+                (fun (k, v) -> Printf.printf "%s %d\n" k v)
+                (Db.metrics_snapshot db)
             else if line = ".admin" then print_string (View.admin_panel view)
             else if line = ".dump" then print_string (Db.dump_schema db)
             else if line = ".history" then
@@ -117,6 +130,7 @@ let remote_repl spec =
              let reply =
                match String.uppercase_ascii line with
                | ".PING" -> Client.ping client
+               | ".STATS" -> Client.request client Wire.Stats
                | "BEGIN" -> Client.begin_txn client
                | "COMMIT" -> Client.commit client
                | "ABORT" | "ROLLBACK" -> Client.abort client
@@ -210,10 +224,70 @@ let dump_cmd =
     (Cmd.info "dump" ~doc:"Print the demo schema as a replayable MOODSQL script")
     Term.(const run $ const ())
 
+let analyze_cmd =
+  let query =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SELECT" ~doc:"The SELECT statement to analyze.")
+  in
+  let run demo q =
+    let db = Db.create () in
+    if demo then begin
+      Mood_workload.Vehicle.define_schema (Db.catalog db);
+      ignore (Mood_workload.Vehicle.generate ~catalog:(Db.catalog db) ~scale:0.01 ());
+      Db.analyze db
+    end;
+    (* Through [exec], so the EXPLAIN ANALYZE statement form itself is
+       exercised, exactly as a REPL or server client would reach it. *)
+    match Db.exec db ("EXPLAIN ANALYZE " ^ q) with
+    | Ok (Db.Explained text) -> print_string text
+    | Ok _ -> prerr_endline "error: unexpected result"; exit 1
+    | Error m -> prerr_endline ("error: " ^ m); exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "EXPLAIN ANALYZE a SELECT against an in-process kernel: the est-vs-actual \
+          operator tree with per-node rows, loops, wall time and I/O charges")
+    Term.(const run $ demo_flag $ query)
+
+let top_cmd =
+  let endpoint =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ENDPOINT"
+          ~doc:"A running mood_server: HOST:PORT or unix:PATH.")
+  in
+  let run spec =
+    match
+      let client =
+        match parse_endpoint spec with
+        | `Unix path -> Client.connect_unix ~path
+        | `Tcp (host, port) -> Client.connect ~host ~port ()
+      in
+      let rows = Client.stats client in
+      Client.quit client;
+      rows
+    with
+    | rows -> List.iter (fun (k, v) -> Printf.printf "%-34s %d\n" k v) rows
+    | exception e ->
+        prerr_endline ("error: " ^ Printexc.to_string e);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "One-shot counter dump from a running mood_server (the STATS opcode): \
+          server admission/abort counters, session counters and the kernel \
+          metrics snapshot")
+    Term.(const run $ endpoint)
+
 let main =
   Cmd.group
     (Cmd.info "mood" ~version:"1.0.0"
        ~doc:"METU Object-Oriented DBMS (MOOD) — an OCaml reproduction")
-    [ repl_cmd; plans_cmd; script_cmd; dump_cmd ]
+    [ repl_cmd; plans_cmd; script_cmd; dump_cmd; analyze_cmd; top_cmd ]
 
 let () = exit (Cmd.eval main)

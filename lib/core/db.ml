@@ -14,8 +14,10 @@ module Fm = Mood_funcmgr.Function_manager
 module Optimizer = Mood_optimizer.Optimizer
 module Dicts = Mood_optimizer.Dicts
 module Plan = Mood_optimizer.Plan
+module Card_est = Mood_optimizer.Card_est
 module Executor = Mood_executor.Executor
 module Eval = Mood_executor.Eval
+module Metrics = Mood_obs.Metrics
 
 (* A fully planned SELECT, ready to re-execute: the parsed query (for
    statement locks), the optimizer output (for explain/traces) and the
@@ -30,6 +32,29 @@ type cached_plan = {
 
 type snapshot = (string * (int * Value.t) list) list
 
+(* Statement counters hoisted out of the registry's hash table once at
+   [create]: the hot path pays one guarded increment per statement. *)
+type db_counters = {
+  c_select : Metrics.counter;
+  c_dml : Metrics.counter;
+  c_ddl : Metrics.counter;
+  c_error : Metrics.counter;
+  c_explain_analyze : Metrics.counter;
+  h_latency : Metrics.histogram;
+      (* observed only while the slow-query log is enabled — the
+         disabled hot path takes no clock readings at all *)
+}
+
+(* One slow-query log entry; [sq_key] is the normalized statement text,
+   which together with [sq_epoch] is exactly the plan-cache key. *)
+type slow_query = {
+  sq_key : string;
+  sq_epoch : int;
+  sq_wall : float;  (** wall seconds *)
+  sq_io : float;    (** modeled I/O seconds charged by the statement *)
+  sq_rows : int;
+}
+
 type t = {
   st : Store.t;
   cat : Catalog.t;
@@ -41,6 +66,11 @@ type t = {
   mutable last_checkpoint : (snapshot * Wal.lsn) option;
   mutable stats_epoch : int;
   plans : cached_plan Plan_cache.t;
+  metrics : Metrics.t;
+  counters : db_counters;
+  mutable purged_epoch : int;    (* plan epoch the cache was last purged at *)
+  mutable slow_threshold : float option;
+  mutable slow_log : slow_query list; (* newest first, bounded *)
 }
 
 type exec_result =
@@ -54,22 +84,83 @@ type exec_result =
   | Method_dropped of string * string
   | Object_named of string * Oid.t
   | Name_dropped of string
+  | Explained of string
 
-let create ?disk_params ?buffer_capacity ?(plan_cache_capacity = 64) () =
+let slow_log_capacity = 64
+
+let create ?disk_params ?buffer_capacity ?(plan_cache_capacity = 64)
+    ?(metrics_enabled = true) () =
   let st = Store.create ?disk_params ?buffer_capacity () in
   let cat = Catalog.create ~store:st in
   let funcs = Fm.create ~catalog:cat in
-  { st;
-    cat;
-    funcs;
-    statistics = Stats.create ();
-    session_scope = Fm.enter_scope funcs;
-    next_txn = 1;
-    active_txns = [];
-    last_checkpoint = None;
-    stats_epoch = 0;
-    plans = Plan_cache.create ~capacity:plan_cache_capacity
-  }
+  let metrics = Metrics.create ~enabled:metrics_enabled () in
+  let counters =
+    { c_select = Metrics.counter metrics "stmt.select";
+      c_dml = Metrics.counter metrics "stmt.dml";
+      c_ddl = Metrics.counter metrics "stmt.ddl";
+      c_error = Metrics.counter metrics "stmt.error";
+      c_explain_analyze = Metrics.counter metrics "stmt.explain_analyze";
+      h_latency = Metrics.histogram metrics "stmt.latency_s"
+    }
+  in
+  let t =
+    { st;
+      cat;
+      funcs;
+      statistics = Stats.create ();
+      session_scope = Fm.enter_scope funcs;
+      next_txn = 1;
+      active_txns = [];
+      last_checkpoint = None;
+      stats_epoch = 0;
+      plans = Plan_cache.create ~capacity:plan_cache_capacity;
+      metrics;
+      counters;
+      purged_epoch = 0;
+      slow_threshold = None;
+      slow_log = []
+    }
+  in
+  (* Absorb the components' own accounting as pull sources: their hot
+     paths stay untouched, the registry reads them at snapshot time. *)
+  Metrics.register_source metrics (fun () ->
+      let s = Mood_storage.Buffer_pool.stats (Store.buffer st) in
+      [ ("buffer.hits", s.Mood_storage.Buffer_pool.hits);
+        ("buffer.misses", s.Mood_storage.Buffer_pool.misses);
+        ("buffer.evictions", s.Mood_storage.Buffer_pool.evictions)
+      ]);
+  Metrics.register_source metrics (fun () ->
+      let c = Mood_storage.Disk.counters (Store.disk st) in
+      [ ("disk.seeks", c.Mood_storage.Disk.seeks);
+        ("disk.random_reads", c.Mood_storage.Disk.random_reads);
+        ("disk.sequential_reads", c.Mood_storage.Disk.sequential_reads);
+        ("disk.writes", c.Mood_storage.Disk.writes);
+        ( "disk.elapsed_us",
+          int_of_float (Float.round (c.Mood_storage.Disk.elapsed *. 1e6)) )
+      ]);
+  Metrics.register_source metrics (fun () ->
+      let s = Plan_cache.stats t.plans in
+      [ ("plan_cache.hits", s.Plan_cache.hits);
+        ("plan_cache.misses", s.Plan_cache.misses);
+        ("plan_cache.invalidations", s.Plan_cache.invalidations);
+        ("plan_cache.evictions", s.Plan_cache.evictions);
+        ("plan_cache.stale_purges", s.Plan_cache.stale_purges);
+        ("plan_cache.entries", s.Plan_cache.entries)
+      ]);
+  Metrics.register_source metrics (fun () ->
+      let wal = Store.wal st in
+      [ ("wal.forces", Wal.forces wal); ("wal.records", Wal.length wal) ]);
+  Metrics.register_source metrics (fun () ->
+      let c = Lock.counters (Store.locks st) in
+      [ ("locks.grants", c.Lock.grants);
+        ("locks.waits", c.Lock.waits);
+        ("locks.deadlocks", c.Lock.deadlocks);
+        ("locks.resources", Lock.resource_count (Store.locks st))
+      ]);
+  Metrics.register_source metrics Io_cost.est_charges;
+  Metrics.register_source metrics (fun () ->
+      [ ("slow_log.entries", List.length t.slow_log) ]);
+  t
 
 let store t = t.st
 let catalog t = t.cat
@@ -84,14 +175,28 @@ let plan_epoch t = Catalog.epoch t.cat + t.stats_epoch
 
 let plan_cache_stats t = Plan_cache.stats t.plans
 
+(* Eager invalidation: the moment the plan epoch moves past the last
+   purge, drop every entry stamped with an older epoch. Keyed lookups
+   would reject them anyway, but leaving them in place lets dead plans
+   squat in the LRU and evict live ones. One int compare when nothing
+   changed. *)
+let purge_stale_plans t =
+  let epoch = plan_epoch t in
+  if epoch <> t.purged_epoch then begin
+    ignore (Plan_cache.purge_stale t.plans ~epoch);
+    t.purged_epoch <- epoch
+  end
+
 let analyze t =
   t.statistics <- Catalog_stats.compute t.cat;
   t.stats_epoch <- t.stats_epoch + 1;
+  purge_stale_plans t;
   Store.reset_io t.st
 
 let set_stats t stats =
   t.statistics <- stats;
-  t.stats_epoch <- t.stats_epoch + 1
+  t.stats_epoch <- t.stats_epoch + 1;
+  purge_stale_plans t
 
 let optimizer_env t =
   { Dicts.catalog = t.cat; stats = t.statistics; params = Io_cost.default_params }
@@ -310,31 +415,6 @@ let protect f =
   | exception e -> (
       match error_of_exn e with Some m -> Error m | None -> raise e)
 
-let exec ?(cache = true) t source =
-  protect (fun () ->
-      let key = Plan_cache.normalize source in
-      let cache = cache && looks_like_select key in
-      let hit =
-        if cache then Plan_cache.find t.plans ~epoch:(plan_epoch t) key else None
-      in
-      match hit with
-      | Some entry -> run_cached t entry
-      | None -> begin
-          let stmt = Parser.parse source in
-          match stmt with
-          | Ast.Select q when cache ->
-              let entry = build_plan t q in
-              Plan_cache.add t.plans ~epoch:(plan_epoch t) key entry;
-              run_cached t entry
-          | _ -> with_statement_locks t stmt (fun () -> exec_statement t stmt)
-        end)
-
-let query ?cache t source =
-  match exec ?cache t source with
-  | Ok (Rows r) -> r
-  | Ok _ -> failwith "query: not a SELECT statement"
-  | Error m -> failwith m
-
 let explain t source =
   let optimized = optimize t source in
   let buf = Buffer.create 512 in
@@ -359,6 +439,144 @@ let explain t source =
        optimized.Optimizer.trace.Optimizer.t_and_terms
        optimized.Optimizer.trace.Optimizer.t_est_cost);
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE                                                      *)
+
+(* Plan with per-node cardinality estimates, execute traced, and pair
+   the optimizer output with the per-operator reports and run totals.
+   Deliberately outside the plan cache: a traced plan carries skeleton
+   estimates computed against the statistics of the moment, which is
+   the point of the exercise. Callers hold the statement locks. *)
+let analyzed_core t q =
+  Typecheck.check_statement ~catalog:t.cat (Ast.Select q);
+  let env = optimizer_env t in
+  let optimized = Optimizer.optimize env q in
+  let prepared =
+    Executor.prepare ~card:(Card_est.estimate env) optimized.Optimizer.plan
+  in
+  let io0 = Store.io_elapsed t.st in
+  let t0 = Unix.gettimeofday () in
+  let result, reports =
+    Executor.run_analyzed ~disk:(Store.disk t.st) ~buffer:(Store.buffer t.st)
+      (executor_env t) prepared
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let io = Store.io_elapsed t.st -. io0 in
+  Metrics.incr t.counters.c_explain_analyze;
+  (optimized, result, reports, wall, io)
+
+let render_analyzed (optimized, result, reports, wall, io) =
+  let rows =
+    match result.Executor.projected with
+    | Some vs -> List.length vs
+    | None -> List.length result.Executor.rows
+  in
+  Printf.sprintf
+    "%s\n\nactual rows: %d, wall time: %.3f ms, modeled I/O: %.6f s, estimated cost: %.3f s\n"
+    (Executor.render_reports reports)
+    rows (wall *. 1000.) io optimized.Optimizer.trace.Optimizer.t_est_cost
+
+let analyze_query t source =
+  let q = Parser.parse_query source in
+  with_statement_locks t (Ast.Select q) (fun () ->
+      let _, result, reports, _, _ = analyzed_core t q in
+      (result, reports))
+
+let explain_analyze t source =
+  let q = Parser.parse_query source in
+  with_statement_locks t (Ast.Select q) (fun () -> render_analyzed (analyzed_core t q))
+
+(* ------------------------------------------------------------------ *)
+(* Statement entry points                                               *)
+
+(* [EXPLAIN] / [EXPLAIN ANALYZE] prefix of a normalized statement;
+   returns the statement text behind the keyword. *)
+let strip_keyword_ci kw s =
+  let lk = String.length kw in
+  if
+    String.length s > lk
+    && String.uppercase_ascii (String.sub s 0 lk) = kw
+    && s.[lk] = ' '
+  then Some (String.sub s (lk + 1) (String.length s - lk - 1))
+  else None
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+(* Statement timing exists only while the slow-query log is armed; with
+   no threshold set the hot path never reads the clock. *)
+let timed_slow t ~key f =
+  match t.slow_threshold with
+  | None -> f ()
+  | Some threshold ->
+      let io0 = Store.io_elapsed t.st in
+      let t0 = Unix.gettimeofday () in
+      let result = f () in
+      let wall = Unix.gettimeofday () -. t0 in
+      Metrics.observe t.counters.h_latency wall;
+      (match result with
+      | Rows r when wall >= threshold ->
+          let entry =
+            { sq_key = key;
+              sq_epoch = plan_epoch t;
+              sq_wall = wall;
+              sq_io = Store.io_elapsed t.st -. io0;
+              sq_rows = List.length r.Executor.rows
+            }
+          in
+          t.slow_log <- take slow_log_capacity (entry :: t.slow_log)
+      | _ -> ());
+      result
+
+let count_ok t = function
+  | Rows _ -> Metrics.incr t.counters.c_select
+  | Object_created _ | Updated _ | Deleted _ -> Metrics.incr t.counters.c_dml
+  | Explained _ -> ()
+  | Class_created _ | Index_created _ | Method_defined _ | Method_dropped _
+  | Object_named _ | Name_dropped _ ->
+      Metrics.incr t.counters.c_ddl
+
+let exec ?(cache = true) t source =
+  purge_stale_plans t;
+  let result =
+    protect (fun () ->
+        let key = Plan_cache.normalize source in
+        match strip_keyword_ci "EXPLAIN" key with
+        | Some rest -> begin
+            match strip_keyword_ci "ANALYZE" rest with
+            | Some body -> Explained (explain_analyze t body)
+            | None -> Explained (explain t rest)
+          end
+        | None ->
+            let cache = cache && looks_like_select key in
+            timed_slow t ~key (fun () ->
+                let hit =
+                  if cache then Plan_cache.find t.plans ~epoch:(plan_epoch t) key
+                  else None
+                in
+                match hit with
+                | Some entry -> run_cached t entry
+                | None -> begin
+                    let stmt = Parser.parse source in
+                    match stmt with
+                    | Ast.Select q when cache ->
+                        let entry = build_plan t q in
+                        Plan_cache.add t.plans ~epoch:(plan_epoch t) key entry;
+                        run_cached t entry
+                    | _ -> with_statement_locks t stmt (fun () -> exec_statement t stmt)
+                  end))
+  in
+  (match result with Ok r -> count_ok t r | Error _ -> Metrics.incr t.counters.c_error);
+  result
+
+let query ?cache t source =
+  match exec ?cache t source with
+  | Ok (Rows r) -> r
+  | Ok _ -> failwith "query: not a SELECT statement"
+  | Error m -> failwith m
 
 let insert t ?txn ~class_name value = Catalog.insert_object t.cat ?txn ~class_name value
 
@@ -607,34 +825,72 @@ let acquire_txn_locks t s stmt =
 
 let exec_in_txn ?(cache = true) t s source =
   if not s.stxn_open then Error (Txn_fail "transaction is not open")
-  else
+  else begin
+    purge_stale_plans t;
     let protect_txn f =
       match protect f with Ok r -> Ok r | Error m -> Error (Txn_fail m)
     in
     let key = Plan_cache.normalize source in
-    let cache = cache && looks_like_select key in
-    let hit = if cache then Plan_cache.find t.plans ~epoch:(plan_epoch t) key else None in
-    match hit with
-    | Some entry -> (
-        match acquire_txn_locks t s (Ast.Select entry.cp_query) with
-        | Error _ as e -> e
-        | Ok () ->
-            protect_txn (fun () ->
-                Rows (Executor.run_prepared (executor_env t) entry.cp_prepared)))
-    | None -> (
-        match protect (fun () -> Parser.parse source) with
-        | Error m -> Error (Txn_fail m)
-        | Ok stmt -> (
-            match acquire_txn_locks t s stmt with
-            | Error _ as e -> e
-            | Ok () -> (
-                match stmt with
-                | Ast.Select q when cache ->
-                    protect_txn (fun () ->
-                        let entry = build_plan t q in
-                        Plan_cache.add t.plans ~epoch:(plan_epoch t) key entry;
-                        Rows (Executor.run_prepared (executor_env t) entry.cp_prepared))
-                | _ -> protect_txn (fun () -> exec_statement t ~txn:s.stxn_id stmt))))
+    let result =
+      match strip_keyword_ci "EXPLAIN" key with
+      | Some rest -> begin
+          match strip_keyword_ci "ANALYZE" rest with
+          | None ->
+              (* Planning only — touches no extents, needs no locks. *)
+              protect_txn (fun () -> Explained (explain t rest))
+          | Some body -> (
+              match protect (fun () -> Parser.parse_query body) with
+              | Error m -> Error (Txn_fail m)
+              | Ok q -> (
+                  (* Executes like the underlying SELECT, so it locks
+                     like one — through the session's lock transaction,
+                     not a fresh statement txn, or it would conflict
+                     with this transaction's own exclusive locks. *)
+                  match acquire_txn_locks t s (Ast.Select q) with
+                  | Error _ as e -> e
+                  | Ok () ->
+                      protect_txn (fun () ->
+                          Explained (render_analyzed (analyzed_core t q)))))
+        end
+      | None -> (
+          let cache = cache && looks_like_select key in
+          let hit =
+            if cache then Plan_cache.find t.plans ~epoch:(plan_epoch t) key else None
+          in
+          match hit with
+          | Some entry -> (
+              match acquire_txn_locks t s (Ast.Select entry.cp_query) with
+              | Error _ as e -> e
+              | Ok () ->
+                  protect_txn (fun () ->
+                      timed_slow t ~key (fun () ->
+                          Rows (Executor.run_prepared (executor_env t) entry.cp_prepared))))
+          | None -> (
+              match protect (fun () -> Parser.parse source) with
+              | Error m -> Error (Txn_fail m)
+              | Ok stmt -> (
+                  match acquire_txn_locks t s stmt with
+                  | Error _ as e -> e
+                  | Ok () -> (
+                      match stmt with
+                      | Ast.Select q when cache ->
+                          protect_txn (fun () ->
+                              timed_slow t ~key (fun () ->
+                                  let entry = build_plan t q in
+                                  Plan_cache.add t.plans ~epoch:(plan_epoch t) key entry;
+                                  Rows (Executor.run_prepared (executor_env t) entry.cp_prepared)))
+                      | _ ->
+                          protect_txn (fun () -> exec_statement t ~txn:s.stxn_id stmt)))))
+    in
+    (match result with
+    | Ok r -> count_ok t r
+    | Error (Txn_fail _) -> Metrics.incr t.counters.c_error
+    | Error (Txn_busy | Txn_deadlock) ->
+        (* Lock conflicts are retried, not failed: they show up as
+           [locks.waits]/[locks.deadlocks], not statement errors. *)
+        ());
+    result
+  end
 
 let transaction t f =
   let s = begin_session_txn t in
@@ -647,6 +903,27 @@ let transaction t f =
       raise e
 
 let active_transactions t = t.active_txns
+
+(* ------------------------------------------------------------------ *)
+(* Observability surface                                               *)
+
+let metrics t = t.metrics
+
+let metrics_snapshot t = Metrics.snapshot t.metrics
+
+let set_metrics_enabled t on = Metrics.set_enabled t.metrics on
+
+let set_slow_query_threshold t threshold =
+  (match threshold with
+  | Some s when s < 0. -> invalid_arg "set_slow_query_threshold: negative threshold"
+  | _ -> ());
+  t.slow_threshold <- threshold
+
+let slow_query_threshold t = t.slow_threshold
+
+let slow_queries t = t.slow_log
+
+let clear_slow_queries t = t.slow_log <- []
 
 (* ------------------------------------------------------------------ *)
 (* ARIES-lite checkpoint / restart                                     *)

@@ -23,15 +23,22 @@ type exec_result =
   | Method_dropped of string * string
   | Object_named of string * Mood_model.Oid.t  (** [NAME x AS SELECT ...] *)
   | Name_dropped of string
+  | Explained of string
+      (** [EXPLAIN ...] / [EXPLAIN ANALYZE ...]: the rendered plan or
+          est-vs-actual report *)
 
 val create :
   ?disk_params:Mood_storage.Disk.params ->
   ?buffer_capacity:int ->
   ?plan_cache_capacity:int ->
+  ?metrics_enabled:bool ->
   unit ->
   t
 (** [plan_cache_capacity] bounds the compiled-plan LRU cache (default
-    64 entries). *)
+    64 entries). [metrics_enabled] (default [true]) arms the metrics
+    registry; when [false] every counter increment is a single boolean
+    test and snapshots still work (pull sources read component
+    accounting that exists anyway). *)
 
 val store : t -> Mood_storage.Store.t
 val catalog : t -> Mood_catalog.Catalog.t
@@ -83,7 +90,21 @@ val plan_cache_stats : t -> Plan_cache.stats
 val explain : t -> string -> string
 (** The optimizer's output for a SELECT: the access plan (with the
     paper's T-labelled join temporaries) followed by the ImmSelInfo and
-    PathSelInfo dictionaries. *)
+    PathSelInfo dictionaries. [exec] reaches this via the
+    [EXPLAIN SELECT ...] statement form. *)
+
+val explain_analyze : t -> string -> string
+(** Plans the SELECT with per-node cardinality estimates
+    ([Mood_optimizer.Card_est]), executes it with per-operator tracing,
+    and renders the est-vs-actual operator tree (rows, loops, wall
+    time, page-level I/O and buffer charges per node) followed by run
+    totals. [exec] reaches this via [EXPLAIN ANALYZE SELECT ...].
+    Always plans fresh — never served from the plan cache. *)
+
+val analyze_query :
+  t -> string -> Mood_executor.Executor.result * Mood_executor.Executor.op_report list
+(** The structured form of [explain_analyze]: the query result plus the
+    raw per-operator reports, for programmatic assertions. *)
 
 val optimize : t -> string -> Mood_optimizer.Optimizer.optimized
 (** The raw optimizer result for a SELECT source text. *)
@@ -214,3 +235,51 @@ val scope : t -> Mood_funcmgr.Function_manager.scope
     [new_scope] replaces it (the paper's scope-change unloading). *)
 
 val new_scope : t -> unit
+
+(** {2 Observability}
+
+    Every kernel counter flows through one {!Mood_obs.Metrics} registry
+    per database: statement counters are incremented directly; the
+    buffer pool, plan cache, simulated disk, WAL, lock manager and the
+    cost model's estimate-side charge buckets are absorbed as pull
+    sources, read only at snapshot time so their hot paths stay
+    untouched. *)
+
+val metrics : t -> Mood_obs.Metrics.t
+(** The database's metrics registry (counters under [stmt.*],
+    [buffer.*], [plan_cache.*], [disk.*], [wal.*], [locks.*],
+    [cost_est.*], [slow_log.*]). *)
+
+val metrics_snapshot : t -> Mood_obs.Metrics.snapshot
+(** [Metrics.snapshot (metrics t)]: every counter as sorted
+    [(name, value)] rows — the payload of the server's STATS opcode. *)
+
+val set_metrics_enabled : t -> bool -> unit
+(** Arms/disarms push counters (pull sources are unaffected — they
+    read accounting the components keep anyway). *)
+
+(** One slow-query log entry. [sq_key] is the normalized statement
+    text; with [sq_epoch] it is exactly the plan-cache key of the run
+    that got logged. *)
+type slow_query = {
+  sq_key : string;
+  sq_epoch : int;
+  sq_wall : float;  (** wall seconds *)
+  sq_io : float;    (** modeled I/O seconds charged by the statement *)
+  sq_rows : int;
+}
+
+val set_slow_query_threshold : t -> float option -> unit
+(** Arms the slow-query log: SELECTs whose wall time reaches the
+    threshold (seconds) are recorded (newest first, bounded at 64
+    entries), and statement latencies feed the [stmt.latency_s]
+    histogram. [None] (the default) disarms — the statement hot path
+    then never reads the clock. Raises [Invalid_argument] on a negative
+    threshold. *)
+
+val slow_query_threshold : t -> float option
+
+val slow_queries : t -> slow_query list
+(** Logged slow queries, newest first. *)
+
+val clear_slow_queries : t -> unit

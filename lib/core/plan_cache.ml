@@ -20,9 +20,17 @@ type 'a t = {
   mutable misses : int;
   mutable invalidations : int;
   mutable evictions : int;
+  mutable stale_purges : int;
 }
 
-type stats = { hits : int; misses : int; invalidations : int; evictions : int; entries : int }
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  evictions : int;
+  stale_purges : int;
+  entries : int;
+}
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Plan_cache.create: capacity <= 0";
@@ -33,7 +41,8 @@ let create ~capacity =
     hits = 0;
     misses = 0;
     invalidations = 0;
-    evictions = 0
+    evictions = 0;
+    stale_purges = 0
   }
 
 (* Collapses whitespace between tokens so textual re-spellings of one
@@ -145,10 +154,31 @@ let clear t =
   t.head <- None;
   t.tail <- None
 
+(* Walk the recency list from the LRU end and drop every entry built
+   under an epoch other than [epoch]. Called eagerly when the epoch
+   advances (DDL/ANALYZE): stale entries would otherwise sit dead in
+   the LRU until touched, evicting live plans in the meantime. *)
+let purge_stale t ~epoch =
+  let purged = ref 0 in
+  let rec walk = function
+    | None -> ()
+    | Some e ->
+        let prev = e.prev in
+        if e.epoch <> epoch then begin
+          drop t e;
+          purged := !purged + 1
+        end;
+        walk prev
+  in
+  walk t.tail;
+  t.stale_purges <- t.stale_purges + !purged;
+  !purged
+
 let stats (t : _ t) =
   { hits = t.hits;
     misses = t.misses;
     invalidations = t.invalidations;
     evictions = t.evictions;
+    stale_purges = t.stale_purges;
     entries = Hashtbl.length t.table
   }

@@ -16,8 +16,9 @@ type 'a t
 type stats = {
   hits : int;
   misses : int;
-  invalidations : int;  (** entries dropped because their epoch was stale *)
+  invalidations : int;  (** stale entries dropped lazily by a lookup *)
   evictions : int;      (** entries dropped by capacity pressure *)
+  stale_purges : int;   (** stale entries dropped eagerly by [purge_stale] *)
   entries : int;        (** currently cached *)
 }
 
@@ -43,5 +44,11 @@ val add : 'a t -> epoch:int -> string -> 'a -> unit
 
 val clear : 'a t -> unit
 (** Drops every entry; counters survive (they describe the session). *)
+
+val purge_stale : 'a t -> epoch:int -> int
+(** Eagerly drops every entry whose epoch differs from [epoch],
+    returning how many were dropped (also accumulated in
+    [stale_purges]). Call when the schema/stats epoch advances so dead
+    plans stop occupying LRU slots. *)
 
 val stats : 'a t -> stats

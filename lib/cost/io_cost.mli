@@ -32,4 +32,14 @@ val indcost : params -> Stats.index_stats -> k:int -> float
 val rngxcost : params -> Stats.index_stats -> fract:float -> float
 (** [RNGXCOST(fract) = fract * leaves * (s + r + btt)]. *)
 
+val est_charges : unit -> (string * int) list
+(** Estimate-side accounting, one bucket per cost formula: how many
+    times SEQCOST/RNDCOST/INDCOST/RNGXCOST were consulted and the total
+    estimated time (microseconds) each handed out. Process-wide and
+    covering every candidate the optimizer prices, not just chosen
+    plans. Keys are ["cost_est.<formula>.calls"/".sum_us"], shaped for
+    [Metrics.register_source]. *)
+
+val reset_est_charges : unit -> unit
+
 val pp_params : Format.formatter -> params -> unit

@@ -8,13 +8,28 @@ type atomic_predicate =
 
 let clamp f = Float.max 0. (Float.min 1. f)
 
+(* When [dist] is unknown or degenerate we cannot claim [=] selects
+   everything (and, worse, that [<>] selects nothing): degrade to a
+   conventional default instead, the same 1/10 guess System R used for
+   unkeyed equality predicates. *)
+let default_eq_selectivity = 0.1
+
 let equality_selectivity (s : Stats.attr_stats) =
-  if s.Stats.dist <= 0 then 1. else 1. /. float_of_int s.Stats.dist
+  if s.Stats.dist <= 0 then default_eq_selectivity
+  else 1. /. float_of_int s.Stats.dist
 
 let atomic (s : Stats.attr_stats) predicate =
   let range_selectivity f =
     match s.Stats.max_value, s.Stats.min_value with
-    | Some max_v, Some min_v when max_v > min_v -> clamp (f max_v min_v)
+    | Some max_v, Some min_v when max_v > min_v ->
+        (* Clamp the comparison constants into [min, max] before
+           forming the ratio: an out-of-range constant means the
+           predicate is decided over the whole stored range, and
+           letting it through produces a ratio the final clamp can only
+           truncate, not correct (a BETWEEN half outside the range used
+           to saturate to 1 instead of covering just its overlap). *)
+        let into_range c = Float.max min_v (Float.min max_v c) in
+        clamp (f max_v min_v into_range)
     | Some _, Some _ | Some _, None | None, Some _ | None, None ->
         (* No usable range: fall back to the equality estimate. *)
         equality_selectivity s
@@ -23,11 +38,18 @@ let atomic (s : Stats.attr_stats) predicate =
   | Compare (Eq, _) -> clamp (equality_selectivity s)
   | Compare (Ne, _) -> clamp (1. -. equality_selectivity s)
   | Compare (Gt, c) | Compare (Ge, c) ->
-      range_selectivity (fun max_v min_v -> (max_v -. c) /. (max_v -. min_v))
+      range_selectivity (fun max_v min_v into_range ->
+          (max_v -. into_range c) /. (max_v -. min_v))
   | Compare (Lt, c) | Compare (Le, c) ->
-      range_selectivity (fun max_v min_v -> (c -. min_v) /. (max_v -. min_v))
+      range_selectivity (fun max_v min_v into_range ->
+          (into_range c -. min_v) /. (max_v -. min_v))
   | Between (c1, c2) ->
-      range_selectivity (fun max_v min_v -> (c2 -. c1) /. (max_v -. min_v))
+      (* Intersect [c1, c2] with the attribute range; a disjoint or
+         inverted interval selects nothing. *)
+      range_selectivity (fun max_v min_v into_range ->
+          let lo = into_range (Float.min c1 c2) in
+          let hi = into_range (Float.max c1 c2) in
+          if c1 > c2 then 0. else (hi -. lo) /. (max_v -. min_v))
 
 type hop = { cls : string; attr : string }
 

@@ -11,13 +11,24 @@ type atomic_predicate =
   | Compare of comparison * float  (** [A θ constant], numeric view *)
   | Between of float * float       (** [A BETWEEN c1 AND c2] *)
 
+val default_eq_selectivity : float
+(** Selectivity assumed for [=] when [dist] is unknown or degenerate
+    ([dist <= 0]): 1/10, the conventional System R default. Before this
+    guard a degenerate [dist] made [=] select everything and [<>]
+    select nothing. *)
+
 val atomic : Stats.attr_stats -> atomic_predicate -> float
 (** [f_s] of an atomic predicate:
     [=] gives [1/dist]; [>] gives [(max - c) / (max - min)] (and the
     mirrored forms for [<], [>=], [<=]); [<>] gives [1 - 1/dist];
-    BETWEEN gives [(c2 - c1) / (max - min)]. Falls back to [1/dist]
-    when min/max are unavailable for an inequality. Results are clamped
-    to [0, 1]. *)
+    BETWEEN gives [(c2' - c1') / (max - min)] where [[c1', c2']] is the
+    intersection of [[c1, c2]] with [[min, max]] (an inverted interval
+    selects nothing). Comparison constants are clamped into
+    [[min, max]] {e before} the ratio is formed, so out-of-range
+    constants yield exactly 0 or 1 rather than a ratio the final clamp
+    merely truncates. Falls back to [1/dist] (or
+    [default_eq_selectivity] when [dist <= 0]) when min/max are
+    unavailable for an inequality. Results are clamped to [0, 1]. *)
 
 (** One step of a path expression: attribute [attr] of class [cls]
     referencing class [target] (statistics looked up in [Stats.t]). *)

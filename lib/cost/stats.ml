@@ -72,12 +72,20 @@ let pp ppf t =
             s.nbpages s.obj_size
       | None -> ())
     classes;
-  Hashtbl.iter
-    (fun (cls, attr) (s : attr_stats) ->
+  (* Sort attr/ref rows the same way [classes] sorts class rows:
+     Hashtbl.iter order varies run to run, and stat dumps feed
+     expect-style tests. *)
+  let sorted_rows tbl =
+    Hashtbl.fold (fun key row acc -> (key, row) :: acc) tbl []
+    |> List.sort (fun ((c1, a1), _) ((c2, a2), _) ->
+           match String.compare c1 c2 with 0 -> String.compare a1 a2 | n -> n)
+  in
+  List.iter
+    (fun ((cls, attr), (s : attr_stats)) ->
       Format.fprintf ppf "%s.%s: dist=%d notnull=%.2f@." cls attr s.dist s.notnull)
-    t.attr_tbl;
-  Hashtbl.iter
-    (fun (cls, attr) (r : ref_stats) ->
+    (sorted_rows t.attr_tbl);
+  List.iter
+    (fun ((cls, attr), (r : ref_stats)) ->
       Format.fprintf ppf "%s.%s -> %s: fan=%.2f totref=%d totlinks=%.0f hitprb=%.3f@."
         cls attr r.target r.fan r.totref (totlinks t ~cls ~attr) (hitprb t ~cls ~attr))
-    t.ref_tbl
+    (sorted_rows t.ref_tbl)

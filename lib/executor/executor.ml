@@ -10,6 +10,8 @@ module Join_cost = Mood_cost.Join_cost
 module Heap = Mood_util.Heap
 module Btree = Mood_storage.Btree
 module Hash_index = Mood_storage.Hash_index
+module Disk = Mood_storage.Disk
+module Buffer_pool = Mood_storage.Buffer_pool
 
 type result = { rows : Eval.row list; projected : Value.t list option }
 
@@ -107,7 +109,13 @@ type cagg = {
   a_arg : Compile.expr_fn option;
 }
 
-type cnode =
+(* Every compiled operator carries a small integer id assigned in
+   pre-order during [prepare]; an EXPLAIN ANALYZE run indexes its
+   per-operator stats array by that id, so the traced hot path touches
+   no hash tables. *)
+type cnode = { c_id : int; c_op : cop }
+
+and cop =
   | CBind of { class_name : string; var : string; minus : string list }
   | CNamed_obj of { name : string; var : string }
   | CInd_sel of { simple : csimple; preds : Plan.indexed_pred list }
@@ -139,8 +147,20 @@ type cnode =
   | CSort of { source : cnode; keys : (Compile.expr_fn * Ast.order_direction) list }
   | CUnion of cnode list
 
+(* The operator skeleton: one entry per compiled node, in pre-order,
+   describing the plan shape for reporting (label, nesting depth, and
+   the optimizer's cardinality estimate when a [card] callback was
+   supplied to [prepare]). *)
+type op_skel = {
+  sk_id : int;
+  sk_depth : int;
+  sk_label : string;
+  sk_est : float option;
+}
+
 type prepared = {
   p_root : cnode;
+  p_skels : op_skel array; (* indexed by [c_id] = pre-order position *)
   p_project : (string * Compile.expr_fn) list option;
       (** top-of-plan SELECT list: labels precomputed *)
 }
@@ -158,51 +178,133 @@ let compile_agg lower agg =
       { a_key = Ast.expr_to_string agg; a_fn = fn; a_arg = Option.map lower.lexpr inner }
   | _ -> failwith "compile_agg: not an aggregate expression"
 
-let rec compile_node lower (node : Plan.node) : cnode =
+(* Compilation context: numbers nodes in pre-order and collects the
+   skeleton rows the EXPLAIN ANALYZE printer will need. [card] is the
+   optimizer's per-node cardinality estimator (threaded in by [Db] so
+   the executor stays ignorant of statistics). *)
+type compile_ctx = {
+  lower : lowering;
+  ctx_card : (Plan.node -> float) option;
+  mutable next_id : int;
+  mutable skels_rev : op_skel list;
+}
+
+let cmp_str = Ast.comparison_to_string
+
+let indexed_pred_label (p : Plan.indexed_pred) =
+  Printf.sprintf "%s %s %s" p.Plan.ip_attr (cmp_str p.Plan.ip_cmp)
+    (Value.to_string p.Plan.ip_constant)
+
+(* Compact one-line operator labels, mirroring [Plan.render]'s operator
+   names so EXPLAIN and EXPLAIN ANALYZE read alike. *)
+let label_of (node : Plan.node) =
   match node with
-  | Plan.Bind { class_name; var; minus; every = _ } -> CBind { class_name; var; minus }
-  | Plan.Named_obj { name; var } -> CNamed_obj { name; var }
-  | Plan.Ind_sel { source; preds } -> begin
-      match as_simple source with
-      | None -> failwith "Ind_sel over a non-class source"
-      | Some s -> CInd_sel { simple = compile_simple lower s; preds }
-    end
-  | Plan.Path_ind_sel { class_name; var; path; cmp; constant } ->
-      CPath_ind_sel { class_name; var; path; cmp; constant }
-  | Plan.Select { source; pred; var = _ } ->
-      CSelect { source = compile_node lower source; pred = lower.lpred pred }
-  | Plan.Join { left; right; method_; pred } ->
-      let pointer =
-        match pointer_pred pred with
-        | Some (lv, path, rv)
-          when List.mem lv (Plan.vars left) && List.mem rv (Plan.vars right) ->
-            Some (lv, path, rv)
-        | Some _ | None -> None
+  | Plan.Bind { class_name; var; every; minus } ->
+      Printf.sprintf "BIND(%s%s%s, %s)"
+        (if every then "EVERY " else "")
+        class_name
+        (String.concat "" (List.map (fun m -> " - " ^ m) minus))
+        var
+  | Plan.Named_obj { name; var } -> Printf.sprintf "NAMED(%s, %s)" name var
+  | Plan.Ind_sel { source; preds } ->
+      let scope =
+        match as_simple source with
+        | Some s -> s.s_class ^ " " ^ s.s_var ^ ": "
+        | None -> ""
       in
-      CJoin
-        { left = compile_node lower left;
-          right = compile_node lower right;
-          right_simple = Option.map (compile_simple lower) (as_simple right);
-          method_;
-          pointer;
-          pred = lower.lpred pred
-        }
-  | Plan.Project { source; items = _ } ->
-      (* the SELECT list is applied at the top, via [p_project] *)
-      CProject { source = compile_node lower source }
-  | Plan.Group { source; by; having; aggregates } ->
-      CGroup
-        { source = compile_node lower source;
-          by = List.map lower.lexpr by;
-          having = Option.map lower.lpred having;
-          aggregates = List.map (compile_agg lower) aggregates
-        }
-  | Plan.Sort { source; keys } ->
-      CSort
-        { source = compile_node lower source;
-          keys = List.map (fun (e, dir) -> (lower.lexpr e, dir)) keys
-        }
-  | Plan.Union nodes -> CUnion (List.map (compile_node lower) nodes)
+      Printf.sprintf "INDSEL(%s%s)" scope
+        (String.concat ", " (List.map indexed_pred_label preds))
+  | Plan.Path_ind_sel { var; path; cmp; constant; class_name = _ } ->
+      Printf.sprintf "PATH_INDSEL(%s %s %s)"
+        (Ast.path_to_string var path)
+        (cmp_str cmp) (Value.to_string constant)
+  | Plan.Select { pred; _ } ->
+      Printf.sprintf "SELECT(%s)" (Ast.predicate_to_string pred)
+  | Plan.Join { method_; pred; _ } ->
+      Printf.sprintf "JOIN[%s](%s)"
+        (Format.asprintf "%a" Join_cost.pp_method method_)
+        (Ast.predicate_to_string pred)
+  | Plan.Project _ -> "PROJECT"
+  | Plan.Group { by; _ } ->
+      if by = [] then "GROUP"
+      else
+        Printf.sprintf "GROUP(BY %s)"
+          (String.concat ", " (List.map Ast.expr_to_string by))
+  | Plan.Sort _ -> "SORT"
+  | Plan.Union _ -> "UNION"
+
+(* Allocate the node's pre-order id and skeleton row, then build the
+   operator (children number themselves after their parent). *)
+let emit ctx ~depth node op_of =
+  let id = ctx.next_id in
+  ctx.next_id <- id + 1;
+  ctx.skels_rev <-
+    { sk_id = id;
+      sk_depth = depth;
+      sk_label = label_of node;
+      sk_est = Option.map (fun f -> f node) ctx.ctx_card
+    }
+    :: ctx.skels_rev;
+  { c_id = id; c_op = op_of () }
+
+let rec compile_node ctx ~depth (node : Plan.node) : cnode =
+  let lower = ctx.lower in
+  emit ctx ~depth node (fun () ->
+      match node with
+      | Plan.Bind { class_name; var; minus; every = _ } ->
+          CBind { class_name; var; minus }
+      | Plan.Named_obj { name; var } -> CNamed_obj { name; var }
+      | Plan.Ind_sel { source; preds } -> begin
+          (* The source collapses into the INDSEL operator itself
+             (index probe + residual filter), so it gets no id of its
+             own — the skeleton mirrors the compiled tree, not the
+             plan. *)
+          match as_simple source with
+          | None -> failwith "Ind_sel over a non-class source"
+          | Some s -> CInd_sel { simple = compile_simple lower s; preds }
+        end
+      | Plan.Path_ind_sel { class_name; var; path; cmp; constant } ->
+          CPath_ind_sel { class_name; var; path; cmp; constant }
+      | Plan.Select { source; pred; var = _ } ->
+          CSelect
+            { source = compile_node ctx ~depth:(depth + 1) source;
+              pred = lower.lpred pred
+            }
+      | Plan.Join { left; right; method_; pred } ->
+          let pointer =
+            match pointer_pred pred with
+            | Some (lv, path, rv)
+              when List.mem lv (Plan.vars left) && List.mem rv (Plan.vars right) ->
+                Some (lv, path, rv)
+            | Some _ | None -> None
+          in
+          let cleft = compile_node ctx ~depth:(depth + 1) left in
+          let cright = compile_node ctx ~depth:(depth + 1) right in
+          CJoin
+            { left = cleft;
+              right = cright;
+              right_simple = Option.map (compile_simple lower) (as_simple right);
+              method_;
+              pointer;
+              pred = lower.lpred pred
+            }
+      | Plan.Project { source; items = _ } ->
+          (* the SELECT list is applied at the top, via [p_project] *)
+          CProject { source = compile_node ctx ~depth:(depth + 1) source }
+      | Plan.Group { source; by; having; aggregates } ->
+          CGroup
+            { source = compile_node ctx ~depth:(depth + 1) source;
+              by = List.map lower.lexpr by;
+              having = Option.map lower.lpred having;
+              aggregates = List.map (compile_agg lower) aggregates
+            }
+      | Plan.Sort { source; keys } ->
+          CSort
+            { source = compile_node ctx ~depth:(depth + 1) source;
+              keys = List.map (fun (e, dir) -> (lower.lexpr e, dir)) keys
+            }
+      | Plan.Union nodes ->
+          CUnion (List.map (compile_node ctx ~depth:(depth + 1)) nodes))
 
 (* Fetch a referenced object through a simple source: class membership
    plus the residual predicate. *)
@@ -220,8 +322,71 @@ let fetch_simple env (s : csimple) oid =
 (* ------------------------------------------------------------------ *)
 (* Plan evaluation                                                     *)
 
-let rec rows_of env (node : cnode) : Eval.row list =
-  match node with
+(* Per-operator actuals accumulated by a traced run. Charges are
+   {e inclusive}: an operator's time and I/O include its inputs', like
+   PostgreSQL's EXPLAIN ANALYZE. *)
+type op_stats = {
+  mutable st_loops : int;
+  mutable st_rows : int;
+  mutable st_time : float; (* wall seconds, inclusive *)
+  mutable st_seq_reads : int;
+  mutable st_rnd_reads : int;
+  mutable st_writes : int;
+  mutable st_buf_hits : int;
+  mutable st_buf_misses : int;
+}
+
+type tracer = {
+  t_stats : op_stats array; (* indexed by [c_id] *)
+  t_disk : Disk.t option;
+  t_buffer : Buffer_pool.t option;
+}
+
+let fresh_op_stats () =
+  { st_loops = 0;
+    st_rows = 0;
+    st_time = 0.;
+    st_seq_reads = 0;
+    st_rnd_reads = 0;
+    st_writes = 0;
+    st_buf_hits = 0;
+    st_buf_misses = 0
+  }
+
+let rec rows_of tr env (node : cnode) : Eval.row list =
+  match tr with
+  | None -> eval_op tr env node.c_op
+  | Some t ->
+      let st = t.t_stats.(node.c_id) in
+      let d0 = Option.map Disk.counters t.t_disk in
+      let b0 = Option.map Buffer_pool.stats t.t_buffer in
+      let t0 = Unix.gettimeofday () in
+      let rows = eval_op tr env node.c_op in
+      st.st_time <- st.st_time +. (Unix.gettimeofday () -. t0);
+      st.st_loops <- st.st_loops + 1;
+      st.st_rows <- st.st_rows + List.length rows;
+      (match d0, t.t_disk with
+      | Some before, Some disk ->
+          let after = Disk.counters disk in
+          st.st_seq_reads <-
+            st.st_seq_reads + after.Disk.sequential_reads
+            - before.Disk.sequential_reads;
+          st.st_rnd_reads <-
+            st.st_rnd_reads + after.Disk.random_reads - before.Disk.random_reads;
+          st.st_writes <- st.st_writes + after.Disk.writes - before.Disk.writes
+      | _, _ -> ());
+      (match b0, t.t_buffer with
+      | Some before, Some pool ->
+          let after = Buffer_pool.stats pool in
+          st.st_buf_hits <-
+            st.st_buf_hits + after.Buffer_pool.hits - before.Buffer_pool.hits;
+          st.st_buf_misses <-
+            st.st_buf_misses + after.Buffer_pool.misses - before.Buffer_pool.misses
+      | _, _ -> ());
+      rows
+
+and eval_op tr env (op : cop) : Eval.row list =
+  match op with
   | CBind { class_name; var; minus } ->
       let out = ref [] in
       Catalog.scan_extent env.Eval.catalog ~every:true ~minus class_name
@@ -280,12 +445,13 @@ let rec rows_of env (node : cnode) : Eval.row list =
             (fun oid -> Option.map (fun item -> [ (var, item) ]) (item_of env oid))
             (List.sort_uniq Oid.compare heads)
     end
-  | CSelect { source; pred } -> List.filter (fun row -> pred env row) (rows_of env source)
+  | CSelect { source; pred } ->
+      List.filter (fun row -> pred env row) (rows_of tr env source)
   | CJoin { left; right; right_simple; method_; pointer; pred } ->
-      join env left right right_simple method_ pointer pred
-  | CProject { source } -> rows_of env source
+      join tr env left right right_simple method_ pointer pred
+  | CProject { source } -> rows_of tr env source
   | CGroup { source; by; having; aggregates } ->
-      let input = rows_of env source in
+      let input = rows_of tr env source in
       let groups =
         if by = [] then [ ([ Value.Null ], input) ] (* one group, possibly empty *)
         else group_rows env input by
@@ -311,11 +477,11 @@ let rec rows_of env (node : cnode) : Eval.row list =
         | Some pred -> List.filter (fun row -> pred env row) rows
       end
   | CSort { source; keys } ->
-      let input = rows_of env source in
+      let input = rows_of tr env source in
       let cmp a b = compare_rows env keys a b in
       Heap.sort_with_runs ~cmp ~run_length:1024 input
   | CUnion nodes ->
-      let all = List.concat_map (rows_of env) nodes in
+      let all = List.concat_map (rows_of tr env) nodes in
       dedup_rows all
 
 (* One aggregate value over a group's member rows. NULL inner values do
@@ -447,8 +613,8 @@ and dedup_rows rows =
 
 (* ---------------- Joins ---------------- *)
 
-and join env left right right_simple method_ pointer pred =
-  let left_rows = rows_of env left in
+and join tr env left right right_simple method_ pointer pred =
+  let left_rows = rows_of tr env left in
   match pointer with
   | Some (lv, path, rv) -> begin
       match method_, right_simple with
@@ -458,13 +624,13 @@ and join env left right right_simple method_ pointer pred =
       | ( (Join_cost.Forward_traversal | Join_cost.Hash_partition
           | Join_cost.Binary_join_index),
           None ) ->
-          pointer_join_materialized env left_rows lv path rv (rows_of env right)
+          pointer_join_materialized env left_rows lv path rv (rows_of tr env right)
       | Join_cost.Backward_traversal, _ ->
-          backward_join env left_rows lv path rv (rows_of env right)
+          backward_join env left_rows lv path rv (rows_of tr env right)
     end
   | None ->
       (* General theta join / cross product: nested loop. *)
-      let right_rows = rows_of env right in
+      let right_rows = rows_of tr env right in
       List.concat_map
         (fun l ->
           List.filter_map
@@ -603,9 +769,14 @@ let rec top_projection = function
   | Plan.Select _ | Plan.Join _ | Plan.Group _ | Plan.Union _ ->
       None
 
-let prepare ?(mode = Compiled) node =
-  let lower = lowering_of mode in
-  { p_root = compile_node lower node;
+let prepare ?(mode = Compiled) ?card node =
+  let ctx =
+    { lower = lowering_of mode; ctx_card = card; next_id = 0; skels_rev = [] }
+  in
+  let root = compile_node ctx ~depth:0 node in
+  { p_root = root;
+    (* pre-order ids, so the reversed push order is sorted by id *)
+    p_skels = Array.of_list (List.rev ctx.skels_rev);
     p_project =
       Option.map
         (fun items ->
@@ -616,22 +787,71 @@ let prepare ?(mode = Compiled) node =
                 | Some a -> a
                 | None -> Ast.expr_to_string item.Ast.expr
               in
-              (label, lower.lexpr item.Ast.expr))
+              (label, ctx.lower.lexpr item.Ast.expr))
             items)
         (top_projection node)
   }
 
+let project_rows env p rows =
+  Option.map
+    (fun items ->
+      List.map
+        (fun row -> Value.Tuple (List.map (fun (label, f) -> (label, f env row)) items))
+        rows)
+    p.p_project
+
 let run_prepared env p =
-  let rows = rows_of env p.p_root in
-  let projected =
-    Option.map
-      (fun items ->
-        List.map
-          (fun row -> Value.Tuple (List.map (fun (label, f) -> (label, f env row)) items))
-          rows)
-      p.p_project
+  let rows = rows_of None env p.p_root in
+  { rows; projected = project_rows env p rows }
+
+type op_report = {
+  r_label : string;
+  r_depth : int;
+  r_est : float option;
+  r_loops : int;
+  r_rows : int;
+  r_time : float;
+  r_seq_reads : int;
+  r_rnd_reads : int;
+  r_writes : int;
+  r_buf_hits : int;
+  r_buf_misses : int;
+}
+
+let run_analyzed ?disk ?buffer env p =
+  let stats = Array.init (Array.length p.p_skels) (fun _ -> fresh_op_stats ()) in
+  let tr = Some { t_stats = stats; t_disk = disk; t_buffer = buffer } in
+  let rows = rows_of tr env p.p_root in
+  let reports =
+    Array.to_list
+      (Array.map
+         (fun sk ->
+           let st = stats.(sk.sk_id) in
+           { r_label = sk.sk_label;
+             r_depth = sk.sk_depth;
+             r_est = sk.sk_est;
+             r_loops = st.st_loops;
+             r_rows = st.st_rows;
+             r_time = st.st_time;
+             r_seq_reads = st.st_seq_reads;
+             r_rnd_reads = st.st_rnd_reads;
+             r_writes = st.st_writes;
+             r_buf_hits = st.st_buf_hits;
+             r_buf_misses = st.st_buf_misses
+           })
+         p.p_skels)
   in
-  { rows; projected }
+  ({ rows; projected = project_rows env p rows }, reports)
+
+let render_reports reports =
+  let line r =
+    let est = match r.r_est with Some e -> Printf.sprintf "%.1f" e | None -> "?" in
+    Printf.sprintf "%s%s  (est=%s rows=%d loops=%d time=%.3fms seq=%d rnd=%d wr=%d hit=%d miss=%d)"
+      (String.make (2 * r.r_depth) ' ')
+      r.r_label est r.r_rows r.r_loops (r.r_time *. 1000.) r.r_seq_reads
+      r.r_rnd_reads r.r_writes r.r_buf_hits r.r_buf_misses
+  in
+  String.concat "\n" (List.map line reports)
 
 let run ?mode env node = run_prepared env (prepare ?mode node)
 

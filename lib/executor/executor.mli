@@ -30,11 +30,56 @@ type prepared
     cache stores. A prepared plan holds no object data: executions see
     the store as it is at run time. *)
 
-val prepare : ?mode:mode -> Mood_optimizer.Plan.node -> prepared
-(** Compile once (default [Compiled]). *)
+val prepare :
+  ?mode:mode ->
+  ?card:(Mood_optimizer.Plan.node -> float) ->
+  Mood_optimizer.Plan.node ->
+  prepared
+(** Compile once (default [Compiled]). [card], when given, is consulted
+    once per plan node at compile time and its estimates are carried on
+    the prepared plan for EXPLAIN ANALYZE reports (see
+    [Mood_optimizer.Card_est.estimate]); it costs nothing at run
+    time. *)
 
 val run_prepared : Eval.env -> prepared -> result
 (** Invoke many: per-row work is closure calls, no AST inspection. *)
+
+(** One operator's estimated-vs-actual report row from an analyzed run.
+    Time and I/O charges are {e inclusive} of the operator's inputs
+    (the PostgreSQL EXPLAIN ANALYZE convention); [r_rows] counts total
+    rows across all [r_loops] invocations. *)
+type op_report = {
+  r_label : string;           (** operator label, [Plan.render] vocabulary *)
+  r_depth : int;              (** nesting depth for indentation *)
+  r_est : float option;       (** optimizer cardinality estimate, if computed *)
+  r_loops : int;              (** times the operator ran (re-runs under UNION etc.) *)
+  r_rows : int;               (** actual rows produced, summed over loops *)
+  r_time : float;             (** inclusive wall seconds *)
+  r_seq_reads : int;          (** inclusive sequential page reads *)
+  r_rnd_reads : int;          (** inclusive random page reads *)
+  r_writes : int;             (** inclusive page writes *)
+  r_buf_hits : int;           (** inclusive buffer-pool hits *)
+  r_buf_misses : int;         (** inclusive buffer-pool misses *)
+}
+
+val run_analyzed :
+  ?disk:Mood_storage.Disk.t ->
+  ?buffer:Mood_storage.Buffer_pool.t ->
+  Eval.env ->
+  prepared ->
+  result * op_report list
+(** Traced execution: runs the prepared plan with per-operator
+    accounting (rows, loops, wall time, and — when [disk]/[buffer] are
+    supplied — page-level I/O and buffer charges attributed by counter
+    diffs around each operator invocation). Reports come back in
+    pre-order, ready for [render_reports]. Tracing costs two
+    [gettimeofday] calls and a few counter reads per operator
+    invocation; the untraced [run_prepared] path is unchanged. *)
+
+val render_reports : op_report list -> string
+(** The EXPLAIN ANALYZE operator tree: one line per operator, indented
+    by depth, [est=… rows=… loops=… time=…ms seq=… rnd=… wr=… hit=…
+    miss=…]. *)
 
 val run : ?mode:mode -> Eval.env -> Mood_optimizer.Plan.node -> result
 (** [prepare] + [run_prepared]. *)

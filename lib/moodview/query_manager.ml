@@ -43,6 +43,7 @@ let run t source =
   | Ok (Mood.Db.Object_named (name, oid)) ->
       Printf.sprintf "object %s named %s" (Oid.to_string oid) name
   | Ok (Mood.Db.Name_dropped name) -> Printf.sprintf "name %s dropped" name
+  | Ok (Mood.Db.Explained text) -> text
   | Error message -> "error: " ^ message
 
 let history t = t.entries

@@ -1,0 +1,76 @@
+(** Unified metrics registry (observability layer).
+
+    One registry instance holds named monotonic counters, latency
+    histograms and pull-based {e sources}. Components that already keep
+    their own accounting (buffer pool, plan cache, simulated disk, WAL,
+    lock manager) are absorbed as sources: a closure that reads their
+    live counters at snapshot time, so the hot path of those components
+    is untouched. Components with events nobody counted before push
+    into registry counters directly.
+
+    Counters are interned: [counter t name] always returns the same
+    cell for the same name, so call sites hoist the lookup out of their
+    hot loop and pay one guarded integer increment per event. When the
+    registry is disabled ([set_enabled t false]) increments are a
+    single mutable-bool test — no allocation, no hashing.
+
+    Snapshots are association lists sorted by key, which makes
+    [render] output stable and [diff] a linear merge. *)
+
+type t
+
+type counter
+(** A named monotonic event counter owned by a registry. *)
+
+type histogram
+(** A fixed-bucket histogram of float observations (seconds). *)
+
+val create : ?enabled:bool -> unit -> t
+(** Fresh registry; [enabled] defaults to [true]. *)
+
+val set_enabled : t -> bool -> unit
+val enabled : t -> bool
+
+val counter : t -> string -> counter
+(** Interned lookup-or-create. Names are conventionally
+    ["component.event"], e.g. ["wal.forces"]. *)
+
+val incr : counter -> unit
+(** Adds 1 when the owning registry is enabled; otherwise a no-op that
+    allocates nothing. *)
+
+val add : counter -> int -> unit
+val value : counter -> int
+(** Raw counter value net of the last [reset]. *)
+
+val histogram : t -> ?buckets:float list -> string -> histogram
+(** Interned lookup-or-create. [buckets] are upper bounds in seconds,
+    sorted ascending; the default is a latency ladder from 100µs to
+    10s. Buckets are fixed at first creation. *)
+
+val observe : histogram -> float -> unit
+(** Records one observation (seconds) when the registry is enabled. *)
+
+val register_source : t -> (unit -> (string * int) list) -> unit
+(** Registers a pull source: called at every [snapshot], it returns
+    current [(name, value)] pairs for counters maintained elsewhere.
+    [reset] re-baselines sources so their snapshot values restart at
+    zero without touching the underlying component. *)
+
+type snapshot = (string * int) list
+(** Sorted by name, ascending. *)
+
+val snapshot : t -> snapshot
+(** Counters, histogram aggregates ([.count], [.sum_us], [.le_*] and
+    [.le_inf] cumulative buckets) and all source values, net of the
+    last [reset]. *)
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-key [after - before]; keys missing from [before] count from 0,
+    keys missing from [after] are dropped. *)
+
+val reset : t -> unit
+(** Zeroes counters and histograms and re-baselines sources. *)
+
+val render : snapshot -> string
+(** One ["name value"] line per entry, machine-parseable. *)

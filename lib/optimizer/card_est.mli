@@ -1,0 +1,17 @@
+(** Per-node cardinality estimation over finished access plans.
+
+    The optimizer computes cardinalities internally while ordering
+    selections and joins, but throws them away once the plan is built.
+    EXPLAIN ANALYZE needs an estimate {e per plan node} to print next
+    to the actual row count, so this module re-derives them by walking
+    the plan bottom-up with the same Section 4.1 selectivity machinery
+    ([Dicts.atomic_selectivity], [Dicts.path_entry], reference fans).
+
+    Estimates are expectations, not guarantees — disagreement with the
+    actuals is exactly what the tool exists to expose. *)
+
+val estimate : Dicts.env -> Plan.node -> float
+(** Expected output rows of [node]. Total functions only: unresolvable
+    attributes fall back to the conventional defaults
+    ([Dicts.default_other_selectivity] for opaque predicates), so this
+    never raises on a plan the executor accepts. *)

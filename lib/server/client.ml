@@ -32,6 +32,24 @@ let commit t = request t Wire.Commit
 let abort t = request t Wire.Abort
 let ping t = request t Wire.Ping
 
+(* ["name value"] rows back into pairs; the value is everything past
+   the last space, so metric names may not contain spaces (they
+   don't). *)
+let parse_stat line =
+  match String.rindex_opt line ' ' with
+  | None -> None
+  | Some i -> (
+      let name = String.sub line 0 i in
+      match int_of_string_opt (String.sub line (i + 1) (String.length line - i - 1)) with
+      | Some v -> Some (name, v)
+      | None -> None)
+
+let stats t =
+  match request t Wire.Stats with
+  | Wire.Rows rows -> List.filter_map parse_stat rows
+  | Wire.Err m -> failwith ("STATS: " ^ m)
+  | _ -> raise (Wire.Protocol_error "STATS: unexpected response")
+
 let close t =
   if t.open_ then begin
     t.open_ <- false;

@@ -24,6 +24,12 @@ val commit : t -> Wire.response
 val abort : t -> Wire.response
 val ping : t -> Wire.response
 
+val stats : t -> (string * int) list
+(** Sends [Stats] and parses the ["name value"] reply rows: server
+    counters ([server.*]), this session's counters ([session.*]) and
+    the kernel metrics snapshot. Raises [Failure] on an [Err] reply and
+    {!Wire.Protocol_error} on any other response shape. *)
+
 val quit : t -> unit
 (** Sends [QUIT], waits for [BYE] (best effort) and closes. *)
 

@@ -116,6 +116,7 @@ let render_result = function
   | Db.Object_named (n, oid) ->
       Wire.Ok_result (Printf.sprintf "named %s = %s" n (Oid.to_string oid))
   | Db.Name_dropped n -> Wire.Ok_result ("dropped name " ^ n)
+  | Db.Explained text -> Wire.Rows (String.split_on_char '\n' text)
 
 let abort_txn t (session : Session.t) txn =
   with_kernel t (fun () -> Db.abort_session_txn t.database txn);
@@ -204,6 +205,27 @@ let execute t job =
       | Some txn ->
           abort_txn t session txn;
           `Reply (Wire.Ok_result "ABORT"))
+  | Wire.Stats ->
+      (* Admitted like any statement (same queue, same kernel lock), so
+         the counters it reports are a consistent cut: no statement is
+         mid-flight in the kernel while the snapshot is taken. *)
+      let kernel_rows = with_kernel t (fun () -> Db.metrics_snapshot t.database) in
+      let lines =
+        [ Printf.sprintf "server.sessions_active %d" (Session.count t.registry);
+          Printf.sprintf "server.sessions_opened %d" (Session.total_opened t.registry);
+          Printf.sprintf "server.statements %d" (Atomic.get t.c_statements);
+          Printf.sprintf "server.busy_rejections %d" (Atomic.get t.c_busy);
+          Printf.sprintf "server.deadlock_aborts %d" (Atomic.get t.c_deadlock);
+          Printf.sprintf "server.timeout_aborts %d" (Atomic.get t.c_timeout);
+          Printf.sprintf "server.disconnect_aborts %d" (Atomic.get t.c_disconnect);
+          Printf.sprintf "server.protocol_errors %d" (Atomic.get t.c_protocol);
+          Printf.sprintf "session.statements %d" session.Session.statements;
+          Printf.sprintf "session.rows_returned %d" session.Session.rows_returned;
+          Printf.sprintf "session.aborts %d" session.Session.aborts
+        ]
+        @ List.map (fun (k, v) -> Printf.sprintf "%s %d" k v) kernel_rows
+      in
+      `Reply (Wire.Rows lines)
   | Wire.Ping -> `Reply Wire.Pong (* normally answered inline by the handler *)
   | Wire.Quit -> `Reply Wire.Bye
 
@@ -249,6 +271,11 @@ let worker_loop t =
          with
         | `Reply resp ->
             job.jsession.Session.statements <- job.jsession.Session.statements + 1;
+            (match resp with
+            | Wire.Rows rows ->
+                job.jsession.Session.rows_returned <-
+                  job.jsession.Session.rows_returned + List.length rows
+            | _ -> ());
             Atomic.incr t.c_statements;
             respond job resp
         | `Park -> park t job);

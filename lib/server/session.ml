@@ -4,6 +4,7 @@ type t = {
   peer : string;
   mutable txn : Mood.Db.session_txn option;
   mutable statements : int;
+  mutable rows_returned : int;
   mutable aborts : int;
   mutable alive : bool;
 }
@@ -30,7 +31,15 @@ let with_lock r f =
 let register r ~fd ~peer =
   with_lock r (fun () ->
       let s =
-        { id = r.next_id; fd; peer; txn = None; statements = 0; aborts = 0; alive = true }
+        { id = r.next_id;
+          fd;
+          peer;
+          txn = None;
+          statements = 0;
+          rows_returned = 0;
+          aborts = 0;
+          alive = true
+        }
       in
       r.next_id <- r.next_id + 1;
       r.live <- s :: r.live;

@@ -20,6 +20,7 @@ type t = {
   peer : string;
   mutable txn : Mood.Db.session_txn option;  (** open transaction, if any *)
   mutable statements : int;   (** statements executed (all kinds) *)
+  mutable rows_returned : int;  (** result rows sent back over the wire *)
   mutable aborts : int;       (** transactions rolled back on this session *)
   mutable alive : bool;       (** flipped once, by [remove_and_close] *)
 }

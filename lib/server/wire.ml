@@ -6,6 +6,7 @@ type request =
   | Begin
   | Commit
   | Abort
+  | Stats
   | Ping
   | Quit
 
@@ -56,6 +57,7 @@ let encode_request req =
       | Begin -> Buffer.add_char buf 'B'
       | Commit -> Buffer.add_char buf 'C'
       | Abort -> Buffer.add_char buf 'A'
+      | Stats -> Buffer.add_char buf 'S'
       | Ping -> Buffer.add_char buf 'P'
       | Quit -> Buffer.add_char buf 'X')
 
@@ -108,6 +110,9 @@ let decode_request payload =
   | 'A' ->
       expect_empty "ABORT" payload;
       Abort
+  | 'S' ->
+      expect_empty "STATS" payload;
+      Stats
   | 'P' ->
       expect_empty "PING" payload;
       Ping

@@ -8,7 +8,7 @@
     paper's uniform client/server architecture).
 
     Requests:  [Q]uery sql | [E]xec sql | [B]egin | [C]ommit |
-               [A]bort | [P]ing | [X] quit
+               [A]bort | [S]tats | [P]ing | [X] quit
     Responses: o[K] message | [R]ows | [E]rror message |
                [A]borted message (transaction rolled back, retryable) |
                bus[Y] message (admission control, retry later) |
@@ -31,6 +31,10 @@ type request =
   | Begin
   | Commit
   | Abort
+  | Stats
+      (** server/session/kernel counters as [Rows] of ["name value"]
+          lines: server admission and abort counters, the requesting
+          session's counters, and the kernel's full metrics snapshot *)
   | Ping
   | Quit
 

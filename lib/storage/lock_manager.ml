@@ -6,16 +6,28 @@ type outcome = Granted | Would_block | Deadlock
 
 type txn = { id : int }
 
+type counters = { grants : int; waits : int; deadlocks : int }
+
 type t = {
   mutable next_txn : int;
   locks : (resource, (int * mode) list ref) Hashtbl.t;
   (* waits_for: txn id -> txn ids it is waiting on *)
   waits_for : (int, int list) Hashtbl.t;
   mutable active : int list;
+  mutable c_grants : int;
+  mutable c_waits : int;
+  mutable c_deadlocks : int;
 }
 
 let create () =
-  { next_txn = 1; locks = Hashtbl.create 64; waits_for = Hashtbl.create 16; active = [] }
+  { next_txn = 1;
+    locks = Hashtbl.create 64;
+    waits_for = Hashtbl.create 16;
+    active = [];
+    c_grants = 0;
+    c_waits = 0;
+    c_deadlocks = 0
+  }
 
 let begin_txn t =
   let id = t.next_txn in
@@ -45,31 +57,41 @@ let rec reaches t visited start target =
     | Some nexts -> List.exists (fun n -> reaches t (start :: visited) n target) nexts
 
 let acquire t txn resource mode =
+  let granted () =
+    t.c_grants <- t.c_grants + 1;
+    Granted
+  in
   let held = holders_ref t resource in
   let mine = List.assoc_opt txn.id !held in
   let others = List.filter (fun (id, _) -> id <> txn.id) !held in
   match mine, mode with
-  | Some Exclusive, _ -> Granted
-  | Some Shared, Shared -> Granted
+  | Some Exclusive, _ -> granted ()
+  | Some Shared, Shared -> granted ()
   | Some Shared, Exclusive when others = [] ->
       held := (txn.id, Exclusive) :: others;
-      Granted
+      granted ()
   | (Some Shared | None), _ ->
       let conflict = List.exists (fun (_, m) -> not (compatible mode m)) others in
       if (not conflict) && (others = [] || mode = Shared) then begin
         held := (txn.id, mode) :: List.remove_assoc txn.id !held;
-        Granted
+        granted ()
       end
       else begin
         let blockers = List.map fst others in
         (* Would waiting close a cycle? Then this txn is the victim. *)
-        if List.exists (fun b -> reaches t [] b txn.id) blockers then Deadlock
+        if List.exists (fun b -> reaches t [] b txn.id) blockers then begin
+          t.c_deadlocks <- t.c_deadlocks + 1;
+          Deadlock
+        end
         else begin
           let existing = Option.value ~default:[] (Hashtbl.find_opt t.waits_for txn.id) in
           Hashtbl.replace t.waits_for txn.id (List.sort_uniq Int.compare (blockers @ existing));
+          t.c_waits <- t.c_waits + 1;
           Would_block
         end
       end
+
+let counters t = { grants = t.c_grants; waits = t.c_waits; deadlocks = t.c_deadlocks }
 
 let release_all t txn =
   (* Drop the transaction's holds, and remove resource entries that are

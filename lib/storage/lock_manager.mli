@@ -44,3 +44,10 @@ val resource_count : t -> int
     transactions finish (leak regression guard). *)
 
 val active_transactions : t -> int
+
+(** Monotonic outcome counts of [acquire] over the manager's life:
+    every [Granted] (including re-grants and upgrades), every
+    [Would_block] and every [Deadlock] verdict. *)
+type counters = { grants : int; waits : int; deadlocks : int }
+
+val counters : t -> counters

@@ -15,9 +15,11 @@ type t = {
   mutable persisted : int;
   mutable next_lsn : lsn;
   mutable on_persist : (record -> unit) option;
+  mutable forces : int; (* flush calls — each is a log force *)
 }
 
-let create () = { log = []; count = 0; persisted = 0; next_lsn = 1; on_persist = None }
+let create () =
+  { log = []; count = 0; persisted = 0; next_lsn = 1; on_persist = None; forces = 0 }
 
 let append t record =
   let lsn = t.next_lsn in
@@ -33,6 +35,7 @@ let clear_persist_hook t = t.on_persist <- None
 let rec drop n l = if n = 0 then l else match l with [] -> [] | _ :: rest -> drop (n - 1) rest
 
 let flush t =
+  t.forces <- t.forces + 1;
   match t.on_persist with
   | None -> t.persisted <- t.count
   | Some hook ->
@@ -47,6 +50,8 @@ let flush t =
           hook record;
           t.persisted <- t.persisted + 1)
         unpersisted
+
+let forces t = t.forces
 
 let lose_unpersisted t =
   let lost = t.count - t.persisted in

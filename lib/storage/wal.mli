@@ -43,6 +43,10 @@ val flush : t -> unit
 (** Moves the persisted watermark to the end of the log (force at
     commit / checkpoint), invoking the persist hook per record. *)
 
+val forces : t -> int
+(** Number of [flush] calls — each is one log force, however many
+    records it persisted. *)
+
 val lose_unpersisted : t -> int
 (** Simulates a crash: truncates the log at the watermark, returning
     the number of records lost. *)

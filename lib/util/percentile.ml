@@ -1,0 +1,13 @@
+let nearest_rank (sorted : float array) p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else begin
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    let rank = max 1 (min n rank) in
+    sorted.(rank - 1)
+  end
+
+let of_list samples p =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  nearest_rank a p

@@ -1,0 +1,15 @@
+(** Nearest-rank percentiles.
+
+    The definition used by the load generator's latency report: the
+    [p]-th percentile of [n] sorted samples is the sample at 1-indexed
+    rank [ceil(p/100 * n)], clamped into [1, n]. No interpolation — the
+    reported value is always an observed sample, which is the honest
+    choice for latency tails on small [n]. *)
+
+val nearest_rank : float array -> float -> float
+(** [nearest_rank sorted p] with [sorted] ascending and [p] in
+    [0, 100]. Returns 0 on an empty array; [p <= 0] gives the minimum,
+    [p = 100] the maximum. *)
+
+val of_list : float list -> float -> float
+(** Convenience: sorts a copy, then [nearest_rank]. *)

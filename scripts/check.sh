@@ -24,6 +24,17 @@ echo "== crash/recover harness =="
 # prints the seed and crash point needed to reproduce it.
 MOOD_SIM_QUOTA="${MOOD_SIM_QUOTA:-200}" dune exec bin/crash_sim.exe
 
+echo "== EXPLAIN ANALYZE smoke =="
+# The est-vs-actual surface end to end: plan, trace, render. Greps for
+# the per-node actuals and the run-total footer; a broken tracer or
+# renderer fails the gate even if unit tests were skipped.
+./_build/default/bin/mood_cli.exe analyze --demo \
+  "SELECT v FROM Vehicle v WHERE v.weight > 3.0" > /tmp/mood_analyze.$$
+grep -q "rows=" /tmp/mood_analyze.$$ || { echo "EXPLAIN ANALYZE: no per-node actuals"; exit 1; }
+grep -q "est=" /tmp/mood_analyze.$$ || { echo "EXPLAIN ANALYZE: no estimates"; exit 1; }
+grep -q "actual rows:" /tmp/mood_analyze.$$ || { echo "EXPLAIN ANALYZE: no run totals"; exit 1; }
+rm -f /tmp/mood_analyze.$$
+
 echo "== server smoke (wire protocol + load) =="
 # Boots the network front end on an ephemeral port, drives it with the
 # seeded load generator under a tiny statement budget (MOOD_LOAD_QUOTA,
@@ -46,6 +57,14 @@ while [ ! -s "$SMOKE_PORT_FILE" ]; do
 done
 MOOD_LOAD_QUOTA="${MOOD_LOAD_QUOTA:-160}" ./_build/default/bin/load_gen.exe \
   --port "$(cat "$SMOKE_PORT_FILE")" --sessions 8
+# STATS over the wire while the daemon is still up: the one-shot
+# counter dump must include the server and kernel namespaces. (The
+# load generator above already enforced snapshot consistency.)
+./_build/default/bin/mood_cli.exe top "127.0.0.1:$(cat "$SMOKE_PORT_FILE")" \
+  > /tmp/mood_top.$$
+grep -q "^server.statements " /tmp/mood_top.$$ || { echo "STATS: no server counters"; exit 1; }
+grep -q "^stmt.select " /tmp/mood_top.$$ || { echo "STATS: no kernel counters"; exit 1; }
+rm -f /tmp/mood_top.$$
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" || { echo "server shutdown was not clean"; exit 1; }
 rm -f "$SMOKE_PORT_FILE"

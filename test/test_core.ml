@@ -374,29 +374,35 @@ let test_plan_cache_invalidation () =
   let db = item_db () in
   let q = "SELECT i FROM Item i WHERE i.n > 0" in
   let warm () = ignore (Db.query db q) in
-  let invalidations () = (Db.plan_cache_stats db).Plan_cache.invalidations in
+  let stale () = (Db.plan_cache_stats db).Plan_cache.stale_purges in
   warm ();
   let e0 = Db.plan_epoch db in
-  (* CREATE INDEX: a new access path must be replanned into *)
+  (* CREATE INDEX: a new access path must be replanned into. The stale
+     plan is purged eagerly at the next statement, before any lookup
+     could even reject it. *)
   (match ok db "CREATE INDEX ON Item (n)" with
   | Db.Index_created ("Item", "n") -> ()
   | _ -> Alcotest.fail "index result");
   Alcotest.(check bool) "epoch advanced" true (Db.plan_epoch db > e0);
   warm ();
-  Alcotest.(check int) "create index invalidates" 1 (invalidations ());
+  Alcotest.(check int) "create index purges the stale plan" 1 (stale ());
+  Alcotest.(check int) "purged before lookup: lazy invalidation never fires" 0
+    (Db.plan_cache_stats db).Plan_cache.invalidations;
   (* DROP INDEX (programmatic) *)
   Alcotest.(check bool) "drop index" true
     (Catalog.drop_index (Db.catalog db) ~class_name:"Item" ~attr:"n");
   warm ();
-  Alcotest.(check int) "drop index invalidates" 2 (invalidations ());
+  Alcotest.(check int) "drop index purges" 2 (stale ());
   (* schema DDL *)
   ignore (ok db "CREATE CLASS Extra TUPLE (x Integer)");
   warm ();
-  Alcotest.(check int) "DDL invalidates" 3 (invalidations ());
-  (* fresh statistics change plan choices: analyze invalidates too *)
+  Alcotest.(check int) "DDL purges" 3 (stale ());
+  (* fresh statistics change plan choices: analyze purges immediately,
+     without waiting for the next statement *)
   Db.analyze db;
+  Alcotest.(check int) "analyze purges eagerly" 4 (stale ());
   warm ();
-  Alcotest.(check int) "analyze invalidates" 4 (invalidations ());
+  Alcotest.(check int) "nothing left to purge at the next statement" 4 (stale ());
   (* and the replanned entries still answer correctly *)
   Alcotest.(check int) "2 rows" 2 (List.length (Db.query db q).Executor.rows)
 
@@ -468,6 +474,143 @@ let test_plan_cache_capacity_eviction () =
   Alcotest.(check int) "recent entry hits" (s.Plan_cache.hits + 1)
     (Db.plan_cache_stats db).Plan_cache.hits
 
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE, the slow-query log and statement metrics           *)
+
+let snap_value db name =
+  match List.assoc_opt name (Db.metrics_snapshot db) with
+  | Some v -> v
+  | None -> Alcotest.failf "metrics snapshot is missing %s" name
+
+let analyze_db () =
+  let db = fresh () in
+  ignore (ok db "CREATE CLASS Item TUPLE (n Integer)");
+  List.iter
+    (fun i -> ignore (ok db (Printf.sprintf "new Item <%d>" i)))
+    [ 1; 2; 3; 4 ];
+  Db.analyze db;
+  db
+
+(* Hand-counted oracle: 4 Items with n = 1..4 and collected statistics
+   (dist 4, min 1, max 4). [n > 2] estimates (4-2)/(4-1) * 4 = 8/3 and
+   actually yields 2 rows; the BIND below it estimates and produces all
+   4. Reports come back pre-order. *)
+let test_explain_analyze_oracle () =
+  let db = analyze_db () in
+  let result, reports = Db.analyze_query db "SELECT i FROM Item i WHERE i.n > 2" in
+  Alcotest.(check int) "query yields 2 rows" 2 (List.length result.Executor.rows);
+  Alcotest.(check (list string))
+    "pre-order operator labels"
+    [ "PROJECT"; "SELECT(i.n > 2)"; "BIND(Item, i)" ]
+    (List.map (fun r -> r.Executor.r_label) reports);
+  Alcotest.(check (list int)) "depths" [ 0; 1; 2 ]
+    (List.map (fun r -> r.Executor.r_depth) reports);
+  Alcotest.(check (list int)) "actual rows per node" [ 2; 2; 4 ]
+    (List.map (fun r -> r.Executor.r_rows) reports);
+  Alcotest.(check (list int)) "each node ran once" [ 1; 1; 1 ]
+    (List.map (fun r -> r.Executor.r_loops) reports);
+  let est r =
+    match r.Executor.r_est with
+    | Some f -> f
+    | None -> Alcotest.failf "%s has no estimate" r.Executor.r_label
+  in
+  (match reports with
+  | [ project; select; bind ] ->
+      Alcotest.(check (float 1e-9)) "BIND estimate = cardinality" 4. (est bind);
+      Alcotest.(check (float 1e-9)) "SELECT estimate = (4-2)/(4-1) * 4"
+        (8. /. 3.) (est select);
+      Alcotest.(check (float 1e-9)) "PROJECT passes the estimate through"
+        (8. /. 3.) (est project)
+  | _ -> Alcotest.fail "expected exactly 3 reports");
+  let rendered = Executor.render_reports reports in
+  Alcotest.(check bool) "rendered tree shows actuals" true
+    (contains rendered "rows=2");
+  Alcotest.(check bool) "rendered tree shows estimates" true
+    (contains rendered "est=4.0")
+
+let test_explain_statement_forms () =
+  let db = analyze_db () in
+  (* plain EXPLAIN: the optimizer plan, no execution *)
+  (match ok db "EXPLAIN SELECT i FROM Item i WHERE i.n > 2" with
+  | Db.Explained text ->
+      Alcotest.(check bool) "plan mentions BIND" true (contains text "BIND")
+  | _ -> Alcotest.fail "EXPLAIN did not return Explained");
+  Alcotest.(check int) "plain EXPLAIN is not ANALYZE" 0
+    (snap_value db "stmt.explain_analyze");
+  (* EXPLAIN ANALYZE, case-insensitive, executes and reports actuals *)
+  (match ok db "explain analyze select i from Item i where i.n > 2" with
+  | Db.Explained text ->
+      Alcotest.(check bool) "per-node actuals" true (contains text "rows=");
+      Alcotest.(check bool) "run totals" true (contains text "actual rows: 2")
+  | _ -> Alcotest.fail "EXPLAIN ANALYZE did not return Explained");
+  Alcotest.(check int) "counted" 1 (snap_value db "stmt.explain_analyze");
+  (* never cached: no plan-cache traffic from EXPLAIN ANALYZE *)
+  Alcotest.(check int) "no cache entries" 0
+    (Db.plan_cache_stats db).Plan_cache.entries;
+  (* works inside an explicit transaction too *)
+  let s = Db.begin_session_txn db in
+  (match Db.exec_in_txn db s "EXPLAIN ANALYZE SELECT i FROM Item i" with
+  | Ok (Db.Explained text) ->
+      Alcotest.(check bool) "in-txn actuals" true (contains text "actual rows: 4")
+  | Ok _ -> Alcotest.fail "in-txn EXPLAIN ANALYZE: wrong result"
+  | Error _ -> Alcotest.fail "in-txn EXPLAIN ANALYZE failed");
+  Db.commit_session_txn db s;
+  Alcotest.(check int) "both runs counted" 2 (snap_value db "stmt.explain_analyze")
+
+let test_statement_counters () =
+  let db = analyze_db () in
+  Mood_obs.Metrics.reset (Db.metrics db);
+  ignore (ok db "SELECT i FROM Item i");
+  ignore (ok db "new Item <9>");
+  ignore (ok db "CREATE CLASS Extra TUPLE (x Integer)");
+  ignore (expect_error db "SELECT z FROM Nope z");
+  let check name v = Alcotest.(check int) name v (snap_value db name) in
+  check "stmt.select" 1;
+  check "stmt.dml" 1;
+  check "stmt.ddl" 1;
+  check "stmt.error" 1;
+  (* disabling freezes the push counters *)
+  Db.set_metrics_enabled db false;
+  ignore (ok db "SELECT i FROM Item i");
+  Db.set_metrics_enabled db true;
+  check "stmt.select" 1
+
+let test_slow_query_log () =
+  let db = analyze_db () in
+  Alcotest.(check (option (float 0.))) "disarmed by default" None
+    (Db.slow_query_threshold db);
+  Alcotest.check_raises "negative threshold rejected"
+    (Invalid_argument "set_slow_query_threshold: negative threshold") (fun () ->
+      Db.set_slow_query_threshold db (Some (-1.)));
+  (* threshold 0: every timed SELECT qualifies *)
+  Db.set_slow_query_threshold db (Some 0.);
+  ignore (ok db "SELECT  i  FROM Item i WHERE i.n > 2");
+  (match Db.slow_queries db with
+  | [ sq ] ->
+      Alcotest.(check string) "key is the normalized text"
+        "SELECT i FROM Item i WHERE i.n > 2" sq.Db.sq_key;
+      Alcotest.(check int) "2 rows recorded" 2 sq.Db.sq_rows;
+      Alcotest.(check bool) "wall time non-negative" true (sq.Db.sq_wall >= 0.)
+  | l -> Alcotest.failf "expected 1 slow query, got %d" (List.length l));
+  (* DML is never logged *)
+  ignore (ok db "new Item <5>");
+  Alcotest.(check int) "DML not logged" 1 (List.length (Db.slow_queries db));
+  (* while armed, every statement's latency feeds the histogram even
+     though only SELECTs can enter the log *)
+  Alcotest.(check int) "latency histogram observed" 2
+    (snap_value db "stmt.latency_s.count");
+  (* an unreachable threshold logs nothing *)
+  Db.set_slow_query_threshold db (Some 3600.);
+  ignore (ok db "SELECT i FROM Item i");
+  Alcotest.(check int) "fast query below threshold" 1
+    (List.length (Db.slow_queries db));
+  Db.clear_slow_queries db;
+  Alcotest.(check int) "cleared" 0 (List.length (Db.slow_queries db));
+  (* disarming stops the clock entirely *)
+  Db.set_slow_query_threshold db None;
+  ignore (ok db "SELECT i FROM Item i");
+  Alcotest.(check int) "disarmed logs nothing" 0 (List.length (Db.slow_queries db))
+
 let suites =
   [ ( "core.db",
       [ Alcotest.test_case "DDL/DML roundtrip" `Quick test_ddl_dml_roundtrip;
@@ -494,5 +637,11 @@ let suites =
         Alcotest.test_case "literals and comments" `Quick
           test_plan_cache_string_literals_and_comments;
         Alcotest.test_case "capacity eviction" `Quick test_plan_cache_capacity_eviction
+      ] );
+    ( "core.observe",
+      [ Alcotest.test_case "EXPLAIN ANALYZE oracle" `Quick test_explain_analyze_oracle;
+        Alcotest.test_case "EXPLAIN statement forms" `Quick test_explain_statement_forms;
+        Alcotest.test_case "statement counters" `Quick test_statement_counters;
+        Alcotest.test_case "slow-query log" `Quick test_slow_query_log
       ] )
   ]

@@ -75,6 +75,69 @@ let test_atomic_selectivity () =
   let name = attr ~dist:200000 () in
   close (1. /. 200000.) (Sel.atomic name (Sel.Compare (Sel.Gt, 0.)))
 
+(* BETWEEN must intersect the constant interval with the attribute
+   range BEFORE taking the ratio. The old code formed
+   (c2 - c1) / (max - min) and clamped afterwards, so any interval
+   wider than the range saturated to 1 even when it barely overlapped
+   the stored values. *)
+let test_between_intersects_range () =
+  let cylinders = attr ~dist:16 ~max_value:32. ~min_value:2. () in
+  (* spills below the range: only [2, 20] survives *)
+  close ((20. -. 2.) /. 30.) (Sel.atomic cylinders (Sel.Between (-100., 20.)));
+  (* spills above: only [10, 32] *)
+  close ((32. -. 10.) /. 30.) (Sel.atomic cylinders (Sel.Between (10., 500.)));
+  (* superset of the range: everything *)
+  close 1. (Sel.atomic cylinders (Sel.Between (-100., 500.)));
+  (* disjoint intervals select nothing *)
+  close 0. (Sel.atomic cylinders (Sel.Between (-10., -5.)));
+  close 0. (Sel.atomic cylinders (Sel.Between (40., 50.)));
+  (* the pinned regression: BETWEEN -100 AND 5 used to estimate
+     (5 - (-100)) / 30 = 3.5, clamped to 1.0 — everything. The
+     intersection gives the true overlap [2, 5]: 0.1. *)
+  close ((5. -. 2.) /. 30.) (Sel.atomic cylinders (Sel.Between (-100., 5.)));
+  (* inverted bounds mean an empty interval, overlap or not *)
+  close 0. (Sel.atomic cylinders (Sel.Between (20., 10.)))
+
+(* dist <= 0 (empty class, stats never collected): [=] must not claim
+   it selects everything — and [<>], by complement, nothing. Both
+   degrade to the System R unkeyed-equality default. *)
+let test_degenerate_dist_default () =
+  let empty = attr ~dist:0 () in
+  close Sel.default_eq_selectivity (Sel.atomic empty (Sel.Compare (Sel.Eq, 5.)));
+  close (1. -. Sel.default_eq_selectivity)
+    (Sel.atomic empty (Sel.Compare (Sel.Ne, 5.)));
+  let negative = attr ~dist:(-3) () in
+  close Sel.default_eq_selectivity (Sel.atomic negative (Sel.Compare (Sel.Eq, 5.)));
+  (* and the degenerate range fallback takes the same default *)
+  close Sel.default_eq_selectivity (Sel.atomic empty (Sel.Compare (Sel.Gt, 5.)));
+  (* healthy dist is untouched *)
+  let ok = attr ~dist:4 () in
+  close 0.25 (Sel.atomic ok (Sel.Compare (Sel.Eq, 5.)));
+  close 0.75 (Sel.atomic ok (Sel.Compare (Sel.Ne, 5.)))
+
+(* Stats.pp must render identically however the hash tables were
+   filled: attribute and reference rows are sorted like [classes]. *)
+let test_pp_deterministic () =
+  let fill order =
+    let t = Stats.create () in
+    Stats.set_class t "Vehicle" { Stats.cardinality = 200; nbpages = 10; obj_size = 64 };
+    Stats.set_class t "Company" { Stats.cardinality = 20; nbpages = 2; obj_size = 32 };
+    List.iter
+      (fun (cls, a) ->
+        Stats.set_attr t ~cls ~attr:a
+          { Stats.dist = 5; max_value = Some 9.; min_value = Some 1.; notnull = 1. };
+        Stats.set_ref t ~cls ~attr:a { Stats.target = "Company"; fan = 1.; totref = 20 })
+      order;
+    Format.asprintf "%a" Stats.pp t
+  in
+  let a =
+    fill [ ("Vehicle", "company"); ("Vehicle", "axles"); ("Company", "name") ]
+  in
+  let b =
+    fill [ ("Company", "name"); ("Vehicle", "axles"); ("Vehicle", "company") ]
+  in
+  Alcotest.(check string) "insertion order does not show" a b
+
 (* ---------------- fref and path selectivity ---------------- *)
 
 let hops_p1 =
@@ -232,6 +295,10 @@ let suites =
       ] );
     ( "cost.selectivity",
       [ Alcotest.test_case "atomic" `Quick test_atomic_selectivity;
+        Alcotest.test_case "BETWEEN intersects the range" `Quick
+          test_between_intersects_range;
+        Alcotest.test_case "degenerate dist default" `Quick test_degenerate_dist_default;
+        Alcotest.test_case "pp deterministic" `Quick test_pp_deterministic;
         Alcotest.test_case "fref" `Quick test_fref;
         Alcotest.test_case "Table 16 selectivities" `Quick test_path_selectivity_table16;
         Alcotest.test_case "Table 16 forward costs" `Quick test_forward_path_cost_table16;

@@ -31,6 +31,7 @@ let request_label = function
   | Wire.Begin -> "Begin"
   | Wire.Commit -> "Commit"
   | Wire.Abort -> "Abort"
+  | Wire.Stats -> "Stats"
   | Wire.Ping -> "Ping"
   | Wire.Quit -> "Quit"
 
@@ -51,8 +52,14 @@ let test_request_roundtrip () =
     [ Wire.Query "SELECT v FROM Vehicle v";
       Wire.Exec "UPDATE Vehicle v SET weight = 1 WHERE v.id = 1";
       Wire.Exec "";
-      Wire.Begin; Wire.Commit; Wire.Abort; Wire.Ping; Wire.Quit
+      Wire.Begin; Wire.Commit; Wire.Abort; Wire.Ping; Wire.Stats; Wire.Quit
     ]
+
+let test_stats_opcode_strict () =
+  (* STATS carries no payload; a non-empty body is a framing bug *)
+  match Wire.decode_request (Bytes.of_string "Sjunk") with
+  | exception Wire.Protocol_error _ -> ()
+  | _ -> Alcotest.fail "decoded STATS with a payload"
 
 let test_response_roundtrip () =
   List.iter
@@ -444,11 +451,50 @@ let test_plan_cache_shared () =
       let after = (Db.plan_cache_stats (Server.db server)).Mood.Plan_cache.hits in
       Alcotest.(check bool) "second session hits the cache" true (after > before))
 
+let test_stats_surface () =
+  with_server ~setup:seed_accounts (fun _server port ->
+      let c = Client.connect ~port () in
+      let stat rows name =
+        match List.assoc_opt name rows with
+        | Some v -> v
+        | None -> Alcotest.failf "STATS is missing %s" name
+      in
+      let s0 = Client.stats c in
+      Alcotest.(check int) "one session active" 1 (stat s0 "server.sessions_active");
+      Alcotest.(check bool) "admission counters present" true
+        (List.mem_assoc "server.busy_rejections" s0);
+      Alcotest.(check bool) "kernel counters included" true
+        (List.mem_assoc "stmt.select" s0);
+      Alcotest.(check bool) "plan cache included" true
+        (List.mem_assoc "plan_cache.hits" s0);
+      ignore (expect_rows "select" (Client.query c "SELECT a.n FROM Acct a"));
+      let s1 = Client.stats c in
+      (* the SELECT and the first STATS both count as statements *)
+      Alcotest.(check int) "statements advanced by 2" 2
+        (stat s1 "server.statements" - stat s0 "server.statements");
+      Alcotest.(check int) "session sees its own statements" 2
+        (stat s1 "session.statements" - stat s0 "session.statements");
+      Alcotest.(check int) "kernel counted the SELECT" 1
+        (stat s1 "stmt.select" - stat s0 "stmt.select");
+      Alcotest.(check bool) "rows flowed back" true
+        (stat s1 "session.rows_returned" > stat s0 "session.rows_returned");
+      (* a second session sees the shared server totals but fresh
+         per-session counters *)
+      let c2 = Client.connect ~port () in
+      let s2 = Client.stats c2 in
+      Alcotest.(check int) "two sessions active" 2 (stat s2 "server.sessions_active");
+      Alcotest.(check int) "fresh session counter" 0 (stat s2 "session.aborts");
+      Alcotest.(check bool) "shared statement total" true
+        (stat s2 "server.statements" > stat s1 "server.statements");
+      Client.quit c2;
+      Client.quit c)
+
 let suites =
   [ ( "server-wire",
       [ Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
         Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
         Alcotest.test_case "unknown opcode" `Quick test_unknown_opcode;
+        Alcotest.test_case "STATS opcode strict" `Quick test_stats_opcode_strict;
         Alcotest.test_case "oversized frame" `Quick test_oversized_frame;
         Alcotest.test_case "torn length prefix" `Quick test_torn_length_prefix;
         Alcotest.test_case "torn payload" `Quick test_torn_payload;
@@ -470,6 +516,7 @@ let suites =
         Alcotest.test_case "malformed frames" `Quick test_malformed_frames;
         Alcotest.test_case "shutdown aborts open txn" `Quick
           test_shutdown_aborts_open_txn;
-        Alcotest.test_case "plan cache shared" `Quick test_plan_cache_shared
+        Alcotest.test_case "plan cache shared" `Quick test_plan_cache_shared;
+        Alcotest.test_case "STATS surface" `Quick test_stats_surface
       ] )
   ]

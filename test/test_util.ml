@@ -181,6 +181,31 @@ let test_prng_shuffle_permutes () =
     (List.init 50 Fun.id)
     (List.sort Int.compare (Array.to_list arr))
 
+let test_percentile_nearest_rank () =
+  let module P = Mood_util.Percentile in
+  let feq = Alcotest.(check (float 1e-12)) in
+  feq "empty array" 0. (P.nearest_rank [||] 50.);
+  (* n = 1: every percentile is the only sample *)
+  feq "n=1 p0" 7. (P.nearest_rank [| 7. |] 0.);
+  feq "n=1 p50" 7. (P.nearest_rank [| 7. |] 50.);
+  feq "n=1 p99" 7. (P.nearest_rank [| 7. |] 99.);
+  feq "n=1 p100" 7. (P.nearest_rank [| 7. |] 100.);
+  (* n = 10, samples 1..10: rank = ceil(p/10) *)
+  let ten = Array.init 10 (fun i -> float (i + 1)) in
+  feq "p50 is rank 5" 5. (P.nearest_rank ten 50.);
+  feq "p95 is rank 10" 10. (P.nearest_rank ten 95.);
+  feq "p99 is rank 10" 10. (P.nearest_rank ten 99.);
+  feq "p10 is rank 1" 1. (P.nearest_rank ten 10.);
+  feq "p11 rounds up to rank 2" 2. (P.nearest_rank ten 11.);
+  feq "p0 clamps to the minimum" 1. (P.nearest_rank ten 0.);
+  (* n = 4: p50 -> rank ceil(2) = 2, never interpolated *)
+  feq "p50 of 4 is the 2nd sample" 20. (P.nearest_rank [| 10.; 20.; 30.; 40. |] 50.);
+  (* ties: duplicated samples are returned as-is *)
+  feq "ties p50" 5. (P.nearest_rank [| 5.; 5.; 5.; 9. |] 50.);
+  feq "ties p99" 9. (P.nearest_rank [| 5.; 5.; 5.; 9. |] 99.);
+  (* of_list sorts a copy first *)
+  feq "of_list sorts" 5. (P.of_list [ 9.; 5.; 1. ] 50.)
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let suites =
@@ -210,5 +235,7 @@ let suites =
         Alcotest.test_case "bounds" `Quick test_prng_bounds;
         Alcotest.test_case "split" `Quick test_prng_split_independent;
         Alcotest.test_case "shuffle" `Quick test_prng_shuffle_permutes
-      ] )
+      ] );
+    ( "util.percentile",
+      [ Alcotest.test_case "nearest rank" `Quick test_percentile_nearest_rank ] )
   ]
