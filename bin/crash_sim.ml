@@ -1,9 +1,12 @@
-(* Crash–recovery harness runner: the CI gate for ARIES-lite recovery.
+(* Crash–recovery harness runner: the CI gate for ARIES-lite recovery
+   and WAL-shipping replication.
 
-   Runs MOOD_SIM_QUOTA seeded workload/crash/recover/check cycles
-   (default 200) starting at MOOD_SIM_SEED (default 1). Every
-   violation prints the cycle's seed and crash point so the failure
-   reproduces exactly with
+   Phase 1 runs MOOD_SIM_QUOTA seeded workload/crash/recover/check
+   cycles (default 200) starting at MOOD_SIM_SEED (default 1).
+   Phase 2 runs MOOD_SIM_REPL_QUOTA seeded primary-writes/
+   replica-applies/crash-mid-batch/catch-up/promote cycles (default
+   200) from the same base seed. Every violation prints the cycle's
+   seed so the failure reproduces exactly with
 
      MOOD_SIM_QUOTA=1 MOOD_SIM_SEED=<seed> dune exec bin/crash_sim.exe *)
 
@@ -19,20 +22,37 @@ let env_int name default =
 
 let () =
   let quota = env_int "MOOD_SIM_QUOTA" 200 in
+  let repl_quota = env_int "MOOD_SIM_REPL_QUOTA" 200 in
   let base_seed = env_int "MOOD_SIM_SEED" 1 in
+  let failed = ref false in
   let report = Mood_sim.Harness.run ~quota ~base_seed () in
-  Format.printf "mood_sim: seeds %d..%d@.%a@." base_seed
+  Format.printf "mood_sim: recovery, seeds %d..%d@.%a@." base_seed
     (base_seed + quota - 1)
     Mood_sim.Harness.pp_report report;
-  match report.Mood_sim.Harness.r_violations with
+  (match report.Mood_sim.Harness.r_violations with
   | [] -> ()
   | violations ->
+      failed := true;
       List.iter
         (fun (seed, crash_point, message) ->
           Printf.printf "VIOLATION seed=%d crash=[%s]\n  %s\n" seed crash_point
             message)
-        violations;
-      Printf.printf
-        "reproduce one: MOOD_SIM_QUOTA=1 MOOD_SIM_SEED=<seed> dune exec \
-         bin/crash_sim.exe\n";
-      exit 1
+        violations);
+  let repl = Mood_sim.Harness.run_repl ~quota:repl_quota ~base_seed () in
+  Format.printf "mood_sim: replication, seeds %d..%d@.%a@." base_seed
+    (base_seed + repl_quota - 1)
+    Mood_sim.Harness.pp_repl_report repl;
+  (match repl.Mood_sim.Harness.rr_violations with
+  | [] -> ()
+  | violations ->
+      failed := true;
+      List.iter
+        (fun (seed, message) ->
+          Printf.printf "REPL VIOLATION seed=%d\n  %s\n" seed message)
+        violations);
+  if !failed then begin
+    Printf.printf
+      "reproduce one: MOOD_SIM_QUOTA=1 MOOD_SIM_REPL_QUOTA=1 \
+       MOOD_SIM_SEED=<seed> dune exec bin/crash_sim.exe\n";
+    exit 1
+  end

@@ -22,18 +22,22 @@ type session_result = {
   mutable rows_seen : int;
   mutable busy_retries : int;
   mutable txn_aborts : int;        (* ABORTED replies (retried) *)
+  mutable redirects : int;         (* NOT_PRIMARY replies (retried at primary) *)
   mutable errors : int;            (* ERR replies / protocol failures *)
   mutable error_samples : string list;
+  ep_requests : int array;         (* requests per endpoint index *)
 }
 
-let fresh_result () =
+let fresh_result ~n_eps () =
   { latencies = [];
     requests = 0;
     rows_seen = 0;
     busy_retries = 0;
     txn_aborts = 0;
+    redirects = 0;
     errors = 0;
-    error_samples = []
+    error_samples = [];
+    ep_requests = Array.make n_eps 0
   }
 
 let read_pool =
@@ -59,8 +63,9 @@ let write_statement rng =
         (Prng.int rng ~bound:200)
 
 (* One request with BUSY backoff. Latency is the last (successful)
-   attempt; BUSY round-trips are counted separately. *)
-let send res client req =
+   attempt; BUSY round-trips are counted separately. [epi] attributes
+   the response to an endpoint for the per-endpoint breakdown. *)
+let send res epi client req =
   let rec go tries =
     let t0 = Unix.gettimeofday () in
     match Client.request client req with
@@ -71,6 +76,7 @@ let send res client req =
     | resp ->
         res.latencies <- (Unix.gettimeofday () -. t0) :: res.latencies;
         res.requests <- res.requests + 1;
+        res.ep_requests.(epi) <- res.ep_requests.(epi) + 1;
         (match resp with
         | Wire.Rows rows -> res.rows_seen <- res.rows_seen + List.length rows
         | _ -> ());
@@ -85,7 +91,8 @@ let record_error res what =
 
 (* A multi-statement transaction: update then read, fixed extent order
    (most cross-session conflicts resolve as short BUSY waits; the
-   occasional deadlock comes back as ABORTED and is retried whole). *)
+   occasional deadlock comes back as ABORTED and is retried whole).
+   Transactions write, so they always run on the primary (endpoint 0). *)
 let run_txn res client rng =
   let body =
     [ Wire.Exec (write_statement rng);
@@ -94,12 +101,12 @@ let run_txn res client rng =
   in
   let commit = Prng.int rng ~bound:10 < 9 in
   let rec attempt tries =
-    match send res client Wire.Begin with
+    match send res 0 client Wire.Begin with
     | Wire.Ok_result _ -> (
         let rec steps = function
           | [] -> `Finish
           | req :: rest -> (
-              match send res client req with
+              match send res 0 client req with
               | Wire.Ok_result _ | Wire.Rows _ -> steps rest
               | Wire.Aborted _ -> `Aborted
               | Wire.Err m ->
@@ -113,9 +120,9 @@ let run_txn res client rng =
         | `Aborted ->
             res.txn_aborts <- res.txn_aborts + 1;
             if tries < 5 then attempt (tries + 1)
-        | `Failed -> ignore (send res client Wire.Abort)
+        | `Failed -> ignore (send res 0 client Wire.Abort)
         | `Finish -> (
-            match send res client (if commit then Wire.Commit else Wire.Abort) with
+            match send res 0 client (if commit then Wire.Commit else Wire.Abort) with
             | Wire.Ok_result _ -> ()
             | Wire.Aborted _ -> res.txn_aborts <- res.txn_aborts + 1
             | _ -> record_error res "commit/abort failed"))
@@ -123,23 +130,35 @@ let run_txn res client rng =
   in
   attempt 0
 
-let run_autocommit res client rng ~write_pct =
+(* Autocommit statement at this session's assigned endpoint. A write
+   landing on a replica comes back as a Redirect — the retryable
+   NOT_PRIMARY protocol — and is retried once at the primary. *)
+let run_autocommit res ~client ~epi ~get_primary rng ~write_pct =
   let roll = Prng.int rng ~bound:100 in
   if roll < write_pct then begin
-    let rec attempt tries =
-      match send res client (Wire.Exec (write_statement rng)) with
+    let rec attempt tries c ci =
+      match send res ci c (Wire.Exec (write_statement rng)) with
       | Wire.Ok_result _ | Wire.Rows _ -> ()
       | Wire.Aborted _ ->
           res.txn_aborts <- res.txn_aborts + 1;
-          if tries < 5 then attempt (tries + 1)
+          if tries < 5 then attempt (tries + 1) c ci
+      | Wire.Redirect _ ->
+          res.redirects <- res.redirects + 1;
+          if ci = 0 then record_error res "primary redirected a write"
+          else (
+            match get_primary () with
+            | primary -> attempt tries primary 0
+            | exception e ->
+                record_error res ("redirect retry failed: " ^ Printexc.to_string e))
       | Wire.Err m -> record_error res ("write failed: " ^ m)
       | _ -> record_error res "unexpected write reply"
     in
-    attempt 0
+    attempt 0 client epi
   end
   else begin
     match
-      send res client (Wire.Query read_pool.(Prng.int rng ~bound:(Array.length read_pool)))
+      send res epi client
+        (Wire.Query read_pool.(Prng.int rng ~bound:(Array.length read_pool)))
     with
     | Wire.Rows _ -> ()
     | Wire.Aborted _ -> res.txn_aborts <- res.txn_aborts + 1
@@ -147,23 +166,46 @@ let run_autocommit res client rng ~write_pct =
     | _ -> record_error res "unexpected read reply"
   end
 
-let run_session ~connect ~ops ~seed ~write_pct ~txn_pct ~idx res =
+(* Sessions round-robin over the endpoints. A session assigned to a
+   replica keeps one lazily opened second connection to the primary
+   for its transactions and redirected writes. *)
+let run_session ~connect_ep ~n_eps ~ops ~seed ~write_pct ~txn_pct ~idx res =
+  let epi = idx mod n_eps in
   let rng = Prng.create ~seed:(seed + (7919 * idx)) in
-  match connect () with
+  match connect_ep epi with
   | exception e -> record_error res ("connect failed: " ^ Printexc.to_string e)
   | client -> (
+      let primary = ref (if epi = 0 then Some client else None) in
+      let get_primary () =
+        match !primary with
+        | Some c -> c
+        | None ->
+            let c = connect_ep 0 in
+            primary := Some c;
+            c
+      in
+      let close_second f =
+        match !primary with Some c when c != client -> f c | _ -> ()
+      in
       try
         (match Client.ping client with
         | Wire.Pong -> ()
         | _ -> record_error res "ping: no pong");
         for _ = 1 to ops do
-          if Prng.int rng ~bound:100 < txn_pct then run_txn res client rng
-          else run_autocommit res client rng ~write_pct
+          if Prng.int rng ~bound:100 < txn_pct then (
+            match get_primary () with
+            | c -> run_txn res c rng
+            | exception e ->
+                record_error res
+                  ("connect to primary failed: " ^ Printexc.to_string e))
+          else run_autocommit res ~client ~epi ~get_primary rng ~write_pct
         done;
-        Client.quit client
+        Client.quit client;
+        close_second Client.quit
       with e ->
         record_error res ("session died: " ^ Printexc.to_string e);
-        Client.close client)
+        Client.close client;
+        close_second Client.close)
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -177,7 +219,27 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let run host port unix_path sessions ops seed write_pct txn_pct out =
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let parse_endpoint spec =
+  if starts_with "unix:" spec then `Unix (String.sub spec 5 (String.length spec - 5))
+  else
+    match String.rindex_opt spec ':' with
+    | None -> failwith ("--endpoint expects HOST:PORT or unix:PATH, got " ^ spec)
+    | Some i -> (
+        let host = String.sub spec 0 i in
+        let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match int_of_string_opt port with
+        | Some p -> `Tcp ((if host = "" then "127.0.0.1" else host), p)
+        | None -> failwith ("--endpoint: bad port in " ^ spec))
+
+let run host port unix_path sessions ops seed write_pct txn_pct read_ratio endpoints
+    out =
+  let write_pct =
+    match read_ratio with Some r -> max 0 (100 - r) | None -> write_pct
+  in
   let ops =
     match Sys.getenv_opt "MOOD_LOAD_QUOTA" with
     | Some q -> (
@@ -186,28 +248,50 @@ let run host port unix_path sessions ops seed write_pct txn_pct out =
         | _ -> ops)
     | None -> ops
   in
-  let connect () =
-    match unix_path with
-    | Some path -> Client.connect_unix ~path
-    | None -> Client.connect ~host ~port ()
+  (* Endpoint 0 is the primary: transactions and redirected writes land
+     there; reads stay on each session's assigned endpoint. *)
+  let eps =
+    match endpoints with
+    | [] ->
+        [| (match unix_path with
+           | Some p -> "unix:" ^ p
+           | None -> Printf.sprintf "%s:%d" host port)
+        |]
+    | eps -> Array.of_list eps
   in
-  let results = Array.init sessions (fun _ -> fresh_result ()) in
-  (* A dedicated session brackets the run with STATS snapshots: the
-     delta of the server's statement counter must equal the requests
-     the sessions observed (plus the opening STATS itself) — the
-     cross-layer consistency check of the whole accounting chain. *)
-  let stats_client = try Some (connect ()) with _ -> None in
+  let n_eps = Array.length eps in
+  let connect_spec spec =
+    match parse_endpoint spec with
+    | `Unix path -> Client.connect_unix ~path ()
+    | `Tcp (host, port) -> Client.connect ~host ~port ()
+  in
+  let connect_ep epi = connect_spec eps.(epi) in
+  let results = Array.init sessions (fun _ -> fresh_result ~n_eps ()) in
+  (* Dedicated sessions bracket the run with per-endpoint STATS
+     snapshots. On a single endpoint the delta of the server's
+     statement counter must equal the requests the sessions observed
+     (plus the opening STATS itself) — the cross-layer consistency
+     check of the whole accounting chain. With replicas in play the
+     strict equation no longer holds (the replication stream is not a
+     client), so the snapshots feed the per-endpoint breakdown and the
+     repl.* lag report instead. *)
+  let stats_clients =
+    Array.map (fun spec -> try Some (connect_spec spec) with _ -> None) eps
+  in
   let stat rows name = Option.value ~default:0 (List.assoc_opt name rows) in
-  let s0 = match stats_client with
-    | Some c -> (try Client.stats c with _ -> [])
-    | None -> []
+  let snap () =
+    Array.map
+      (function Some c -> ( try Client.stats c with _ -> []) | None -> [])
+      stats_clients
   in
+  let s0 = snap () in
   let t0 = Unix.gettimeofday () in
   let threads =
     List.init sessions (fun idx ->
         Thread.create
           (fun () ->
-            run_session ~connect ~ops ~seed ~write_pct ~txn_pct ~idx results.(idx))
+            run_session ~connect_ep ~n_eps ~ops ~seed ~write_pct ~txn_pct ~idx
+              results.(idx))
           ())
   in
   List.iter Thread.join threads;
@@ -217,7 +301,12 @@ let run host port unix_path sessions ops seed write_pct txn_pct out =
   let errors = total (fun r -> r.errors) in
   let busy = total (fun r -> r.busy_retries) in
   let aborts = total (fun r -> r.txn_aborts) in
+  let redirects = total (fun r -> r.redirects) in
   let rows = total (fun r -> r.rows_seen) in
+  let ep_requests =
+    Array.init n_eps (fun i ->
+        Array.fold_left (fun acc r -> acc + r.ep_requests.(i)) 0 results)
+  in
   let latencies =
     Array.of_list (Array.fold_left (fun acc r -> r.latencies @ acc) [] results)
   in
@@ -229,41 +318,57 @@ let run host port unix_path sessions ops seed write_pct txn_pct out =
     sessions ops requests elapsed throughput rows;
   Printf.printf "load_gen: latency p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, max %.3f ms\n"
     (ms 50.) (ms 95.) (ms 99.) (ms 100.);
-  Printf.printf "load_gen: %d busy retry(ies), %d transaction abort(s), %d error(s)\n" busy
-    aborts errors;
+  Printf.printf
+    "load_gen: %d busy retry(ies), %d transaction abort(s), %d redirect(s), %d error(s)\n"
+    busy aborts redirects errors;
+  let s1 = snap () in
+  Array.iter (function Some c -> ( try Client.quit c with _ -> ()) | None -> ())
+    stats_clients;
   let stats_errors =
-    match stats_client with
-    | None -> 0
-    | Some c -> (
-        match Client.stats c with
-        | exception e ->
-            Printf.printf "load_gen: STATS failed: %s\n" (Printexc.to_string e);
-            Client.close c;
-            1
-        | s1 ->
-            Client.quit c;
-            List.iter
-              (fun (k, v) -> Printf.printf "load_gen: stat %s %d\n" k v)
-              (List.filter
-                 (fun (k, _) ->
-                   List.exists
-                     (fun p ->
-                       String.length k >= String.length p
-                       && String.sub k 0 (String.length p) = p)
-                     [ "server."; "stmt."; "plan_cache."; "buffer."; "locks.deadlocks" ])
-                 s1);
-            (* The opening STATS is counted by the time the closing one
-               snapshots; the closing one is not yet. *)
-            let expected = requests + if s0 = [] then 0 else 1 in
-            let delta = stat s1 "server.statements" - stat s0 "server.statements" in
-            if s0 <> [] && delta <> expected then begin
-              Printf.printf
-                "load_gen: STATS inconsistent: server saw %d statement(s), clients got \
-                 %d response(s)\n"
-                delta expected;
-              1
-            end
-            else 0)
+    if n_eps = 1 then begin
+      (match s1.(0) with
+      | [] ->
+          if stats_clients.(0) <> None then
+            Printf.printf "load_gen: closing STATS failed\n"
+      | rows ->
+          List.iter
+            (fun (k, v) -> Printf.printf "load_gen: stat %s %d\n" k v)
+            (List.filter
+               (fun (k, _) ->
+                 List.exists
+                   (fun p -> starts_with p k)
+                   [ "server."; "stmt."; "plan_cache."; "buffer."; "locks.deadlocks";
+                     "repl."
+                   ])
+               rows));
+      (* The opening STATS is counted by the time the closing one
+         snapshots; the closing one is not yet. *)
+      let expected = requests + if s0.(0) = [] then 0 else 1 in
+      let delta = stat s1.(0) "server.statements" - stat s0.(0) "server.statements" in
+      if s0.(0) <> [] && s1.(0) <> [] && delta <> expected then begin
+        Printf.printf
+          "load_gen: STATS inconsistent: server saw %d statement(s), clients got \
+           %d response(s)\n"
+          delta expected;
+        1
+      end
+      else if s1.(0) = [] && stats_clients.(0) <> None then 1
+      else 0
+    end
+    else begin
+      Array.iteri
+        (fun i spec ->
+          Printf.printf
+            "load_gen: endpoint %d %s: %d request(s), statements +%d, \
+             repl.applied_lsn %d (+%d), repl.lag_records %d\n"
+            i spec ep_requests.(i)
+            (stat s1.(i) "server.statements" - stat s0.(i) "server.statements")
+            (stat s1.(i) "repl.applied_lsn")
+            (stat s1.(i) "repl.applied_lsn" - stat s0.(i) "repl.applied_lsn")
+            (stat s1.(i) "repl.lag_records"))
+        eps;
+      0
+    end
   in
   let errors = errors + stats_errors in
   Array.iteri
@@ -271,6 +376,20 @@ let run host port unix_path sessions ops seed write_pct txn_pct out =
       List.iter (fun m -> Printf.printf "load_gen: session %d error: %s\n" i m)
         r.error_samples)
     results;
+  let endpoint_json =
+    String.concat ",\n    "
+      (List.mapi
+         (fun i spec ->
+           Printf.sprintf
+             {|{ "endpoint": "%s", "requests": %d, "throughput_req_s": %.1f, "statements_delta": %d, "repl_applied_lsn": %d, "repl_applied_lsn_delta": %d, "repl_lag_records": %d }|}
+             (json_escape spec) ep_requests.(i)
+             (if elapsed > 0. then float_of_int ep_requests.(i) /. elapsed else 0.)
+             (stat s1.(i) "server.statements" - stat s0.(i) "server.statements")
+             (stat s1.(i) "repl.applied_lsn")
+             (stat s1.(i) "repl.applied_lsn" - stat s0.(i) "repl.applied_lsn")
+             (stat s1.(i) "repl.lag_records"))
+         (Array.to_list eps))
+  in
   let oc = open_out out in
   Printf.fprintf oc
     {|{
@@ -287,16 +406,21 @@ let run host port unix_path sessions ops seed write_pct txn_pct out =
   "latency_ms": { "p50": %.3f, "p95": %.3f, "p99": %.3f, "max": %.3f },
   "busy_retries": %d,
   "txn_aborts": %d,
+  "redirects": %d,
   "errors": %d,
-  "error_samples": [%s]
+  "error_samples": [%s],
+  "endpoints": [
+    %s
+  ]
 }
 |}
     sessions ops seed write_pct txn_pct requests rows elapsed throughput (ms 50.)
-    (ms 95.) (ms 99.) (ms 100.) busy aborts errors
+    (ms 95.) (ms 99.) (ms 100.) busy aborts redirects errors
     (String.concat ", "
        (List.concat_map
           (fun r -> List.map (fun m -> "\"" ^ json_escape m ^ "\"") r.error_samples)
-          (Array.to_list results)));
+          (Array.to_list results)))
+    endpoint_json;
   close_out oc;
   Printf.printf "load_gen: wrote %s\n%!" out;
   if errors > 0 then 1 else 0
@@ -343,6 +467,27 @@ let txn_pct =
     & info [ "txn-pct" ] ~docv:"PCT"
         ~doc:"Percentage of ops run as multi-statement transactions.")
 
+let read_ratio =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "read-ratio" ] ~docv:"PCT"
+        ~doc:
+          "Percentage of autocommit ops that read (overrides --write-pct with \
+           100 - $(docv)). Convenient for read-scaling runs against replicas.")
+
+let endpoints =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "endpoint" ] ~docv:"ENDPOINT"
+        ~doc:
+          "Repeatable. Target endpoints (HOST:PORT or unix:PATH); sessions \
+           round-robin over them. The $(b,first) endpoint is the primary: \
+           transactions and redirected writes go there, reads stay on the \
+           session's assigned endpoint. Without this flag, --host/--port/--unix \
+           name the single endpoint.")
+
 let out =
   Arg.(
     value
@@ -355,6 +500,6 @@ let cmd =
        ~doc:"Concurrent load generator for mood_server (VOODB-style multi-user bench)")
     Term.(
       const run $ host $ port $ unix_path $ sessions $ ops $ seed $ write_pct $ txn_pct
-      $ out)
+      $ read_ratio $ endpoints $ out)
 
 let () = exit (Cmd.eval' cmd)

@@ -96,6 +96,8 @@ let render_response = function
   | Wire.Busy m -> "BUSY: " ^ m
   | Wire.Pong -> "pong"
   | Wire.Bye -> "bye"
+  | Wire.Redirect addr -> "NOT_PRIMARY: this node is read-only; retry at " ^ addr
+  | Wire.Blob b -> Printf.sprintf "(%d-byte replication blob)" (String.length b)
 
 let parse_endpoint spec =
   if starts_with "unix:" spec then
@@ -113,7 +115,7 @@ let parse_endpoint spec =
 let remote_repl spec =
   let client =
     match parse_endpoint spec with
-    | `Unix path -> Client.connect_unix ~path
+    | `Unix path -> Client.connect_unix ~path ()
     | `Tcp (host, port) -> Client.connect ~host ~port ()
   in
   Printf.printf "Connected to mood_server at %s. .quit exits, .ping checks.\n" spec;
@@ -264,7 +266,7 @@ let top_cmd =
     match
       let client =
         match parse_endpoint spec with
-        | `Unix path -> Client.connect_unix ~path
+        | `Unix path -> Client.connect_unix ~path ()
         | `Tcp (host, port) -> Client.connect ~host ~port ()
       in
       let rows = Client.stats client in
@@ -284,10 +286,121 @@ let top_cmd =
           metrics snapshot")
     Term.(const run $ endpoint)
 
+let connect_to spec =
+  match parse_endpoint spec with
+  | `Unix path -> Client.connect_unix ~path ()
+  | `Tcp (host, port) -> Client.connect ~host ~port ()
+
+let promote_cmd =
+  let endpoint =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ENDPOINT"
+          ~doc:"The replica to promote: HOST:PORT or unix:PATH.")
+  in
+  let fence_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fence" ] ~docv:"OLD_ENDPOINT"
+          ~doc:
+            "After promotion, fence the old primary at $(docv): it adopts the \
+             new term, refuses further writes and redirects clients to the \
+             promoted node. Best effort — the usual reason to promote is that \
+             the old primary is already dead.")
+  in
+  let run spec fence =
+    match
+      let client = connect_to spec in
+      let reply = Client.promote client in
+      Client.quit client;
+      reply
+    with
+    | exception e ->
+        prerr_endline ("error: " ^ Printexc.to_string e);
+        exit 1
+    | Wire.Ok_result m -> (
+        print_endline ("ok: " ^ m);
+        (* "... at term N" — the term rides on the reply so the fence
+           can stamp it without a second round trip. *)
+        let new_term =
+          match String.rindex_opt m ' ' with
+          | Some i ->
+              int_of_string_opt (String.sub m (i + 1) (String.length m - i - 1))
+          | None -> None
+        in
+        match (fence, new_term) with
+        | None, _ -> ()
+        | Some _, None ->
+            prerr_endline "warning: could not parse the new term; not fencing"
+        | Some old_spec, Some term -> (
+            match
+              let old_client = connect_to old_spec in
+              let reply = Client.fence old_client ~term ~primary:spec in
+              Client.quit old_client;
+              reply
+            with
+            | Wire.Ok_result m -> print_endline ("fence ok: " ^ m)
+            | reply -> print_endline ("fence: " ^ render_response reply)
+            | exception e ->
+                Printf.eprintf
+                  "warning: old primary unreachable for fencing (%s) — it will \
+                   fence itself if it ever answers a pull at the new term\n"
+                  (Printexc.to_string e)))
+    | reply ->
+        prerr_endline ("error: " ^ render_response reply);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:
+         "Promote a streaming replica to primary: drain the apply queue, drop \
+          in-flight loser transactions, bump the replication term and flip the \
+          node writable. With --fence, also stamp the old primary with the new \
+          term so stray writes there are refused.")
+    Term.(const run $ endpoint $ fence_opt)
+
+let sql_cmd =
+  let endpoint =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ENDPOINT" ~doc:"A running mood_server: HOST:PORT or unix:PATH.")
+  in
+  let statement =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"STATEMENT" ~doc:"One MOODSQL statement.")
+  in
+  let run spec stmt =
+    match
+      let client = connect_to spec in
+      let reply = Client.exec client stmt in
+      Client.quit client;
+      reply
+    with
+    | exception e ->
+        prerr_endline ("error: " ^ Printexc.to_string e);
+        exit 1
+    | (Wire.Err _ | Wire.Aborted _ | Wire.Busy _ | Wire.Redirect _) as reply ->
+        prerr_endline (render_response reply);
+        exit 1
+    | reply -> print_endline (render_response reply)
+  in
+  Cmd.v
+    (Cmd.info "sql"
+       ~doc:
+         "Execute one MOODSQL statement against a running mood_server and \
+          print the reply; errors, redirects and aborts exit non-zero.")
+    Term.(const run $ endpoint $ statement)
+
 let main =
   Cmd.group
     (Cmd.info "mood" ~version:"1.0.0"
        ~doc:"METU Object-Oriented DBMS (MOOD) — an OCaml reproduction")
-    [ repl_cmd; plans_cmd; script_cmd; dump_cmd; analyze_cmd; top_cmd ]
+    [ repl_cmd; plans_cmd; script_cmd; dump_cmd; analyze_cmd; top_cmd;
+      promote_cmd; sql_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -11,9 +11,12 @@
 module Db = Mood.Db
 module Server = Mood_server.Server
 
-let run host port unix_path workers queue demo scale port_file lock_timeout =
+let run host port unix_path workers queue demo scale port_file lock_timeout
+    replica_of poll_interval =
   let db = Db.create () in
-  if demo then begin
+  (* A replica's schema and contents come from the primary's bootstrap
+     snapshot, never from local preloading. *)
+  if demo && replica_of = None then begin
     Mood_workload.Vehicle.define_schema (Db.catalog db);
     ignore (Mood_workload.Vehicle.generate ~catalog:(Db.catalog db) ~scale ());
     Db.analyze db
@@ -25,14 +28,19 @@ let run host port unix_path workers queue demo scale port_file lock_timeout =
       unix_path;
       workers;
       queue_capacity = queue;
-      lock_timeout
+      lock_timeout;
+      replica_of;
+      poll_interval
     }
   in
   let server = Server.start ~config db in
   let bound = Option.value ~default:0 (Server.port server) in
-  Printf.printf "mood_server listening on %s:%d%s%s\n%!" host bound
+  Printf.printf "mood_server listening on %s:%d%s%s%s\n%!" host bound
     (match unix_path with Some p -> " and unix:" ^ p | None -> "")
-    (if demo then " (vehicle demo loaded)" else "");
+    (if demo && replica_of = None then " (vehicle demo loaded)" else "")
+    (match replica_of with
+    | Some primary -> " (replica of " ^ primary ^ ")"
+    | None -> "");
   (match port_file with
   | Some path ->
       (* Write then rename so readers never observe a partial file. *)
@@ -112,12 +120,30 @@ let lock_timeout =
     & info [ "lock-timeout" ] ~docv:"SECONDS"
         ~doc:"Abort a transaction whose statement waited this long for locks.")
 
+let replica_of =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replica-of" ] ~docv:"ENDPOINT"
+        ~doc:
+          "Start as a streaming read replica of the primary at $(docv) \
+           (HOST:PORT or unix:PATH): bootstrap from a snapshot, apply WAL \
+           batches continuously, answer writes with a retryable redirect. \
+           Promote with the wire PROMOTE opcode (mood_cli promote).")
+
+let poll_interval =
+  Arg.(
+    value
+    & opt float 0.05
+    & info [ "poll-interval" ] ~docv:"SECONDS"
+        ~doc:"Replica pull tick when the stream is idle (with --replica-of).")
+
 let cmd =
   Cmd.v
     (Cmd.info "mood_server" ~version:"1.0.0"
        ~doc:"MOOD network server: concurrent MOODSQL over the wire protocol")
     Term.(
       const run $ host $ port $ unix_path $ workers $ queue $ demo $ scale $ port_file
-      $ lock_timeout)
+      $ lock_timeout $ replica_of $ poll_interval)
 
 let () = exit (Cmd.eval' cmd)

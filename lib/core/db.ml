@@ -55,6 +55,10 @@ type slow_query = {
   sq_rows : int;
 }
 
+(* Replication role. [Replica]/[Fenced] carry the address writes
+   should be retried at: the current primary as this node knows it. *)
+type role = Primary | Replica of string | Fenced of string
+
 type t = {
   st : Store.t;
   cat : Catalog.t;
@@ -71,6 +75,8 @@ type t = {
   mutable purged_epoch : int;    (* plan epoch the cache was last purged at *)
   mutable slow_threshold : float option;
   mutable slow_log : slow_query list; (* newest first, bounded *)
+  mutable role : role;
+  mutable term : int;  (* replication term — grows monotonically *)
 }
 
 type exec_result =
@@ -118,7 +124,9 @@ let create ?disk_params ?buffer_capacity ?(plan_cache_capacity = 64)
       counters;
       purged_epoch = 0;
       slow_threshold = None;
-      slow_log = []
+      slow_log = [];
+      role = Primary;
+      term = 1
     }
   in
   (* Absorb the components' own accounting as pull sources: their hot
@@ -160,12 +168,26 @@ let create ?disk_params ?buffer_capacity ?(plan_cache_capacity = 64)
   Metrics.register_source metrics Io_cost.est_charges;
   Metrics.register_source metrics (fun () ->
       [ ("slow_log.entries", List.length t.slow_log) ]);
+  Metrics.register_source metrics (fun () ->
+      [ ("repl.term", t.term);
+        ("repl.is_primary", match t.role with Primary -> 1 | _ -> 0)
+      ]);
   t
 
 let store t = t.st
 let catalog t = t.cat
 let functions t = t.funcs
 let stats t = t.statistics
+
+let role t = t.role
+let set_role t role = t.role <- role
+let term t = t.term
+
+let set_term t term =
+  if term < t.term then
+    invalid_arg
+      (Printf.sprintf "Db.set_term: term must not regress (%d < %d)" term t.term);
+  t.term <- term
 
 (* The plan-cache key epoch: any schema/index change (catalog epoch) or
    statistics change (local counter) makes every cached plan stale.
@@ -566,7 +588,15 @@ let exec ?(cache = true) t source =
                         let entry = build_plan t q in
                         Plan_cache.add t.plans ~epoch:(plan_epoch t) key entry;
                         run_cached t entry
-                    | _ -> with_statement_locks t stmt (fun () -> exec_statement t stmt)
+                    | Ast.Select _ ->
+                        with_statement_locks t stmt (fun () -> exec_statement t stmt)
+                    | _ ->
+                        (match t.role with
+                        | Primary -> ()
+                        | Replica addr | Fenced addr ->
+                            failwith
+                              ("NOT_PRIMARY: this node is read-only; retry at " ^ addr));
+                        with_statement_locks t stmt (fun () -> exec_statement t stmt)
                   end))
   in
   (match result with Ok r -> count_ok t r | Error _ -> Metrics.incr t.counters.c_error);
@@ -708,6 +738,25 @@ let restore t snap =
   Catalog.rebuild_indexes t.cat;
   analyze t
 
+(* The concrete faces of [snapshot]/[install_contents], for the
+   replication layer: extent contents and the class <-> heap-file-id
+   correspondence both sides need to translate shipped records (file
+   ids are allocation-order-dependent and differ across nodes). *)
+let class_contents t = snapshot t
+
+let install_class_contents t contents = install_contents t contents
+
+let class_files t =
+  List.filter_map
+    (fun (info : Catalog.class_info) ->
+      if info.Catalog.kind = Catalog.Class then
+        Some
+          ( info.Catalog.class_name,
+            Mood_storage.Heap_file.file_id
+              (Mood_storage.Extent.heap (Catalog.own_extent t.cat info.Catalog.class_name)) )
+      else None)
+    (Catalog.all_classes t.cat)
+
 (* Undo helpers: find the extent owning a heap file and compensate
    using the slot recorded inside the logged payload. *)
 let extent_of_file t file =
@@ -775,6 +824,20 @@ type txn_error =
   | Txn_busy
   | Txn_deadlock
   | Txn_fail of string
+  | Txn_redirect of string
+
+(* Read-only routing: on a replica (or a fenced ex-primary) everything
+   that mutates data or schema is refused with the primary's address —
+   a retryable routing outcome, not a statement error. [NAME ... AS
+   SELECT] reads to find its object but writes the name table, so it
+   counts as a write. *)
+let check_writable t stmt =
+  match stmt with
+  | Ast.Select _ -> Ok ()
+  | _ -> (
+      match t.role with
+      | Primary -> Ok ()
+      | Replica addr | Fenced addr -> Error (Txn_redirect addr))
 
 let begin_session_txn t =
   let txn = t.next_txn in
@@ -869,7 +932,11 @@ let exec_in_txn ?(cache = true) t s source =
               match protect (fun () -> Parser.parse source) with
               | Error m -> Error (Txn_fail m)
               | Ok stmt -> (
-                  match acquire_txn_locks t s stmt with
+                  match
+                    match check_writable t stmt with
+                    | Error _ as e -> e
+                    | Ok () -> acquire_txn_locks t s stmt
+                  with
                   | Error _ as e -> e
                   | Ok () -> (
                       match stmt with
@@ -888,6 +955,9 @@ let exec_in_txn ?(cache = true) t s source =
     | Error (Txn_busy | Txn_deadlock) ->
         (* Lock conflicts are retried, not failed: they show up as
            [locks.waits]/[locks.deadlocks], not statement errors. *)
+        ()
+    | Error (Txn_redirect _) ->
+        (* Routing, not failure: the client retries at the primary. *)
         ());
     result
   end
@@ -940,20 +1010,24 @@ let checkpoint t =
   Wal.flush wal;
   t.last_checkpoint <- Some (snap, lsn)
 
+(* Redo is an upsert: applying a record whose effect is already present
+   leaves the image unchanged, so replaying the same batch twice (a
+   replica re-pulling after a crash, a recovery rerun) converges instead
+   of raising or dropping operations. The old insert-only form swallowed
+   the [Invalid_argument] from a live slot, which silently skipped the
+   re-application *and* could leave a stale value in place. *)
+let redo_upsert t ~file payload =
+  match extent_of_file t file with
+  | None -> ()
+  | Some ext ->
+      let slot, value = slot_of_payload payload in
+      if not (Mood_storage.Extent.update ext ~slot value) then
+        Mood_storage.Extent.insert_at ext ~slot value
+
 let redo_record t record =
   match record with
-  | Wal.Insert { file; payload; _ } -> (
-      match extent_of_file t file with
-      | None -> ()
-      | Some ext ->
-          let slot, value = slot_of_payload payload in
-          (try Mood_storage.Extent.insert_at ext ~slot value with Invalid_argument _ -> ()))
-  | Wal.Update { file; after; _ } -> (
-      match extent_of_file t file with
-      | None -> ()
-      | Some ext ->
-          let slot, value = slot_of_payload after in
-          ignore (Mood_storage.Extent.update ext ~slot value))
+  | Wal.Insert { file; payload; _ } -> redo_upsert t ~file payload
+  | Wal.Update { file; after; _ } -> redo_upsert t ~file after
   | Wal.Delete { file; before; _ } -> (
       match extent_of_file t file with
       | None -> ()
@@ -962,12 +1036,16 @@ let redo_record t record =
           ignore (Mood_storage.Extent.delete ext slot))
   | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _ -> ()
 
+let apply_redo = redo_record
+
 let undo_record t record =
   match record with
   | Wal.Insert { file; payload; _ } -> undo_insert t ~file ~payload
   | Wal.Delete { file; before; _ } -> undo_delete t ~file ~before
   | Wal.Update { file; before; _ } -> undo_update t ~file ~before
   | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _ -> ()
+
+let apply_undo = undo_record
 
 let recover t =
   let wal = Store.wal t.st in

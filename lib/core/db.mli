@@ -173,6 +173,11 @@ type txn_error =
   | Txn_fail of string
       (** Parse/type/schema/run-time error. The transaction stays
           open; earlier effects are kept until commit/abort. *)
+  | Txn_redirect of string
+      (** NOT_PRIMARY: this node is a read-only replica (or a fenced
+          ex-primary); nothing was executed or locked. The payload is
+          the address writes should be retried at. The transaction
+          stays open — its reads remain valid. *)
 
 val begin_session_txn : t -> session_txn
 (** Appends [Begin] to the WAL, registers the transaction as active
@@ -220,6 +225,63 @@ val recover : t -> Mood_storage.Wal.analysis
     non-transactional modifications are durable only up to the last
     checkpoint. Returns the log analysis (committed set, losers,
     checkpoint position) for inspection. *)
+
+(** {2 Replication surface}
+
+    The hooks [Mood_repl] builds on: a role/term pair for routing and
+    fencing, idempotent single-record redo/undo for the replica-side
+    applier, and the concrete extent contents + class-to-heap-file
+    correspondence a bootstrap snapshot ships. All calls follow the
+    same thread-safety rule as everything else on [t]: one caller at a
+    time (the server's kernel lock). *)
+
+type role =
+  | Primary             (** accepts writes *)
+  | Replica of string   (** read-only; writes redirect to the address *)
+  | Fenced of string    (** an ex-primary superseded by a higher term;
+                            writes redirect to the new primary *)
+
+val role : t -> role
+(** [Primary] on a fresh database. *)
+
+val set_role : t -> role -> unit
+
+val term : t -> int
+(** The replication term this node believes in — monotonically
+    increasing, bumped by promotion, stamped on every shipped batch.
+    1 on a fresh database. *)
+
+val set_term : t -> int -> unit
+(** Raises [Invalid_argument] when the term would regress. *)
+
+val apply_redo : t -> Mood_storage.Wal.record -> unit
+(** Applies one data record's after-effect to the stored image, as an
+    {e upsert}: a live target slot is overwritten, a missing one is
+    (re)created, a missing delete target is ignored. Applying the same
+    record twice therefore converges — the property the replication
+    stream and repeated crash-recovery both rely on. Begin/Commit/
+    Abort/Checkpoint records are no-ops. Does not touch indexes; call
+    [Mood_catalog.Catalog.rebuild_indexes] after a batch. *)
+
+val apply_undo : t -> Mood_storage.Wal.record -> unit
+(** Compensates one data record (insert removed, delete re-inserted,
+    update restored to its before-image) — the building block for
+    scrubbing an in-flight transaction's effects out of a shipped
+    snapshot image. *)
+
+val class_contents : t -> (string * (int * Mood_model.Value.t) list) list
+(** Every extent's live objects as [(class, (slot, value) list)] —
+    the concrete form of {!snapshot}, for serialization. *)
+
+val install_class_contents : t -> (string * (int * Mood_model.Value.t) list) list -> unit
+(** Slot-faithfully replaces every extent's contents; classes absent
+    from the list are emptied. Indexes are {e not} rebuilt here. *)
+
+val class_files : t -> (string * int) list
+(** [(class, heap file id)] for every extent-owning class. File ids
+    are allocation-order-dependent and differ across nodes — the
+    replication layer uses this map on both ends to translate shipped
+    records. *)
 
 val insert : t -> ?txn:int -> class_name:string -> Mood_model.Value.t -> Mood_model.Oid.t
 (** Programmatic object creation (type-checked against the catalog). *)

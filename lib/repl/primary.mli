@@ -1,0 +1,22 @@
+(** Primary-side payload builders for WAL shipping.
+
+    Both functions read kernel state ([Db.t], the WAL) and must be
+    called under the caller's kernel serialization (the server's
+    kernel lock); they do no I/O of their own — the server wraps the
+    encoded blob in a wire [Blob] response. *)
+
+val snapshot : Mood.Db.t -> Codec.snapshot
+(** Takes a sharp checkpoint ({!Mood.Db.checkpoint}: buffer force, log
+    force, [Checkpoint] record) and packages the resulting base image
+    for replica bootstrap: schema script, file-id translation map,
+    slot-faithful extent contents, plus the active-transaction table
+    and those transactions' data records so far — the replica scrubs
+    their image-resident effects and re-buffers them, so a later
+    Commit/Abort in the stream resolves them exactly once. *)
+
+val batch : ?max_records:int -> Mood.Db.t -> after:int -> Codec.batch
+(** Durable records with LSN strictly greater than [after], oldest
+    first, capped at [max_records] (default 1024) per reply so a far
+    -behind replica catches up in bounded frames — it simply pulls
+    again from its new cursor. Stamped with the primary's current term
+    and durable horizon. *)

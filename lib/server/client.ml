@@ -2,28 +2,47 @@ exception Disconnected
 
 type t = { cfd : Unix.file_descr; mutable open_ : bool }
 
-let connect ?(host = "127.0.0.1") ~port () =
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
-   with e ->
-     Unix.close fd;
-     raise e);
-  { cfd = fd; open_ = true }
-
-let connect_unix ~path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX path)
-   with e ->
-     Unix.close fd;
-     raise e);
-  { cfd = fd; open_ = true }
-
 let request t req =
   if not t.open_ then raise Disconnected;
   Wire.write_request t.cfd req;
   match Wire.read_response t.cfd with
   | Some resp -> resp
   | None -> raise Disconnected
+
+(* Version negotiation before anything else: a mismatch is a clean
+   [Failure] naming both versions, not a frame-decode blowup three
+   statements in. Old servers never see it when [handshake:false]. *)
+let hello t =
+  match request t (Wire.Hello Wire.protocol_version) with
+  | Wire.Ok_result _ -> ()
+  | Wire.Err m ->
+      (try Unix.close t.cfd with Unix.Unix_error _ -> ());
+      t.open_ <- false;
+      failwith m
+  | _ ->
+      (try Unix.close t.cfd with Unix.Unix_error _ -> ());
+      t.open_ <- false;
+      raise (Wire.Protocol_error "HELLO: unexpected response")
+
+let connect ?(host = "127.0.0.1") ?(handshake = true) ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     Unix.close fd;
+     raise e);
+  let t = { cfd = fd; open_ = true } in
+  if handshake then hello t;
+  t
+
+let connect_unix ?(handshake = true) ~path () =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     Unix.close fd;
+     raise e);
+  let t = { cfd = fd; open_ = true } in
+  if handshake then hello t;
+  t
 
 let exec t sql = request t (Wire.Exec sql)
 let query t sql = request t (Wire.Query sql)
@@ -49,6 +68,18 @@ let stats t =
   | Wire.Rows rows -> List.filter_map parse_stat rows
   | Wire.Err m -> failwith ("STATS: " ^ m)
   | _ -> raise (Wire.Protocol_error "STATS: unexpected response")
+
+(* Replication calls: thin wrappers that surface the raw response —
+   the applier (not the client library) decides how to react to
+   Err/Redirect, since fencing and stale terms are protocol-level
+   outcomes, not transport failures. *)
+let repl_snapshot t = request t Wire.Repl_snapshot
+
+let repl_pull t ~term ~after = request t (Wire.Repl_pull { term; after })
+
+let promote t = request t Wire.Promote
+
+let fence t ~term ~primary = request t (Wire.Fence { term; primary })
 
 let close t =
   if t.open_ then begin

@@ -9,10 +9,13 @@ exception Disconnected
 
 type t
 
-val connect : ?host:string -> port:int -> unit -> t
-(** TCP; [host] defaults to 127.0.0.1. *)
+val connect : ?host:string -> ?handshake:bool -> port:int -> unit -> t
+(** TCP; [host] defaults to 127.0.0.1. [handshake] (default true)
+    sends [Hello] with {!Wire.protocol_version} before returning and
+    raises [Failure] with the server's explanation on a version
+    mismatch — pass [~handshake:false] to speak to v0 servers. *)
 
-val connect_unix : path:string -> t
+val connect_unix : ?handshake:bool -> path:string -> unit -> t
 
 val request : t -> Wire.request -> Wire.response
 (** Sends one frame, reads one frame. *)
@@ -29,6 +32,15 @@ val stats : t -> (string * int) list
     counters ([server.*]), this session's counters ([session.*]) and
     the kernel metrics snapshot. Raises [Failure] on an [Err] reply and
     {!Wire.Protocol_error} on any other response shape. *)
+
+(** {2 Replication calls} — thin wrappers returning the raw response;
+    the caller interprets [Err]/[Redirect] (stale term, fenced node)
+    as protocol outcomes, not transport failures. *)
+
+val repl_snapshot : t -> Wire.response
+val repl_pull : t -> term:int -> after:int -> Wire.response
+val promote : t -> Wire.response
+val fence : t -> term:int -> primary:string -> Wire.response
 
 val quit : t -> unit
 (** Sends [QUIT], waits for [BYE] (best effort) and closes. *)

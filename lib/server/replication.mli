@@ -1,0 +1,45 @@
+(** The replica-side streaming thread: connects to the primary, pulls
+    the bootstrap snapshot and then WAL record batches on a poll tick,
+    and feeds them to {!Mood_repl.Apply} under the server's kernel
+    lock.
+
+    Lifecycle: {!start} spawns the thread; {!stop} joins it;
+    {!promote} stops the stream, makes one best-effort final drain
+    (the primary is usually already dead when promotion is wanted) and
+    flips the node writable. Connection failures never kill the
+    thread — it backs off one poll tick and reconnects; a primary
+    whose log regressed (restart) triggers a fresh bootstrap.
+
+    Lag metrics are registered on the database's metrics registry as
+    pull sources ([repl.applied_lsn], [repl.lag_records],
+    [repl.pending_txns], [repl.pulls], [repl.reconnects],
+    [repl.bootstraps], plus the [repl.lag_s] histogram), so the STATS
+    opcode and [mood top] report them with no extra plumbing. *)
+
+type t
+
+val start :
+  db:Mood.Db.t ->
+  kernel:Mutex.t ->
+  primary:string ->
+  poll_interval:float ->
+  unit ->
+  t
+(** Marks the database as [Replica primary] and spawns the poll
+    thread. [primary] is HOST:PORT or unix:PATH; [kernel] must be the
+    same mutex the server serializes statement execution with. *)
+
+val stop : t -> unit
+(** Signals the thread and joins it. Idempotent. *)
+
+val promote : t -> (int, string) result
+(** Stop, final best-effort drain, then {!Mood_repl.Apply.promote}
+    under the kernel lock: pending (uncommitted) buffers are the
+    losers and are dropped, the term is bumped, the role flips to
+    [Primary]. Returns the new term. [Error] only when the node never
+    completed a bootstrap — there is no consistent image to promote. *)
+
+val apply : t -> Mood_repl.Apply.t
+(** The underlying applier, for tests and diagnostics. *)
+
+val last_error : t -> string option

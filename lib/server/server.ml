@@ -14,6 +14,8 @@ type config = {
   max_frame : int;
   lock_timeout : float;
   lock_retry_delay : float;
+  replica_of : string option;
+  poll_interval : float;
 }
 
 let default_config =
@@ -24,7 +26,9 @@ let default_config =
     queue_capacity = 64;
     max_frame = Wire.default_max_frame;
     lock_timeout = 10.0;
-    lock_retry_delay = 0.002
+    lock_retry_delay = 0.002;
+    replica_of = None;
+    poll_interval = 0.05
   }
 
 (* A unit of admitted work: the handler blocks on [jdone] while a
@@ -58,6 +62,7 @@ type stats = {
   timeout_aborts : int;
   disconnect_aborts : int;
   protocol_errors : int;
+  redirects : int;
 }
 
 type t = {
@@ -86,6 +91,8 @@ type t = {
   c_timeout : int Atomic.t;
   c_disconnect : int Atomic.t;
   c_protocol : int Atomic.t;
+  c_redirects : int Atomic.t;
+  mutable repl : Replication.t option;  (* streaming thread on a replica *)
 }
 
 let with_kernel t f =
@@ -179,6 +186,21 @@ let attempt_statement t job ~query sql =
          client decides whether to COMMIT or ABORT); an autocommit
          statement has nothing to keep and rolls back. *)
       `Reply (if autocommit then rollback (Wire.Err m) else Wire.Err m)
+  | Error (Db.Txn_redirect addr) ->
+      (* NOT_PRIMARY: nothing executed, nothing locked. An open session
+         transaction keeps its reads; an autocommit statement has an
+         empty transaction to fold up. *)
+      Atomic.incr t.c_redirects;
+      `Reply
+        (if autocommit then rollback (Wire.Redirect addr) else Wire.Redirect addr)
+
+let hello_response v =
+  if v = Wire.protocol_version then
+    Wire.Ok_result (Printf.sprintf "mood protocol %d" Wire.protocol_version)
+  else
+    Wire.Err
+      (Printf.sprintf "protocol version mismatch: client speaks %d, server speaks %d"
+         v Wire.protocol_version)
 
 let execute t job =
   let session = job.jsession in
@@ -219,6 +241,7 @@ let execute t job =
           Printf.sprintf "server.timeout_aborts %d" (Atomic.get t.c_timeout);
           Printf.sprintf "server.disconnect_aborts %d" (Atomic.get t.c_disconnect);
           Printf.sprintf "server.protocol_errors %d" (Atomic.get t.c_protocol);
+          Printf.sprintf "server.redirects %d" (Atomic.get t.c_redirects);
           Printf.sprintf "session.statements %d" session.Session.statements;
           Printf.sprintf "session.rows_returned %d" session.Session.rows_returned;
           Printf.sprintf "session.aborts %d" session.Session.aborts
@@ -228,6 +251,80 @@ let execute t job =
       `Reply (Wire.Rows lines)
   | Wire.Ping -> `Reply Wire.Pong (* normally answered inline by the handler *)
   | Wire.Quit -> `Reply Wire.Bye
+  | Wire.Hello v -> `Reply (hello_response v) (* normally answered inline *)
+  | Wire.Repl_snapshot ->
+      `Reply
+        (with_kernel t (fun () ->
+             match Db.role t.database with
+             | Db.Primary ->
+                 Wire.Blob
+                   (Mood_repl.Codec.encode_snapshot (Mood_repl.Primary.snapshot t.database))
+             | Db.Replica addr | Db.Fenced addr -> Wire.Redirect addr))
+  | Wire.Repl_pull { term; after } ->
+      `Reply
+        (with_kernel t (fun () ->
+             let our = Db.term t.database in
+             if term > our then begin
+               (* The puller has seen a higher term: a promotion we
+                  missed. Adopt the term; if we thought we were the
+                  primary, we are not any more — fence. *)
+               Db.set_term t.database term;
+               (match Db.role t.database with
+               | Db.Primary -> Db.set_role t.database (Db.Fenced "")
+               | _ -> ());
+               Wire.Err
+                 (Printf.sprintf "fenced: term %d supersedes this node's %d" term our)
+             end
+             else
+               match Db.role t.database with
+               | Db.Primary ->
+                   if term < our then
+                     Wire.Err
+                       (Printf.sprintf "stale replication term %d (current is %d)" term
+                          our)
+                   else
+                     Wire.Blob
+                       (Mood_repl.Codec.encode_batch
+                          (Mood_repl.Primary.batch t.database ~after))
+               | Db.Replica addr -> Wire.Redirect addr
+               | Db.Fenced addr ->
+                   Wire.Err
+                     (Printf.sprintf "fenced at term %d%s" our
+                        (if addr = "" then "" else "; new primary is " ^ addr))))
+  | Wire.Promote -> (
+      match t.repl with
+      | None -> (
+          match Db.role t.database with
+          | Db.Primary ->
+              `Reply
+                (Wire.Ok_result
+                   (Printf.sprintf "already primary at term %d" (Db.term t.database)))
+          | _ -> `Reply (Wire.Err "no replication stream to promote"))
+      | Some repl -> (
+          (* [Replication.promote] joins the applier thread first —
+             this worker holds no kernel lock here, so the applier's
+             in-flight batch can finish and the join cannot deadlock. *)
+          match Replication.promote repl with
+          | Ok new_term ->
+              t.repl <- None;
+              `Reply
+                (Wire.Ok_result (Printf.sprintf "promoted: now primary at term %d" new_term))
+          | Error m -> `Reply (Wire.Err ("promotion failed: " ^ m))))
+  | Wire.Fence { term; primary } ->
+      `Reply
+        (with_kernel t (fun () ->
+             let our = Db.term t.database in
+             if term <= our then
+               Wire.Err
+                 (Printf.sprintf "fence refused: term %d is not newer than %d" term our)
+             else begin
+               Db.set_term t.database term;
+               (match Db.role t.database with
+               | Db.Primary | Db.Fenced _ -> Db.set_role t.database (Db.Fenced primary)
+               | Db.Replica _ -> Db.set_role t.database (Db.Replica primary));
+               Wire.Ok_result
+                 (Printf.sprintf "fenced at term %d; primary is %s" term primary)
+             end))
 
 let respond job resp =
   Mutex.lock job.jm;
@@ -324,6 +421,11 @@ let handle_connection t (session : Session.t) =
            Wire.write_response fd Wire.Pong;
            loop ()
        | Some Wire.Quit -> Wire.write_response fd Wire.Bye
+       | Some (Wire.Hello v) ->
+           (* Handshake skips the queue; a mismatch ends the session. *)
+           let resp = hello_response v in
+           Wire.write_response fd resp;
+           (match resp with Wire.Ok_result _ -> loop () | _ -> ())
        | Some request ->
            let job =
              { jsession = session;
@@ -473,12 +575,21 @@ let start ?(config = default_config) database =
       c_deadlock = Atomic.make 0;
       c_timeout = Atomic.make 0;
       c_disconnect = Atomic.make 0;
-      c_protocol = Atomic.make 0
+      c_protocol = Atomic.make 0;
+      c_redirects = Atomic.make 0;
+      repl = None
     }
   in
   t.workers <- List.init (max 1 config.workers) (fun _ -> Thread.create worker_loop t);
   t.parker <- Some (Thread.create parker_loop t);
   t.acceptors <- List.map (fun lfd -> Thread.create (acceptor_loop t) lfd) t.listeners;
+  (match config.replica_of with
+  | Some primary ->
+      t.repl <-
+        Some
+          (Replication.start ~db:database ~kernel:t.kernel ~primary
+             ~poll_interval:config.poll_interval ())
+  | None -> ());
   t
 
 let port t = t.tcp_port
@@ -493,13 +604,21 @@ let stats t =
     deadlock_aborts = Atomic.get t.c_deadlock;
     timeout_aborts = Atomic.get t.c_timeout;
     disconnect_aborts = Atomic.get t.c_disconnect;
-    protocol_errors = Atomic.get t.c_protocol
+    protocol_errors = Atomic.get t.c_protocol;
+    redirects = Atomic.get t.c_redirects
   }
 
 let shutdown t =
   if not t.stopped then begin
     t.stopped <- true;
     t.stopping <- true;
+    (* Retire the replication stream first: its thread takes the kernel
+       lock like any worker, and it must not race the teardown below. *)
+    (match t.repl with
+    | Some repl ->
+        Replication.stop repl;
+        t.repl <- None
+    | None -> ());
     (* Wake acceptors, then retire the listeners. *)
     (try ignore (Unix.write t.stop_w (Bytes.of_string "x") 0 1) with Unix.Unix_error _ -> ());
     List.iter (fun th -> Thread.join th) t.acceptors;

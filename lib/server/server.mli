@@ -43,11 +43,21 @@ type config = {
                                  before its transaction is aborted *)
   lock_retry_delay : float;  (** parked lock-waiters are re-admitted on
                                  this tick *)
+  replica_of : string option;
+      (** [Some endpoint] starts the node as a streaming read replica
+          of the primary at [endpoint] (HOST:PORT or unix:PATH): a
+          {!Replication} thread bootstraps from a snapshot and pulls
+          WAL batches continuously; write statements are answered with
+          a retryable [Redirect] carrying this endpoint *)
+  poll_interval : float;     (** replica pull tick in seconds when the
+                                 stream is idle (catch-up bursts pull
+                                 back-to-back) *)
 }
 
 val default_config : config
 (** 127.0.0.1, ephemeral TCP port, no unix socket, 4 workers, queue of
-    64, 4 MiB frames, 10 s lock timeout, 2 ms retry backoff. *)
+    64, 4 MiB frames, 10 s lock timeout, 2 ms retry backoff, no
+    replication, 50 ms poll tick. *)
 
 type t
 
@@ -60,6 +70,8 @@ type stats = {
   timeout_aborts : int;      (** transactions aborted on lock timeout *)
   disconnect_aborts : int;   (** orphaned transactions aborted at teardown *)
   protocol_errors : int;     (** sessions torn down on framing violations *)
+  redirects : int;           (** write statements refused with [Redirect]
+                                 because this node is a replica *)
 }
 
 val start : ?config:config -> Mood.Db.t -> t

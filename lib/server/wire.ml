@@ -1,5 +1,7 @@
 exception Protocol_error of string
 
+let protocol_version = 1
+
 type request =
   | Query of string
   | Exec of string
@@ -9,6 +11,11 @@ type request =
   | Stats
   | Ping
   | Quit
+  | Hello of int
+  | Repl_snapshot
+  | Repl_pull of { term : int; after : int }
+  | Promote
+  | Fence of { term : int; primary : string }
 
 type response =
   | Ok_result of string
@@ -18,6 +25,8 @@ type response =
   | Busy of string
   | Pong
   | Bye
+  | Redirect of string
+  | Blob of string
 
 let default_max_frame = 4 * 1024 * 1024
 
@@ -59,7 +68,20 @@ let encode_request req =
       | Abort -> Buffer.add_char buf 'A'
       | Stats -> Buffer.add_char buf 'S'
       | Ping -> Buffer.add_char buf 'P'
-      | Quit -> Buffer.add_char buf 'X')
+      | Quit -> Buffer.add_char buf 'X'
+      | Hello version ->
+          Buffer.add_char buf 'H';
+          Buffer.add_char buf (Char.chr (version land 0xff))
+      | Repl_snapshot -> Buffer.add_char buf 'N'
+      | Repl_pull { term; after } ->
+          Buffer.add_char buf 'L';
+          put_u32 buf term;
+          put_u32 buf after
+      | Promote -> Buffer.add_char buf 'M'
+      | Fence { term; primary } ->
+          Buffer.add_char buf 'F';
+          put_u32 buf term;
+          Buffer.add_string buf primary)
 
 let encode_response resp =
   frame (fun buf ->
@@ -85,7 +107,13 @@ let encode_response resp =
           Buffer.add_char buf 'Y';
           Buffer.add_string buf m
       | Pong -> Buffer.add_char buf 'P'
-      | Bye -> Buffer.add_char buf 'X')
+      | Bye -> Buffer.add_char buf 'X'
+      | Redirect addr ->
+          Buffer.add_char buf 'D';
+          Buffer.add_string buf addr
+      | Blob data ->
+          Buffer.add_char buf 'T';
+          Buffer.add_string buf data)
 
 (* ------------------------------------------------------------------ *)
 (* Payload decoding                                                    *)
@@ -119,6 +147,27 @@ let decode_request payload =
   | 'X' ->
       expect_empty "QUIT" payload;
       Quit
+  | 'H' ->
+      if Bytes.length payload <> 2 then
+        raise (Protocol_error "HELLO: expected a one-byte version");
+      Hello (Char.code (Bytes.get payload 1))
+  | 'N' ->
+      expect_empty "REPL_SNAPSHOT" payload;
+      Repl_snapshot
+  | 'L' ->
+      if Bytes.length payload <> 9 then
+        raise (Protocol_error "REPL_PULL: expected term and cursor");
+      Repl_pull { term = get_u32 payload 1; after = get_u32 payload 5 }
+  | 'M' ->
+      expect_empty "PROMOTE" payload;
+      Promote
+  | 'F' ->
+      if Bytes.length payload < 5 then
+        raise (Protocol_error "FENCE: truncated term");
+      Fence
+        { term = get_u32 payload 1;
+          primary = Bytes.sub_string payload 5 (Bytes.length payload - 5)
+        }
   | c -> raise (Protocol_error (Printf.sprintf "unknown request opcode %C" c))
 
 let decode_response payload =
@@ -151,6 +200,8 @@ let decode_response payload =
       done;
       if !off <> n then raise (Protocol_error "ROWS: trailing bytes");
       Rows (List.rev !rows)
+  | 'D' -> Redirect (body payload)
+  | 'T' -> Blob (body payload)
   | c -> raise (Protocol_error (Printf.sprintf "unknown response opcode %C" c))
 
 (* ------------------------------------------------------------------ *)

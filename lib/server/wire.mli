@@ -8,11 +8,14 @@
     paper's uniform client/server architecture).
 
     Requests:  [Q]uery sql | [E]xec sql | [B]egin | [C]ommit |
-               [A]bort | [S]tats | [P]ing | [X] quit
+               [A]bort | [S]tats | [P]ing | [X] quit |
+               [H]ello version | replicatio[N] snapshot |
+               [L] repl pull (term, cursor) | pro[M]ote |
+               [F]ence (term, new primary)
     Responses: o[K] message | [R]ows | [E]rror message |
                [A]borted message (transaction rolled back, retryable) |
                bus[Y] message (admission control, retry later) |
-               [P]ong | bye [X]
+               [P]ong | bye [X] | re[D]irect address | blob [T]
 
     Decoding is defensive: a frame longer than [max_frame] raises
     {!Protocol_error} {e before} any payload is read (no allocation
@@ -24,6 +27,12 @@ exception Protocol_error of string
 (** Framing violation: oversized or torn frame, unknown opcode, or a
     connection reset mid-frame. The stream is unsynchronized after
     this — the peer must be disconnected. *)
+
+val protocol_version : int
+(** The version this build speaks, sent as the one-byte [Hello] body.
+    A server answers a matching [Hello] with [Ok_result] and a
+    mismatched one with a clean [Err] naming both versions — never a
+    frame-decode failure. *)
 
 type request =
   | Query of string  (** expects a [Rows] reply *)
@@ -37,6 +46,23 @@ type request =
           session's counters, and the kernel's full metrics snapshot *)
   | Ping
   | Quit
+  | Hello of int
+      (** protocol version negotiation; optional for plain SQL clients
+          (v0 peers never send it), mandatory before repl opcodes *)
+  | Repl_snapshot
+      (** bootstrap: asks the primary for a sharp-checkpoint snapshot
+          blob ([Blob] reply, {!Mood_repl.Codec} payload) *)
+  | Repl_pull of { term : int; after : int }
+      (** streaming cursor: asks for durable WAL records with LSN
+          greater than [after]; [term] is the puller's view of the
+          replication term — a primary seeing a higher term fences
+          itself, a puller with a stale term gets [Err] *)
+  | Promote
+      (** replica only: drain the apply queue, discard losers, flip
+          writable with a bumped term *)
+  | Fence of { term : int; primary : string }
+      (** tells an old primary it has been superseded by [term]; its
+          subsequent writes answer [Redirect primary] *)
 
 type response =
   | Ok_result of string    (** statement succeeded; human-readable summary *)
@@ -50,6 +76,12 @@ type response =
                                before execution — retry after backoff *)
   | Pong
   | Bye
+  | Redirect of string     (** NOT_PRIMARY: this node cannot take writes;
+                               retry the statement at the given
+                               HOST:PORT (retryable, nothing executed) *)
+  | Blob of string         (** opaque replication payload (snapshot or
+                               record batch), decoded by
+                               {!Mood_repl.Codec} *)
 
 val default_max_frame : int
 (** 4 MiB. *)

@@ -282,6 +282,281 @@ let run ?(skip_undo = false) ?(quota = 200) ~base_seed () =
   in
   go empty 0
 
+(* ------------------------------------------------------------------ *)
+(* Replication cycles                                                  *)
+
+type repl_outcome = {
+  ro_seed : int;
+  ro_violations : string list;
+  ro_steps : int;
+  ro_commits : int;
+  ro_aborts : int;
+  ro_deadlocks : int;
+  ro_snapshots : int;
+  ro_crashes : int;
+  ro_redeliveries : int;
+  ro_bootstraps : int;
+  ro_applied_commits : int;
+}
+
+type repl_report = {
+  rr_cycles : int;
+  rr_steps : int;
+  rr_commits : int;
+  rr_aborts : int;
+  rr_deadlocks : int;
+  rr_snapshots : int;
+  rr_crashes : int;
+  rr_redeliveries : int;
+  rr_bootstraps : int;
+  rr_applied_commits : int;
+  rr_violations : (int * string) list;
+}
+
+let take_first n xs =
+  let rec go acc n = function
+    | x :: rest when n > 0 -> go (x :: acc) (n - 1) rest
+    | _ -> List.rev acc
+  in
+  go [] n xs
+
+let run_repl_cycle ?(skip_scrub = false) ~seed () =
+  let root = Prng.create ~seed in
+  let p_work = Prng.split root in
+  let p_repl = Prng.split root in
+  let store = Store.create ~buffer_capacity:16 () in
+  let wal = Store.wal store in
+  let locks = Store.locks store in
+  let table = Table.create ~store () in
+  let model = Model.create () in
+  let open_txns : txn_state list ref = ref [] in
+  let replica = ref (Replica.create ()) in
+  let need_bootstrap = ref true in
+  let steps = ref 0 in
+  let commits = ref 0 in
+  let aborts = ref 0 in
+  let deadlocks = ref 0 in
+  let snapshots = ref 0 in
+  let crashes = ref 0 in
+  let redeliveries = ref 0 in
+  let release st =
+    Lock.release_all locks st.tx_lock;
+    open_txns := List.filter (fun s -> s != st) !open_txns
+  in
+  let do_abort st =
+    Table.abort table ~txn:st.tx_id;
+    Model.abort model st.tx_id;
+    incr aborts;
+    release st
+  in
+  (* The primary never crashes in this cycle (run_cycle owns that
+     failure mode) — a commit is durable the moment it flushes. *)
+  let do_commit st =
+    ignore (Wal.append wal (Wal.Commit st.tx_id));
+    Wal.flush wal;
+    Model.commit model st.tx_id;
+    incr commits;
+    release st
+  in
+  let begin_txn () =
+    let tx_lock = Lock.begin_txn locks in
+    let st = { tx_id = Lock.txn_id tx_lock; tx_lock; tx_keys = []; tx_ops = 0 } in
+    ignore (Wal.append wal (Wal.Begin st.tx_id));
+    Model.begin_txn model st.tx_id;
+    open_txns := st :: !open_txns;
+    st
+  in
+  let random_data () =
+    Printf.sprintf "v%d-%s"
+      (Prng.int p_work ~bound:1000)
+      (String.make (1 + Prng.int p_work ~bound:24) 'x')
+  in
+  let do_op st =
+    let key = Prng.int p_work ~bound:key_space in
+    let granted =
+      if List.mem key st.tx_keys then `Ok
+      else
+        match
+          Lock.acquire locks st.tx_lock ("key:" ^ string_of_int key)
+            Lock.Exclusive
+        with
+        | Lock.Granted ->
+            st.tx_keys <- key :: st.tx_keys;
+            `Ok
+        | Lock.Would_block -> `Busy
+        | Lock.Deadlock -> `Deadlock
+    in
+    match granted with
+    | `Busy -> ()
+    | `Deadlock ->
+        incr deadlocks;
+        do_abort st
+    | `Ok -> (
+        st.tx_ops <- st.tx_ops + 1;
+        match Model.find_live model key with
+        | None ->
+            let data = random_data () in
+            Table.insert table ~txn:st.tx_id ~key ~data;
+            Model.insert model ~txn:st.tx_id ~key ~data
+        | Some _ ->
+            if Prng.bool p_work then begin
+              let data = random_data () in
+              Table.update table ~txn:st.tx_id ~key ~data;
+              Model.update model ~txn:st.tx_id ~key ~data
+            end
+            else begin
+              Table.delete table ~txn:st.tx_id ~key;
+              Model.delete model ~txn:st.tx_id ~key
+            end)
+  in
+  (* Sharp snapshot for bootstrap: the base image, the durable horizon
+     it reflects, and every in-flight transaction's records so the
+     replica can scrub their image-resident effects and re-buffer
+     them. *)
+  let take_snapshot () =
+    let active = List.map (fun st -> st.tx_id) !open_txns in
+    let cp = Table.checkpoint table ~active in
+    incr snapshots;
+    { Replica.s_lsn = cp.Table.cp_lsn;
+      s_image = cp.Table.cp_image;
+      s_active =
+        List.map
+          (fun st -> (st.tx_id, List.rev (Wal.undo_records wal st.tx_id)))
+          !open_txns
+    }
+  in
+  let replica_pull () =
+    if !need_bootstrap then begin
+      Replica.install_snapshot ~skip_scrub !replica (take_snapshot ());
+      need_bootstrap := false
+    end
+    else begin
+      let available = Wal.persisted_after wal (Replica.applied_lsn !replica) in
+      let batch = take_first (1 + Prng.int p_repl ~bound:12) available in
+      if batch <> [] then
+        if Prng.int p_repl ~bound:8 = 0 then begin
+          (* Replica crash mid-batch: a prefix lands, then the whole
+             in-memory state (image, cursor, pending buffers) is gone.
+             Recovery is a fresh bootstrap. *)
+          Replica.apply !replica
+            (take_first (Prng.int p_repl ~bound:(List.length batch)) batch);
+          replica := Replica.create ();
+          need_bootstrap := true;
+          incr crashes
+        end
+        else begin
+          let before = Replica.applied_lsn !replica in
+          Replica.apply !replica batch;
+          if Prng.int p_repl ~bound:6 = 0 then begin
+            (* Torn-connection retry: the same batch arrives twice.
+               The cursor skip plus upsert redo must make the second
+               delivery a no-op. *)
+            Replica.set_cursor !replica before;
+            Replica.apply !replica batch;
+            incr redeliveries
+          end
+        end
+    end
+  in
+  let step_budget = 60 + Prng.int p_work ~bound:140 in
+  while !steps < step_budget do
+    incr steps;
+    if
+      !open_txns = []
+      || List.length !open_txns < max_open_txns && Prng.int p_work ~bound:4 = 0
+    then ignore (begin_txn ());
+    let st =
+      List.nth !open_txns (Prng.int p_work ~bound:(List.length !open_txns))
+    in
+    if st.tx_ops > 0 && Prng.int p_work ~bound:6 = 0 then
+      if Prng.int p_work ~bound:4 = 0 then do_abort st else do_commit st
+    else do_op st;
+    if Prng.int p_repl ~bound:3 = 0 then replica_pull ()
+  done;
+  (* Catch-up, then promotion: bootstrap if the last crash left the
+     replica empty, drain the durable log completely, drop the loser
+     buffers. The image must now be exactly the committed state. *)
+  if !need_bootstrap then replica_pull ();
+  Replica.apply !replica (Wal.persisted_after wal (Replica.applied_lsn !replica));
+  Replica.promote !replica;
+  let violations =
+    let got = Replica.contents !replica in
+    let want = Model.committed_bindings model in
+    let mismatch =
+      if got = want then []
+      else begin
+        let render bindings =
+          String.concat "; "
+            (List.map (fun (k, d) -> Printf.sprintf "%d=%S" k d) bindings)
+        in
+        [ Printf.sprintf
+            "promoted replica diverges from oracle: replica {%s} oracle {%s}"
+            (render got) (render want) ]
+      end
+    in
+    mismatch @ Replica.check !replica
+  in
+  {
+    ro_seed = seed;
+    ro_violations = violations;
+    ro_steps = !steps;
+    ro_commits = !commits;
+    ro_aborts = !aborts;
+    ro_deadlocks = !deadlocks;
+    ro_snapshots = !snapshots;
+    ro_crashes = !crashes;
+    ro_redeliveries = !redeliveries;
+    ro_bootstraps = Replica.bootstraps !replica + !crashes;
+    ro_applied_commits = Replica.commits_applied !replica;
+  }
+
+let run_repl ?(skip_scrub = false) ?(quota = 200) ~base_seed () =
+  let empty =
+    {
+      rr_cycles = 0;
+      rr_steps = 0;
+      rr_commits = 0;
+      rr_aborts = 0;
+      rr_deadlocks = 0;
+      rr_snapshots = 0;
+      rr_crashes = 0;
+      rr_redeliveries = 0;
+      rr_bootstraps = 0;
+      rr_applied_commits = 0;
+      rr_violations = [];
+    }
+  in
+  let add r o =
+    {
+      rr_cycles = r.rr_cycles + 1;
+      rr_steps = r.rr_steps + o.ro_steps;
+      rr_commits = r.rr_commits + o.ro_commits;
+      rr_aborts = r.rr_aborts + o.ro_aborts;
+      rr_deadlocks = r.rr_deadlocks + o.ro_deadlocks;
+      rr_snapshots = r.rr_snapshots + o.ro_snapshots;
+      rr_crashes = r.rr_crashes + o.ro_crashes;
+      rr_redeliveries = r.rr_redeliveries + o.ro_redeliveries;
+      rr_bootstraps = r.rr_bootstraps + o.ro_bootstraps;
+      rr_applied_commits = r.rr_applied_commits + o.ro_applied_commits;
+      rr_violations =
+        r.rr_violations @ List.map (fun v -> (o.ro_seed, v)) o.ro_violations;
+    }
+  in
+  let rec go r i =
+    if i >= quota then r
+    else go (add r (run_repl_cycle ~skip_scrub ~seed:(base_seed + i) ())) (i + 1)
+  in
+  go empty 0
+
+let pp_repl_report ppf r =
+  Format.fprintf ppf
+    "%d cycles: %d steps, %d commits (%d applied on the replica), %d aborts,@ \
+     %d deadlock victims, %d snapshots, %d replica crashes, %d redeliveries,@ \
+     %d bootstraps, %d violations"
+    r.rr_cycles r.rr_steps r.rr_commits r.rr_applied_commits r.rr_aborts
+    r.rr_deadlocks r.rr_snapshots r.rr_crashes r.rr_redeliveries r.rr_bootstraps
+    (List.length r.rr_violations)
+
 let pp_report ppf r =
   Format.fprintf ppf
     "%d cycles: %d steps, %d commits, %d aborts, %d deadlock victims,@ %d \

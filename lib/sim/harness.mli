@@ -50,3 +50,56 @@ val run : ?skip_undo:bool -> ?quota:int -> base_seed:int -> unit -> report
     [base_seed+1], … *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {2 Replication cycles}
+
+    One cycle: a seeded primary workload (same transaction machinery
+    as {!run_cycle}, but the primary never crashes — commits are
+    durable at flush) runs alongside a {!Replica} that bootstraps from
+    a sharp snapshot and pulls durable WAL batches. The fault stream
+    crashes the replica mid-batch (losing its whole in-memory state —
+    recovery is a fresh bootstrap from a {e new} snapshot, possibly
+    with different transactions in flight) and re-delivers whole
+    batches (torn-connection retry). At the end the replica catches
+    up, promotes (drops loser buffers) and must hold exactly the
+    oracle's committed bindings with both indexes structurally valid. *)
+
+type repl_outcome = {
+  ro_seed : int;
+  ro_violations : string list;  (** [] = replica converged *)
+  ro_steps : int;
+  ro_commits : int;             (** primary commits *)
+  ro_aborts : int;
+  ro_deadlocks : int;
+  ro_snapshots : int;           (** bootstrap snapshots taken *)
+  ro_crashes : int;             (** replica crashes mid-batch *)
+  ro_redeliveries : int;        (** whole batches applied twice *)
+  ro_bootstraps : int;
+  ro_applied_commits : int;     (** transactions the replica applied *)
+}
+
+type repl_report = {
+  rr_cycles : int;
+  rr_steps : int;
+  rr_commits : int;
+  rr_aborts : int;
+  rr_deadlocks : int;
+  rr_snapshots : int;
+  rr_crashes : int;
+  rr_redeliveries : int;
+  rr_bootstraps : int;
+  rr_applied_commits : int;
+  rr_violations : (int * string) list;  (** seed, message *)
+}
+
+val run_repl_cycle : ?skip_scrub:bool -> seed:int -> unit -> repl_outcome
+(** One primary-writes / replica-applies / crash / catch-up / promote
+    cycle. [skip_scrub] deliberately skips backing in-flight
+    transactions' effects out of the bootstrap image — the negative
+    mode proving the harness detects the leak. *)
+
+val run_repl : ?skip_scrub:bool -> ?quota:int -> base_seed:int -> unit -> repl_report
+(** [quota] cycles (default 200) under seeds [base_seed],
+    [base_seed+1], … *)
+
+val pp_repl_report : Format.formatter -> repl_report -> unit

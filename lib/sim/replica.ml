@@ -1,0 +1,81 @@
+module Store = Mood_storage.Store
+module Wal = Mood_storage.Wal
+
+type snapshot = {
+  s_lsn : Wal.lsn;
+  s_image : (int * Mood_model.Value.t) list;
+  s_active : (int * Wal.record list) list;
+}
+
+type t = {
+  table : Table.t;
+  pending : (int, Wal.record list) Hashtbl.t;  (* txn -> records, newest first *)
+  mutable cursor : Wal.lsn;
+  mutable commits : int;
+  mutable bootstraps : int;
+}
+
+let create () =
+  let store = Store.create ~buffer_capacity:64 () in
+  { table = Table.create ~store ();
+    pending = Hashtbl.create 16;
+    cursor = 0;
+    commits = 0;
+    bootstraps = 0
+  }
+
+let install_snapshot ?(skip_scrub = false) t snap =
+  (* A re-bootstrap replaces the whole image. *)
+  Table.clear t.table;
+  List.iter (fun (slot, v) -> Table.install_at t.table ~slot v) snap.s_image;
+  Hashtbl.reset t.pending;
+  (* The sharp image carries in-flight transactions' effects: back
+     them out (newest first) and re-buffer the records so the stream's
+     Commit or Abort resolves each exactly once. [skip_scrub] is the
+     deliberately broken variant for negative testing. *)
+  List.iter
+    (fun (txn, records) ->
+      if not skip_scrub then
+        List.iter (fun r -> Table.apply_undo t.table r) (List.rev records);
+      Hashtbl.replace t.pending txn (List.rev records))
+    snap.s_active;
+  t.cursor <- snap.s_lsn;
+  t.bootstraps <- t.bootstraps + 1
+
+let buffer t txn r =
+  let sofar = Option.value ~default:[] (Hashtbl.find_opt t.pending txn) in
+  Hashtbl.replace t.pending txn (r :: sofar)
+
+let process t = function
+  | Wal.Begin txn ->
+      if not (Hashtbl.mem t.pending txn) then Hashtbl.replace t.pending txn []
+  | Wal.Commit txn -> (
+      match Hashtbl.find_opt t.pending txn with
+      | None -> ()
+      | Some records ->
+          List.iter (fun r -> Table.apply_redo t.table r) (List.rev records);
+          t.commits <- t.commits + 1;
+          Hashtbl.remove t.pending txn)
+  | Wal.Abort txn -> Hashtbl.remove t.pending txn
+  | (Wal.Insert { txn; _ } | Wal.Delete { txn; _ } | Wal.Update { txn; _ }) as r ->
+      buffer t txn r
+  | Wal.Checkpoint _ -> ()
+
+let apply t records =
+  List.iter
+    (fun (lsn, r) ->
+      if lsn > t.cursor then begin
+        process t r;
+        t.cursor <- lsn
+      end)
+    records
+
+let promote t = Hashtbl.reset t.pending
+
+let applied_lsn t = t.cursor
+let set_cursor t lsn = t.cursor <- lsn
+let commits_applied t = t.commits
+let bootstraps t = t.bootstraps
+let pending_txns t = Hashtbl.length t.pending
+let contents t = Table.contents t.table
+let check t = Table.check t.table

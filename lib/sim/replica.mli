@@ -1,0 +1,63 @@
+(** Replica-side state machine for the replication sim: the sim-level
+    twin of [Mood_repl.Apply], driven directly with WAL records
+    instead of wire payloads.
+
+    Apply-on-commit over a {!Table}: shipped data records buffer per
+    transaction and hit the image only when that transaction's
+    [Commit] arrives; an [Abort] discards the buffer. The LSN cursor
+    skips re-delivered records, and {!Table.apply_redo}'s upsert
+    semantics make even a forced double-apply (cursor wound back by
+    the harness) converge. Promotion's undo-of-losers is therefore a
+    buffer drop. *)
+
+type snapshot = {
+  s_lsn : Mood_storage.Wal.lsn;
+      (** durable horizon the image reflects; streaming resumes after it *)
+  s_image : (int * Mood_model.Value.t) list;
+      (** sharp extent image, slot-faithful — includes in-flight
+          transactions' effects *)
+  s_active : (int * Mood_storage.Wal.record list) list;
+      (** transactions in flight at the snapshot, with their logged
+          records in log order (oldest first) — the replica scrubs
+          their effects and re-buffers them *)
+}
+
+type t
+
+val create : unit -> t
+(** A fresh replica over its own store; empty until a bootstrap. *)
+
+val install_snapshot : ?skip_scrub:bool -> t -> snapshot -> unit
+(** Bootstrap (or re-bootstrap after a replica crash): wipes the
+    image, installs the snapshot, backs the in-flight transactions'
+    effects out (newest first) and re-buffers them as pending, then
+    positions the cursor at [s_lsn]. [skip_scrub] deliberately skips
+    the back-out — the negative mode proving the harness catches a
+    replica that lets uncommitted effects leak into its image. *)
+
+val apply : t -> (Mood_storage.Wal.lsn * Mood_storage.Wal.record) list -> unit
+(** Feeds one shipped batch, oldest first. Records at or below the
+    cursor are skipped; fresh ones advance it one by one. *)
+
+val promote : t -> unit
+(** Drops the pending (never-applied) loser buffers. After a full
+    drain the image then holds exactly the committed state. *)
+
+val applied_lsn : t -> Mood_storage.Wal.lsn
+
+val set_cursor : t -> Mood_storage.Wal.lsn -> unit
+(** Harness hook: winds the cursor back to force a re-delivery and
+    prove double-apply converges. *)
+
+val commits_applied : t -> int
+
+val bootstraps : t -> int
+
+val pending_txns : t -> int
+
+val contents : t -> (int * string) list
+(** Ascending by key — compared against the primary's oracle. *)
+
+val check : t -> string list
+(** {!Table.check} on the replica's table: B+-tree and hash-index
+    structural invariants plus cross-structure consistency. *)

@@ -102,10 +102,92 @@ let abort t ~txn =
     (Wal.undo_records wal txn);
   ignore (Wal.append wal (Wal.Abort txn))
 
+(* Idempotent upsert redo, indexes kept in step: what a replica runs
+   when a shipped transaction commits. A re-delivered record finds the
+   slot already holding the after-image and is a no-op, so applying a
+   batch twice converges — the property the replication stream leans
+   on after a torn connection. Unlogged: the replica's durability is
+   the primary's log, not its own. *)
+let apply_redo t record =
+  let upsert payload =
+    let key, v = decode_payload payload in
+    match Extent.get t.ext key with
+    | Some old ->
+        if old <> v then begin
+          ignore (Extent.update t.ext ~slot:key v);
+          ignore
+            (Hash_index.delete t.data_index
+               ~key:(Value.Str (data_of_value old))
+               (fun p -> p = key));
+          Hash_index.insert t.data_index ~key:(Value.Str (data_of_value v)) key
+        end
+    | None ->
+        Extent.insert_at t.ext ~slot:key v;
+        index_insert t ~key ~data:(data_of_value v)
+  in
+  match record with
+  | Wal.Insert { payload; _ } -> upsert payload
+  | Wal.Update { after; _ } -> upsert after
+  | Wal.Delete { before; _ } -> (
+      let key, _ = decode_payload before in
+      match Extent.get t.ext key with
+      | Some old ->
+          ignore (Extent.delete t.ext key);
+          index_delete t ~key ~data:(data_of_value old)
+      | None -> () (* already gone: re-delivered delete *))
+  | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _ -> ()
+
+(* Inverse of [apply_redo], same idempotence: scrubs one record's
+   effect out of the image (a bootstrap snapshot carries in-flight
+   transactions' effects; the replica backs them out and re-buffers
+   them until the stream resolves each with Commit or Abort). *)
+let apply_undo t record =
+  let restore payload =
+    let key, v = decode_payload payload in
+    match Extent.get t.ext key with
+    | Some old ->
+        if old <> v then begin
+          ignore (Extent.update t.ext ~slot:key v);
+          ignore
+            (Hash_index.delete t.data_index
+               ~key:(Value.Str (data_of_value old))
+               (fun p -> p = key));
+          Hash_index.insert t.data_index ~key:(Value.Str (data_of_value v)) key
+        end
+    | None ->
+        Extent.insert_at t.ext ~slot:key v;
+        index_insert t ~key ~data:(data_of_value v)
+  in
+  match record with
+  | Wal.Insert { payload; _ } -> (
+      let key, _ = decode_payload payload in
+      match Extent.get t.ext key with
+      | Some old ->
+          ignore (Extent.delete t.ext key);
+          index_delete t ~key ~data:(data_of_value old)
+      | None -> ())
+  | Wal.Delete { before; _ } -> restore before
+  | Wal.Update { before; _ } -> restore before
+  | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _ -> ()
+
 let contents t =
   List.sort compare
     (Extent.fold t.ext ~init:[] ~f:(fun acc slot v ->
          (slot, data_of_value v) :: acc))
+
+(* Raw image operations for replica bootstrap: slot-faithful install
+   of a snapshot binding, and a full wipe before a re-bootstrap. Both
+   keep the indexes in step and log nothing. *)
+let install_at t ~slot v =
+  Extent.insert_at t.ext ~slot v;
+  index_insert t ~key:slot ~data:(data_of_value v)
+
+let clear t =
+  List.iter
+    (fun (key, data) ->
+      ignore (Extent.delete t.ext key);
+      index_delete t ~key ~data)
+    (contents t)
 
 let checkpoint t ~active =
   Buffer_pool.flush (Store.buffer t.store);

@@ -31,9 +31,30 @@ val abort : t -> txn:int -> unit
     May crash partway when a disk fault is armed — recovery must then
     treat the transaction as a loser. *)
 
+val apply_redo : t -> Mood_storage.Wal.record -> unit
+(** Idempotent upsert redo of one shipped record, indexes kept in
+    step, nothing logged: the replica-side application primitive.
+    Re-applying a record (or a whole batch) converges to the same
+    image — [Insert]/[Update] upsert the after-image, [Delete] of an
+    absent key is a no-op. Control records are ignored. *)
+
+val apply_undo : t -> Mood_storage.Wal.record -> unit
+(** Inverse of {!apply_redo}, equally idempotent: restores the
+    before-image ([Insert] removes, [Delete]/[Update] put the
+    before-image back). Used to scrub in-flight transactions' effects
+    out of a bootstrap snapshot image. *)
+
 val contents : t -> (int * string) list
 (** Ascending by key — compared verbatim against
     {!Model.committed_bindings} after recovery. *)
+
+val install_at : t -> slot:int -> Mood_model.Value.t -> unit
+(** Slot-faithful unlogged install of one snapshot binding, indexes
+    kept in step — replica bootstrap. *)
+
+val clear : t -> unit
+(** Unlogged wipe of every live binding (and its index entries) —
+    run before re-installing a fresh bootstrap image. *)
 
 val checkpoint : t -> active:int list -> checkpoint
 (** Sharp checkpoint: forces the buffer pool and the log (both can

@@ -68,6 +68,21 @@ let records_with_lsn t = List.rev t.log
 let persisted_records t =
   List.rev (drop (t.count - t.persisted) t.log)
 
+let persisted_last_lsn t =
+  match drop (t.count - t.persisted) t.log with
+  | [] -> 0
+  | (lsn, _) :: _ -> lsn
+
+let persisted_after t after =
+  let rec take acc = function
+    | (lsn, r) :: rest when lsn > after -> take ((lsn, r) :: acc) rest
+    | _ -> acc
+  in
+  (* The log is newest-first; everything above [after] in the durable
+     prefix is a contiguous head of that prefix, so one scan suffices
+     and the accumulator comes out oldest-first. *)
+  take [] (drop (t.count - t.persisted) t.log)
+
 let length t = t.count
 
 let last_lsn t = t.next_lsn - 1
@@ -195,3 +210,121 @@ let undo_records t txn =
     (fun (_, record) ->
       if is_data record && txn_of record = Some txn then Some record else None)
     t.log
+
+(* ------------------------------------------------------------------ *)
+(* Binary record codec — the unit of replication shipping. Tag byte
+   per variant, u32 big-endian integers, u32-length-prefixed strings:
+   the same framing discipline as the wire protocol, kept here so the
+   log layer owns its own serialization. *)
+
+let buf_u32 b n =
+  Buffer.add_char b (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (n land 0xff))
+
+let buf_str b s =
+  buf_u32 b (String.length s);
+  Buffer.add_string b s
+
+let encode_record record =
+  let b = Buffer.create 48 in
+  (match record with
+  | Begin id ->
+      Buffer.add_char b 'B';
+      buf_u32 b id
+  | Commit id ->
+      Buffer.add_char b 'C';
+      buf_u32 b id
+  | Abort id ->
+      Buffer.add_char b 'A';
+      buf_u32 b id
+  | Insert { txn; file; rid; payload } ->
+      Buffer.add_char b 'I';
+      buf_u32 b txn;
+      buf_u32 b file;
+      buf_u32 b rid.Heap_file.page;
+      buf_u32 b rid.Heap_file.slot;
+      buf_str b payload
+  | Delete { txn; file; rid; before } ->
+      Buffer.add_char b 'D';
+      buf_u32 b txn;
+      buf_u32 b file;
+      buf_u32 b rid.Heap_file.page;
+      buf_u32 b rid.Heap_file.slot;
+      buf_str b before
+  | Update { txn; file; rid; before; after } ->
+      Buffer.add_char b 'U';
+      buf_u32 b txn;
+      buf_u32 b file;
+      buf_u32 b rid.Heap_file.page;
+      buf_u32 b rid.Heap_file.slot;
+      buf_str b before;
+      buf_str b after
+  | Checkpoint active ->
+      Buffer.add_char b 'K';
+      buf_u32 b (List.length active);
+      List.iter (fun id -> buf_u32 b id) active);
+  Buffer.contents b
+
+exception Codec_error of string
+
+(* A cursor-threaded reader: every read checks bounds so a truncated
+   or corrupted blob fails with [Codec_error], never [Invalid_argument]
+   from a raw [String.get]. *)
+let read_u32 s pos =
+  if !pos + 4 > String.length s then raise (Codec_error "truncated u32");
+  let at i = Char.code s.[!pos + i] in
+  let v = (at 0 lsl 24) lor (at 1 lsl 16) lor (at 2 lsl 8) lor at 3 in
+  pos := !pos + 4;
+  v
+
+let read_str s pos =
+  let len = read_u32 s pos in
+  if !pos + len > String.length s then raise (Codec_error "truncated string");
+  let v = String.sub s !pos len in
+  pos := !pos + len;
+  v
+
+let decode_record_at s pos =
+  if !pos >= String.length s then raise (Codec_error "empty record");
+  let tag = s.[!pos] in
+  incr pos;
+  match tag with
+  | 'B' -> Begin (read_u32 s pos)
+  | 'C' -> Commit (read_u32 s pos)
+  | 'A' -> Abort (read_u32 s pos)
+  | 'I' ->
+      let txn = read_u32 s pos in
+      let file = read_u32 s pos in
+      let page = read_u32 s pos in
+      let slot = read_u32 s pos in
+      let payload = read_str s pos in
+      Insert { txn; file; rid = { Heap_file.page; slot }; payload }
+  | 'D' ->
+      let txn = read_u32 s pos in
+      let file = read_u32 s pos in
+      let page = read_u32 s pos in
+      let slot = read_u32 s pos in
+      let before = read_str s pos in
+      Delete { txn; file; rid = { Heap_file.page; slot }; before }
+  | 'U' ->
+      let txn = read_u32 s pos in
+      let file = read_u32 s pos in
+      let page = read_u32 s pos in
+      let slot = read_u32 s pos in
+      let before = read_str s pos in
+      let after = read_str s pos in
+      Update { txn; file; rid = { Heap_file.page; slot }; before; after }
+  | 'K' ->
+      let n = read_u32 s pos in
+      if n > String.length s then raise (Codec_error "checkpoint count overflow");
+      let rec ids k acc = if k = 0 then List.rev acc else ids (k - 1) (read_u32 s pos :: acc) in
+      Checkpoint (ids n [])
+  | c -> raise (Codec_error (Printf.sprintf "unknown record tag %C" c))
+
+let decode_record s =
+  let pos = ref 0 in
+  let r = decode_record_at s pos in
+  if !pos <> String.length s then raise (Codec_error "trailing bytes after record");
+  r

@@ -59,6 +59,17 @@ val records_with_lsn : t -> (lsn * record) list
 val persisted_records : t -> (lsn * record) list
 (** The durable prefix only, oldest first. *)
 
+val persisted_last_lsn : t -> lsn
+(** LSN of the newest durable record; 0 when nothing is persisted.
+    This is the primary's shipping horizon: replication never sends a
+    record that a crash could still take back. *)
+
+val persisted_after : t -> lsn -> (lsn * record) list
+(** The streaming cursor: durable records with LSN strictly greater
+    than the argument, oldest first. [persisted_after t 0] is the
+    whole durable prefix; a replica polls with its applied watermark
+    and receives exactly the records it has not yet seen. *)
+
 val length : t -> int
 
 val last_lsn : t -> lsn
@@ -116,3 +127,22 @@ val undo_records : t -> int -> record list
 (** The data records of the given transaction, newest first — what an
     abort must compensate. Includes unpersisted records (a live abort
     compensates everything it did, flushed or not). *)
+
+(** {2 Binary record codec}
+
+    Replication ships log records over the wire; the log layer owns
+    their serialization. Tag byte per variant, big-endian u32 integers,
+    u32-length-prefixed strings. *)
+
+exception Codec_error of string
+(** Raised by the decoders on truncated, oversized or unknown input —
+    never a bare [Invalid_argument] from an out-of-bounds read. *)
+
+val encode_record : record -> string
+
+val decode_record : string -> record
+(** Inverse of [encode_record]; rejects trailing bytes. *)
+
+val decode_record_at : string -> int ref -> record
+(** Decodes one record starting at [!pos] and advances the cursor past
+    it — the building block for reading a concatenated record batch. *)

@@ -70,4 +70,77 @@ wait "$SERVER_PID" || { echo "server shutdown was not clean"; exit 1; }
 rm -f "$SMOKE_PORT_FILE"
 test -s BENCH_server.json || { echo "BENCH_server.json missing or empty"; exit 1; }
 
+echo "== replication smoke (bootstrap, catch-up, promotion) =="
+# A demo-seeded primary and a streaming replica on ephemeral ports.
+# Mixed load fans reads over both endpoints (replica writes redirect
+# back to the primary), a marker write proves streaming, then the
+# primary is SIGTERMed (its exit status is the zero-leak audit), the
+# replica is promoted, and the row count on the promoted node must
+# equal the count committed on the primary before it died — zero lost
+# committed writes. The multi-endpoint load_gen run rewrites
+# BENCH_server.json with the per-endpoint read-scaling breakdown.
+PRIMARY_PORT_FILE="$(mktemp)"
+REPLICA_PORT_FILE="$(mktemp)"
+./_build/default/bin/mood_server.exe --demo --port 0 \
+  --port-file "$PRIMARY_PORT_FILE" &
+PRIMARY_PID=$!
+tries=0
+while [ ! -s "$PRIMARY_PORT_FILE" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -le 100 ] || { echo "primary never published its port"; exit 1; }
+  kill -0 "$PRIMARY_PID" 2>/dev/null || { echo "primary died on startup"; exit 1; }
+  sleep 0.1
+done
+PPORT="$(cat "$PRIMARY_PORT_FILE")"
+./_build/default/bin/mood_server.exe --port 0 \
+  --port-file "$REPLICA_PORT_FILE" \
+  --replica-of "127.0.0.1:$PPORT" --poll-interval 0.02 &
+REPLICA_PID=$!
+tries=0
+while [ ! -s "$REPLICA_PORT_FILE" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -le 100 ] || { echo "replica never published its port"; exit 1; }
+  kill -0 "$REPLICA_PID" 2>/dev/null || { echo "replica died on startup"; exit 1; }
+  sleep 0.1
+done
+RPORT="$(cat "$REPLICA_PORT_FILE")"
+MOOD_LOAD_QUOTA="${MOOD_LOAD_QUOTA:-160}" ./_build/default/bin/load_gen.exe \
+  --endpoint "127.0.0.1:$PPORT" --endpoint "127.0.0.1:$RPORT" \
+  --read-ratio 70 --sessions 8
+grep -q '"endpoints"' BENCH_server.json \
+  || { echo "BENCH_server.json: no per-endpoint breakdown"; exit 1; }
+# Marker write on the primary; the committed row count is the bar the
+# promoted replica must meet.
+./_build/default/bin/mood_cli.exe sql "127.0.0.1:$PPORT" \
+  "NEW VehicleEngine <990001, 64>" > /dev/null
+COMMITTED="$(./_build/default/bin/mood_cli.exe sql "127.0.0.1:$PPORT" \
+  "SELECT e FROM VehicleEngine e" | wc -l)"
+tries=0
+while :; do
+  RCOUNT="$(./_build/default/bin/mood_cli.exe sql "127.0.0.1:$RPORT" \
+    "SELECT e FROM VehicleEngine e" | wc -l)"
+  [ "$RCOUNT" -eq "$COMMITTED" ] && break
+  tries=$((tries + 1))
+  [ "$tries" -le 100 ] || { echo "replica never caught up ($RCOUNT/$COMMITTED rows)"; exit 1; }
+  sleep 0.1
+done
+# The replica's STATS surface carries the lag gauges.
+./_build/default/bin/mood_cli.exe top "127.0.0.1:$RPORT" > /tmp/mood_repl_top.$$
+grep -q "^repl.applied_lsn " /tmp/mood_repl_top.$$ || { echo "STATS: no repl.applied_lsn"; exit 1; }
+grep -q "^repl.lag_records " /tmp/mood_repl_top.$$ || { echo "STATS: no repl.lag_records"; exit 1; }
+rm -f /tmp/mood_repl_top.$$
+kill -TERM "$PRIMARY_PID"
+wait "$PRIMARY_PID" || { echo "primary shutdown was not clean"; exit 1; }
+./_build/default/bin/mood_cli.exe promote "127.0.0.1:$RPORT"
+PROMOTED="$(./_build/default/bin/mood_cli.exe sql "127.0.0.1:$RPORT" \
+  "SELECT e FROM VehicleEngine e" | wc -l)"
+[ "$PROMOTED" -eq "$COMMITTED" ] \
+  || { echo "promotion lost committed writes ($PROMOTED/$COMMITTED rows)"; exit 1; }
+# The promoted node takes writes.
+./_build/default/bin/mood_cli.exe sql "127.0.0.1:$RPORT" \
+  "NEW VehicleEngine <990002, 2>" > /dev/null
+kill -TERM "$REPLICA_PID"
+wait "$REPLICA_PID" || { echo "replica shutdown was not clean"; exit 1; }
+rm -f "$PRIMARY_PORT_FILE" "$REPLICA_PORT_FILE"
+
 echo "== ok =="

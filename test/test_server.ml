@@ -34,6 +34,11 @@ let request_label = function
   | Wire.Stats -> "Stats"
   | Wire.Ping -> "Ping"
   | Wire.Quit -> "Quit"
+  | Wire.Hello v -> Printf.sprintf "Hello %d" v
+  | Wire.Repl_snapshot -> "Repl_snapshot"
+  | Wire.Repl_pull { term; after } -> Printf.sprintf "Repl_pull %d %d" term after
+  | Wire.Promote -> "Promote"
+  | Wire.Fence { term; primary } -> Printf.sprintf "Fence %d %s" term primary
 
 let response_label = function
   | Wire.Ok_result s -> "Ok " ^ s
@@ -43,6 +48,8 @@ let response_label = function
   | Wire.Busy s -> "Busy " ^ s
   | Wire.Pong -> "Pong"
   | Wire.Bye -> "Bye"
+  | Wire.Redirect addr -> "Redirect " ^ addr
+  | Wire.Blob b -> Printf.sprintf "Blob(%d bytes)" (String.length b)
 
 let test_request_roundtrip () =
   List.iter
