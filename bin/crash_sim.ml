@@ -5,8 +5,12 @@
    cycles (default 200) starting at MOOD_SIM_SEED (default 1).
    Phase 2 runs MOOD_SIM_REPL_QUOTA seeded primary-writes/
    replica-applies/crash-mid-batch/catch-up/promote cycles (default
-   200) from the same base seed. Every violation prints the cycle's
-   seed so the failure reproduces exactly with
+   200) from the same base seed.
+   Phase 3 runs MOOD_SIM_MVCC_QUOTA seeded MVCC snapshot cycles
+   (default 200): concurrent snapshots re-read against the oracle
+   while commits, aborts, checkpoints and version GC run around them,
+   then crash/recover proves the chains rebuild. Every violation
+   prints the cycle's seed so the failure reproduces exactly with
 
      MOOD_SIM_QUOTA=1 MOOD_SIM_SEED=<seed> dune exec bin/crash_sim.exe *)
 
@@ -50,9 +54,22 @@ let () =
         (fun (seed, message) ->
           Printf.printf "REPL VIOLATION seed=%d\n  %s\n" seed message)
         violations);
+  let mvcc_quota = env_int "MOOD_SIM_MVCC_QUOTA" 200 in
+  let mvcc = Mood_sim.Harness.run_mvcc ~quota:mvcc_quota ~base_seed () in
+  Format.printf "mood_sim: mvcc snapshots, seeds %d..%d@.%a@." base_seed
+    (base_seed + mvcc_quota - 1)
+    Mood_sim.Harness.pp_mvcc_report mvcc;
+  (match mvcc.Mood_sim.Harness.mr_violations with
+  | [] -> ()
+  | violations ->
+      failed := true;
+      List.iter
+        (fun (seed, message) ->
+          Printf.printf "MVCC VIOLATION seed=%d\n  %s\n" seed message)
+        violations);
   if !failed then begin
     Printf.printf
       "reproduce one: MOOD_SIM_QUOTA=1 MOOD_SIM_REPL_QUOTA=1 \
-       MOOD_SIM_SEED=<seed> dune exec bin/crash_sim.exe\n";
+       MOOD_SIM_MVCC_QUOTA=1 MOOD_SIM_SEED=<seed> dune exec bin/crash_sim.exe\n";
     exit 1
   end

@@ -26,6 +26,14 @@ type session_result = {
   mutable errors : int;            (* ERR replies / protocol failures *)
   mutable error_samples : string list;
   ep_requests : int array;         (* requests per endpoint index *)
+  (* Contention broken out by cause and endpoint: BUSY round-trips
+     split by what was waiting (a read or a write/control statement),
+     ABORTED replies split by the server's reason string. A snapshot-
+     read server should show zero in the read column. *)
+  ep_busy_read : int array;
+  ep_busy_write : int array;
+  ep_deadlock_aborts : int array;
+  ep_timeout_aborts : int array;
 }
 
 let fresh_result ~n_eps () =
@@ -37,7 +45,11 @@ let fresh_result ~n_eps () =
     redirects = 0;
     errors = 0;
     error_samples = [];
-    ep_requests = Array.make n_eps 0
+    ep_requests = Array.make n_eps 0;
+    ep_busy_read = Array.make n_eps 0;
+    ep_busy_write = Array.make n_eps 0;
+    ep_deadlock_aborts = Array.make n_eps 0;
+    ep_timeout_aborts = Array.make n_eps 0
   }
 
 let read_pool =
@@ -63,14 +75,21 @@ let write_statement rng =
         (Prng.int rng ~bound:200)
 
 (* One request with BUSY backoff. Latency is the last (successful)
-   attempt; BUSY round-trips are counted separately. [epi] attributes
-   the response to an endpoint for the per-endpoint breakdown. *)
+   attempt; BUSY round-trips are counted separately and attributed to
+   the statement kind that was waiting. [epi] attributes the response
+   to an endpoint for the per-endpoint breakdown. *)
 let send res epi client req =
+  let busy_bucket =
+    match req with
+    | Wire.Query _ -> res.ep_busy_read
+    | _ -> res.ep_busy_write
+  in
   let rec go tries =
     let t0 = Unix.gettimeofday () in
     match Client.request client req with
     | Wire.Busy _ when tries < 200 ->
         res.busy_retries <- res.busy_retries + 1;
+        busy_bucket.(epi) <- busy_bucket.(epi) + 1;
         Thread.delay 0.005;
         go (tries + 1)
     | resp ->
@@ -83,6 +102,23 @@ let send res epi client req =
         resp
   in
   go 0
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+(* An ABORTED reply, classified by the server's reason string
+   ("deadlock" from the victim picker, "lock timeout" from the lock
+   budget; anything else lands in the timeout column too — both are
+   retried the same way). *)
+let note_abort res epi reason =
+  res.txn_aborts <- res.txn_aborts + 1;
+  let bucket =
+    if contains_sub reason "deadlock" then res.ep_deadlock_aborts
+    else res.ep_timeout_aborts
+  in
+  bucket.(epi) <- bucket.(epi) + 1
 
 let record_error res what =
   res.errors <- res.errors + 1;
@@ -108,7 +144,7 @@ let run_txn res client rng =
           | req :: rest -> (
               match send res 0 client req with
               | Wire.Ok_result _ | Wire.Rows _ -> steps rest
-              | Wire.Aborted _ -> `Aborted
+              | Wire.Aborted m -> `Aborted m
               | Wire.Err m ->
                   record_error res ("txn statement failed: " ^ m);
                   `Failed
@@ -117,14 +153,14 @@ let run_txn res client rng =
                   `Failed)
         in
         match steps body with
-        | `Aborted ->
-            res.txn_aborts <- res.txn_aborts + 1;
+        | `Aborted m ->
+            note_abort res 0 m;
             if tries < 5 then attempt (tries + 1)
         | `Failed -> ignore (send res 0 client Wire.Abort)
         | `Finish -> (
             match send res 0 client (if commit then Wire.Commit else Wire.Abort) with
             | Wire.Ok_result _ -> ()
-            | Wire.Aborted _ -> res.txn_aborts <- res.txn_aborts + 1
+            | Wire.Aborted m -> note_abort res 0 m
             | _ -> record_error res "commit/abort failed"))
     | _ -> record_error res "BEGIN failed"
   in
@@ -139,8 +175,8 @@ let run_autocommit res ~client ~epi ~get_primary rng ~write_pct =
     let rec attempt tries c ci =
       match send res ci c (Wire.Exec (write_statement rng)) with
       | Wire.Ok_result _ | Wire.Rows _ -> ()
-      | Wire.Aborted _ ->
-          res.txn_aborts <- res.txn_aborts + 1;
+      | Wire.Aborted m ->
+          note_abort res ci m;
           if tries < 5 then attempt (tries + 1) c ci
       | Wire.Redirect _ ->
           res.redirects <- res.redirects + 1;
@@ -161,7 +197,7 @@ let run_autocommit res ~client ~epi ~get_primary rng ~write_pct =
         (Wire.Query read_pool.(Prng.int rng ~bound:(Array.length read_pool)))
     with
     | Wire.Rows _ -> ()
-    | Wire.Aborted _ -> res.txn_aborts <- res.txn_aborts + 1
+    | Wire.Aborted m -> note_abort res epi m
     | Wire.Err m -> record_error res ("read failed: " ^ m)
     | _ -> record_error res "unexpected read reply"
   end
@@ -303,10 +339,20 @@ let run host port unix_path sessions ops seed write_pct txn_pct read_ratio endpo
   let aborts = total (fun r -> r.txn_aborts) in
   let redirects = total (fun r -> r.redirects) in
   let rows = total (fun r -> r.rows_seen) in
-  let ep_requests =
+  let ep_sum sel =
     Array.init n_eps (fun i ->
-        Array.fold_left (fun acc r -> acc + r.ep_requests.(i)) 0 results)
+        Array.fold_left (fun acc r -> acc + (sel r).(i)) 0 results)
   in
+  let ep_requests = ep_sum (fun r -> r.ep_requests) in
+  let ep_busy_read = ep_sum (fun r -> r.ep_busy_read) in
+  let ep_busy_write = ep_sum (fun r -> r.ep_busy_write) in
+  let ep_deadlock = ep_sum (fun r -> r.ep_deadlock_aborts) in
+  let ep_timeout = ep_sum (fun r -> r.ep_timeout_aborts) in
+  let arr_sum = Array.fold_left ( + ) 0 in
+  let busy_read = arr_sum ep_busy_read in
+  let busy_write = arr_sum ep_busy_write in
+  let deadlocks = arr_sum ep_deadlock in
+  let timeouts = arr_sum ep_timeout in
   let latencies =
     Array.of_list (Array.fold_left (fun acc r -> r.latencies @ acc) [] results)
   in
@@ -321,6 +367,10 @@ let run host port unix_path sessions ops seed write_pct txn_pct read_ratio endpo
   Printf.printf
     "load_gen: %d busy retry(ies), %d transaction abort(s), %d redirect(s), %d error(s)\n"
     busy aborts redirects errors;
+  Printf.printf
+    "load_gen: contention by cause: busy %d read / %d write, aborts %d \
+     deadlock / %d timeout\n"
+    busy_read busy_write deadlocks timeouts;
   let s1 = snap () in
   Array.iter (function Some c -> ( try Client.quit c with _ -> ()) | None -> ())
     stats_clients;
@@ -338,7 +388,7 @@ let run host port unix_path sessions ops seed write_pct txn_pct read_ratio endpo
                  List.exists
                    (fun p -> starts_with p k)
                    [ "server."; "stmt."; "plan_cache."; "buffer."; "locks.deadlocks";
-                     "repl."
+                     "repl."; "mvcc."
                    ])
                rows));
       (* The opening STATS is counted by the time the closing one
@@ -360,9 +410,11 @@ let run host port unix_path sessions ops seed write_pct txn_pct read_ratio endpo
         (fun i spec ->
           Printf.printf
             "load_gen: endpoint %d %s: %d request(s), statements +%d, \
+             busy %d read / %d write, aborts %d deadlock / %d timeout, \
              repl.applied_lsn %d (+%d), repl.lag_records %d\n"
             i spec ep_requests.(i)
             (stat s1.(i) "server.statements" - stat s0.(i) "server.statements")
+            ep_busy_read.(i) ep_busy_write.(i) ep_deadlock.(i) ep_timeout.(i)
             (stat s1.(i) "repl.applied_lsn")
             (stat s1.(i) "repl.applied_lsn" - stat s0.(i) "repl.applied_lsn")
             (stat s1.(i) "repl.lag_records"))
@@ -381,10 +433,11 @@ let run host port unix_path sessions ops seed write_pct txn_pct read_ratio endpo
       (List.mapi
          (fun i spec ->
            Printf.sprintf
-             {|{ "endpoint": "%s", "requests": %d, "throughput_req_s": %.1f, "statements_delta": %d, "repl_applied_lsn": %d, "repl_applied_lsn_delta": %d, "repl_lag_records": %d }|}
+             {|{ "endpoint": "%s", "requests": %d, "throughput_req_s": %.1f, "statements_delta": %d, "busy_retries_read": %d, "busy_retries_write": %d, "deadlock_aborts": %d, "timeout_aborts": %d, "repl_applied_lsn": %d, "repl_applied_lsn_delta": %d, "repl_lag_records": %d }|}
              (json_escape spec) ep_requests.(i)
              (if elapsed > 0. then float_of_int ep_requests.(i) /. elapsed else 0.)
              (stat s1.(i) "server.statements" - stat s0.(i) "server.statements")
+             ep_busy_read.(i) ep_busy_write.(i) ep_deadlock.(i) ep_timeout.(i)
              (stat s1.(i) "repl.applied_lsn")
              (stat s1.(i) "repl.applied_lsn" - stat s0.(i) "repl.applied_lsn")
              (stat s1.(i) "repl.lag_records"))
@@ -405,7 +458,11 @@ let run host port unix_path sessions ops seed write_pct txn_pct read_ratio endpo
   "throughput_req_s": %.1f,
   "latency_ms": { "p50": %.3f, "p95": %.3f, "p99": %.3f, "max": %.3f },
   "busy_retries": %d,
+  "busy_retries_read": %d,
+  "busy_retries_write": %d,
   "txn_aborts": %d,
+  "deadlock_aborts": %d,
+  "timeout_aborts": %d,
   "redirects": %d,
   "errors": %d,
   "error_samples": [%s],
@@ -415,7 +472,8 @@ let run host port unix_path sessions ops seed write_pct txn_pct read_ratio endpo
 }
 |}
     sessions ops seed write_pct txn_pct requests rows elapsed throughput (ms 50.)
-    (ms 95.) (ms 99.) (ms 100.) busy aborts redirects errors
+    (ms 95.) (ms 99.) (ms 100.) busy busy_read busy_write aborts deadlocks
+    timeouts redirects errors
     (String.concat ", "
        (List.concat_map
           (fun r -> List.map (fun m -> "\"" ^ json_escape m ^ "\"") r.error_samples)

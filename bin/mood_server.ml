@@ -12,8 +12,9 @@ module Db = Mood.Db
 module Server = Mood_server.Server
 
 let run host port unix_path workers queue demo scale port_file lock_timeout
-    replica_of poll_interval =
+    replica_of poll_interval no_snapshot_reads =
   let db = Db.create () in
+  if no_snapshot_reads then Db.set_snapshot_reads db false;
   (* A replica's schema and contents come from the primary's bootstrap
      snapshot, never from local preloading. *)
   if demo && replica_of = None then begin
@@ -138,12 +139,22 @@ let poll_interval =
     & info [ "poll-interval" ] ~docv:"SECONDS"
         ~doc:"Replica pull tick when the stream is idle (with --replica-of).")
 
+let no_snapshot_reads =
+  Arg.(
+    value
+    & flag
+    & info [ "no-snapshot-reads" ]
+        ~doc:
+          "Disable MVCC snapshot reads: SELECTs take shared statement \
+           locks (the pre-MVCC strict-2PL behaviour). Baseline mode for \
+           before/after benchmarking.")
+
 let cmd =
   Cmd.v
     (Cmd.info "mood_server" ~version:"1.0.0"
        ~doc:"MOOD network server: concurrent MOODSQL over the wire protocol")
     Term.(
       const run $ host $ port $ unix_path $ workers $ queue $ demo $ scale $ port_file
-      $ lock_timeout $ replica_of $ poll_interval)
+      $ lock_timeout $ replica_of $ poll_interval $ no_snapshot_reads)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,6 +6,7 @@ module Extent = Mood_storage.Extent
 module Btree = Mood_storage.Btree
 module Hash = Mood_storage.Hash_index
 module Join_index = Mood_storage.Join_index
+module Version_store = Mood_storage.Version_store
 
 exception Schema_error of string
 
@@ -483,6 +484,17 @@ let maintain_indexes_on t ~add class_name oid value =
       | None -> ())
     (covering_join_indexes t class_name)
 
+(* Posting removals are deferred through the version store so snapshot
+   readers can still reach superseded versions via the index (the
+   executor rechecks indexed predicates against the view-resolved
+   value, filtering the resulting false positives). The removal runs
+   once every snapshot that could need the old posting has closed —
+   immediately when none is open — and is dropped if the writing
+   transaction aborts. *)
+let remove_index_entries t ?txn class_name oid value =
+  Version_store.defer_removal (Store.versions t.st) ?txn (fun () ->
+      maintain_indexes_on t ~add:false class_name oid value)
+
 let insert_object t ?txn ~class_name value =
   let e = entry t class_name in
   let normalized = normalize t class_name value in
@@ -516,7 +528,7 @@ let update_object t ?txn oid value =
               let normalized = normalize t e.name value in
               let ok = Extent.update ext ?txn ~slot:(Oid.slot oid) normalized in
               if ok then begin
-                maintain_indexes_on t ~add:false e.name oid old;
+                remove_index_entries t ?txn e.name oid old;
                 maintain_indexes_on t ~add:true e.name oid normalized
               end;
               ok
@@ -534,7 +546,7 @@ let delete_object t ?txn oid =
           | None -> false
           | Some old ->
               let ok = Extent.delete ext ?txn (Oid.slot oid) in
-              if ok then maintain_indexes_on t ~add:false e.name oid old;
+              if ok then remove_index_entries t ?txn e.name oid old;
               ok
         end
     end
@@ -857,6 +869,10 @@ let replace_extent_contents t name contents =
   List.iter (fun (slot, value) -> Extent.insert_at ext ~slot value) contents
 
 let rebuild_indexes t =
+  (* The rebuilt structures replace the ones queued removal closures
+     point into; the fresh backfill reflects current heap state, so the
+     queue is moot as well as dangerous. *)
+  Version_store.clear_removals (Store.versions t.st);
   let backfill_index cls attr ix =
     List.iter
       (fun oid ->

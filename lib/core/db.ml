@@ -18,6 +18,7 @@ module Card_est = Mood_optimizer.Card_est
 module Executor = Mood_executor.Executor
 module Eval = Mood_executor.Eval
 module Metrics = Mood_obs.Metrics
+module Version_store = Mood_storage.Version_store
 
 (* A fully planned SELECT, ready to re-execute: the parsed query (for
    statement locks), the optimizer output (for explain/traces) and the
@@ -77,6 +78,9 @@ type t = {
   mutable slow_log : slow_query list; (* newest first, bounded *)
   mutable role : role;
   mutable term : int;  (* replication term — grows monotonically *)
+  mutable snapshot_reads : bool;
+      (* SELECTs read MVCC snapshots instead of taking shared locks;
+         off = the pre-MVCC strict-2PL read path (baseline mode) *)
 }
 
 type exec_result =
@@ -126,9 +130,11 @@ let create ?disk_params ?buffer_capacity ?(plan_cache_capacity = 64)
       slow_threshold = None;
       slow_log = [];
       role = Primary;
-      term = 1
+      term = 1;
+      snapshot_reads = true
     }
   in
+  Version_store.set_tracking (Store.versions st) true;
   (* Absorb the components' own accounting as pull sources: their hot
      paths stay untouched, the registry reads them at snapshot time. *)
   Metrics.register_source metrics (fun () ->
@@ -172,6 +178,7 @@ let create ?disk_params ?buffer_capacity ?(plan_cache_capacity = 64)
       [ ("repl.term", t.term);
         ("repl.is_primary", match t.role with Primary -> 1 | _ -> 0)
       ]);
+  Metrics.register_source metrics (fun () -> Version_store.metrics (Store.versions st));
   t
 
 let store t = t.st
@@ -364,6 +371,27 @@ let statement_locks t stmt =
   | Ast.Drop_name _ ->
       []
 
+(* MVCC read path: capture the commit clock, run the statement under
+   the ambient view (every extent access resolves through version
+   visibility), then release the snapshot so GC can advance. Zero
+   lock-manager traffic. *)
+let versions t = Store.versions t.st
+
+let set_snapshot_reads t on = t.snapshot_reads <- on
+
+let snapshot_reads_enabled t = t.snapshot_reads
+
+let with_snapshot t ?txn run =
+  let vs = versions t in
+  let view = Version_store.open_snapshot vs ?txn () in
+  Fun.protect
+    ~finally:(fun () ->
+      Version_store.close_snapshot vs view;
+      Version_store.drain_removals vs)
+    (fun () ->
+      Version_store.note_read vs;
+      Version_store.with_view vs view run)
+
 let with_statement_locks t stmt run =
   let locks = Store.locks t.st in
   let wanted = statement_locks t stmt in
@@ -405,8 +433,13 @@ let build_plan t q =
     cp_prepared = Executor.prepare optimized.Optimizer.plan
   }
 
+(* Standalone SELECTs: a snapshot when MVCC reads are on, shared
+   statement locks in baseline mode. *)
+let with_read_path t stmt run =
+  if t.snapshot_reads then with_snapshot t run else with_statement_locks t stmt run
+
 let run_cached t entry =
-  with_statement_locks t (Ast.Select entry.cp_query) (fun () ->
+  with_read_path t (Ast.Select entry.cp_query) (fun () ->
       Rows (Executor.run_prepared (executor_env t) entry.cp_prepared))
 
 (* Only SELECT texts are worth a cache probe; everything else would
@@ -416,6 +449,15 @@ let run_cached t entry =
 let looks_like_select key =
   String.length key >= 6
   && String.uppercase_ascii (String.sub key 0 6) = "SELECT"
+
+(* Statement text that cannot mutate anything: SELECT and EXPLAIN
+   [ANALYZE] forms. The server's autocommit fast path uses this to run
+   reads without opening a WAL-logged transaction at all. *)
+let read_only_text source =
+  let key = Plan_cache.normalize source in
+  looks_like_select key
+  || String.length key >= 7
+     && String.uppercase_ascii (String.sub key 0 7) = "EXPLAIN"
 
 (* The kernel's Exception-class behaviour, shared by every statement
    entry point: failures become messages, the server survives. Unknown
@@ -589,7 +631,7 @@ let exec ?(cache = true) t source =
                         Plan_cache.add t.plans ~epoch:(plan_epoch t) key entry;
                         run_cached t entry
                     | Ast.Select _ ->
-                        with_statement_locks t stmt (fun () -> exec_statement t stmt)
+                        with_read_path t stmt (fun () -> exec_statement t stmt)
                     | _ ->
                         (match t.role with
                         | Primary -> ()
@@ -724,12 +766,18 @@ let snapshot t =
    emptied too: installing a base image means "back to exactly that
    state". *)
 let install_contents t snap =
-  List.iter
-    (fun (info : Catalog.class_info) ->
-      if info.Catalog.kind = Catalog.Class then
-        Catalog.replace_extent_contents t.cat info.Catalog.class_name
-          (Option.value ~default:[] (List.assoc_opt info.Catalog.class_name snap)))
-    (Catalog.all_classes t.cat)
+  (* Installing a base image replaces history wholesale: drop the
+     version chains (the clock survives — stamps never regress) and
+     rewrite the heap without minting versions. *)
+  let vs = Store.versions t.st in
+  Version_store.reset vs;
+  Version_store.without_tracking vs (fun () ->
+      List.iter
+        (fun (info : Catalog.class_info) ->
+          if info.Catalog.kind = Catalog.Class then
+            Catalog.replace_extent_contents t.cat info.Catalog.class_name
+              (Option.value ~default:[] (List.assoc_opt info.Catalog.class_name snap)))
+        (Catalog.all_classes t.cat))
 
 let restore t snap =
   (* Validate the schema covers the snapshot before touching anything. *)
@@ -818,6 +866,10 @@ type session_txn = {
   stxn_id : int;
   stxn_lock : Lock.txn;
   mutable stxn_open : bool;
+  stxn_view : Version_store.view option;
+      (* snapshot captured at BEGIN (when MVCC reads are on): every
+         SELECT in the transaction reads this view — repeatable,
+         lock-free — plus the transaction's own pending writes *)
 }
 
 type txn_error =
@@ -844,28 +896,51 @@ let begin_session_txn t =
   t.next_txn <- txn + 1;
   t.active_txns <- txn :: t.active_txns;
   ignore (Wal.append (Store.wal t.st) (Wal.Begin txn));
-  { stxn_id = txn; stxn_lock = Lock.begin_txn (Store.locks t.st); stxn_open = true }
+  let view =
+    if t.snapshot_reads then Some (Version_store.open_snapshot (versions t) ~txn ())
+    else None
+  in
+  { stxn_id = txn;
+    stxn_lock = Lock.begin_txn (Store.locks t.st);
+    stxn_open = true;
+    stxn_view = view
+  }
 
 let session_txn_id s = s.stxn_id
 
 let session_txn_open s = s.stxn_open
 
+let close_stxn_view t s =
+  match s.stxn_view with
+  | Some v -> Version_store.close_snapshot (versions t) v
+  | None -> ()
+
 let commit_session_txn t s =
   if not s.stxn_open then invalid_arg "commit_session_txn: transaction already finished";
   s.stxn_open <- false;
   let wal = Store.wal t.st in
-  ignore (Wal.append wal (Wal.Commit s.stxn_id));
+  let lsn = Wal.append wal (Wal.Commit s.stxn_id) in
   Wal.flush wal;
+  let vs = versions t in
+  Version_store.commit vs ~txn:s.stxn_id ~lsn;
+  close_stxn_view t s;
+  Version_store.drain_removals vs;
   finish_txn t s.stxn_id;
   Lock.release_all (Store.locks t.st) s.stxn_lock
 
 let abort_session_txn t s =
   if not s.stxn_open then invalid_arg "abort_session_txn: transaction already finished";
   s.stxn_open <- false;
-  compensate t s.stxn_id;
+  let vs = versions t in
+  close_stxn_view t s;
+  (* Compensation rewrites the heap back to the pre-images the chain
+     already holds — it must not mint fresh versions. *)
+  Version_store.without_tracking vs (fun () -> compensate t s.stxn_id);
+  Version_store.abort vs ~txn:s.stxn_id;
   ignore (Wal.append (Store.wal t.st) (Wal.Abort s.stxn_id));
   finish_txn t s.stxn_id;
-  Lock.release_all (Store.locks t.st) s.stxn_lock
+  Lock.release_all (Store.locks t.st) s.stxn_lock;
+  Version_store.drain_removals vs
 
 (* Strict 2PL growth: statement locks go to the session's lock
    transaction and stay held until commit/abort. A conflict leaves the
@@ -920,32 +995,53 @@ let exec_in_txn ?(cache = true) t s source =
           let hit =
             if cache then Plan_cache.find t.plans ~epoch:(plan_epoch t) key else None
           in
+          (* In-transaction SELECTs read the BEGIN snapshot when one was
+             captured: no lock acquisition, so a read can never return
+             [Txn_busy] (reads bypass the server's parking entirely) and
+             results are repeatable for the transaction's lifetime. *)
+          let run_select run =
+            match s.stxn_view with
+            | Some view ->
+                let vs = versions t in
+                Version_store.note_read vs;
+                protect_txn (fun () -> Version_store.with_view vs view run)
+            | None -> protect_txn run
+          in
           match hit with
           | Some entry -> (
-              match acquire_txn_locks t s (Ast.Select entry.cp_query) with
+              match
+                if s.stxn_view <> None then Ok ()
+                else acquire_txn_locks t s (Ast.Select entry.cp_query)
+              with
               | Error _ as e -> e
               | Ok () ->
-                  protect_txn (fun () ->
+                  run_select (fun () ->
                       timed_slow t ~key (fun () ->
                           Rows (Executor.run_prepared (executor_env t) entry.cp_prepared))))
           | None -> (
               match protect (fun () -> Parser.parse source) with
               | Error m -> Error (Txn_fail m)
               | Ok stmt -> (
+                  let snapshot_select =
+                    match stmt with Ast.Select _ -> s.stxn_view <> None | _ -> false
+                  in
                   match
                     match check_writable t stmt with
                     | Error _ as e -> e
-                    | Ok () -> acquire_txn_locks t s stmt
+                    | Ok () ->
+                        if snapshot_select then Ok () else acquire_txn_locks t s stmt
                   with
                   | Error _ as e -> e
                   | Ok () -> (
                       match stmt with
                       | Ast.Select q when cache ->
-                          protect_txn (fun () ->
+                          run_select (fun () ->
                               timed_slow t ~key (fun () ->
                                   let entry = build_plan t q in
                                   Plan_cache.add t.plans ~epoch:(plan_epoch t) key entry;
                                   Rows (Executor.run_prepared (executor_env t) entry.cp_prepared)))
+                      | Ast.Select _ ->
+                          run_select (fun () -> exec_statement t ~txn:s.stxn_id stmt)
                       | _ ->
                           protect_txn (fun () -> exec_statement t ~txn:s.stxn_id stmt)))))
     in
@@ -1005,6 +1101,9 @@ let checkpoint t =
      after the checkpoint record is durable — a crash mid-checkpoint
      leaves the previous checkpoint in force. *)
   Mood_storage.Buffer_pool.flush (Store.buffer t.st);
+  (* Version GC rides the checkpoint: prune chains below the oldest
+     live snapshot before imaging the heap. *)
+  Version_store.gc (versions t);
   let snap = snapshot t in
   let lsn = Wal.append wal (Wal.Checkpoint t.active_txns) in
   Wal.flush wal;
@@ -1038,6 +1137,20 @@ let redo_record t record =
 
 let apply_redo = redo_record
 
+(* Replica-side MVCC hooks: a pulled commit batch applies as one unit
+   stamped with the primary's commit LSN, so replica snapshots are
+   consistent-as-of-applied_lsn; a bootstrap image bumps the clock to
+   the snapshot LSN; scrubbing/undo passes must not mint versions. *)
+let apply_committed t ~lsn records =
+  Version_store.with_commit_stamp (versions t) lsn (fun () ->
+      List.iter (fun r -> redo_record t r) records)
+
+let bump_commit_stamp t lsn = Version_store.bump_stamp (versions t) lsn
+
+let without_version_tracking t f = Version_store.without_tracking (versions t) f
+
+let gc_versions t = Version_store.gc (versions t)
+
 let undo_record t record =
   match record with
   | Wal.Insert { file; payload; _ } -> undo_insert t ~file ~payload
@@ -1049,6 +1162,7 @@ let apply_undo = undo_record
 
 let recover t =
   let wal = Store.wal t.st in
+  let vs = versions t in
   let checkpoint_lsn =
     match t.last_checkpoint with
     | Some (snap, lsn) ->
@@ -1061,8 +1175,13 @@ let recover t =
         0
   in
   let analysis =
-    Wal.recover wal ~checkpoint_lsn ~redo:(redo_record t) ~undo:(undo_record t)
+    Version_store.without_tracking vs (fun () ->
+        Wal.recover wal ~checkpoint_lsn ~redo:(redo_record t) ~undo:(undo_record t))
   in
+  (* Post-crash commits must stamp above everything in the surviving
+     log, so snapshots taken before the crash could never (if one
+     impossibly outlived it) see new history. *)
+  Version_store.bump_stamp vs (Wal.last_lsn wal);
   t.active_txns <- [];
   Catalog.rebuild_indexes t.cat;
   analyze t;

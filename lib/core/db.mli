@@ -60,6 +60,25 @@ val set_stats : t -> Mood_cost.Stats.t -> unit
 val optimizer_env : t -> Mood_optimizer.Dicts.env
 val executor_env : t -> Mood_executor.Eval.env
 
+val set_snapshot_reads : t -> bool -> unit
+(** On (the default), SELECTs — standalone and inside session
+    transactions — read MVCC snapshots with zero lock-manager traffic:
+    a snapshot captures the commit clock and resolves every extent
+    access through the version chains, while writers keep strict 2PL
+    among themselves. Off restores the pre-MVCC behaviour (shared
+    statement locks), the baseline for before/after measurements. *)
+
+val snapshot_reads_enabled : t -> bool
+
+val read_only_text : string -> bool
+(** Statement text that cannot mutate anything (SELECT / EXPLAIN
+    [ANALYZE] forms) — the server's autocommit fast path runs these
+    without opening a transaction. *)
+
+val gc_versions : t -> unit
+(** Prunes version chains below the oldest live snapshot (also runs at
+    every [checkpoint] and opportunistically as versions accumulate). *)
+
 val exec : ?cache:bool -> t -> string -> (exec_result, string) result
 (** Parses, checks, optimizes and executes one MOODSQL statement.
     Returns [Error message] for parse/type/schema/run-time errors
@@ -268,6 +287,21 @@ val apply_undo : t -> Mood_storage.Wal.record -> unit
     update restored to its before-image) — the building block for
     scrubbing an in-flight transaction's effects out of a shipped
     snapshot image. *)
+
+val apply_committed : t -> lsn:int -> Mood_storage.Wal.record list -> unit
+(** Replica-side batch apply: replays the records ([apply_redo]
+    semantics, in order) with their version-chain entries stamped
+    [Committed lsn] — the primary's commit LSN — so replica snapshot
+    reads are consistent-as-of-[applied_lsn] and report primary LSNs. *)
+
+val bump_commit_stamp : t -> int -> unit
+(** Raises the MVCC commit clock to at least the given LSN (never
+    lowers it) — a replica bootstrap aligns its clock with the shipped
+    snapshot's LSN. *)
+
+val without_version_tracking : t -> (unit -> 'a) -> 'a
+(** Runs [f] with version tracking off: image scrubs and other
+    wholesale rewrites must not mint version-chain entries. *)
 
 val class_contents : t -> (string * (int * Mood_model.Value.t) list) list
 (** Every extent's live objects as [(class, (slot, value) list)] —

@@ -419,8 +419,23 @@ and eval_op tr env (op : cop) : Eval.row list =
               (fun acc set -> List.filter (fun o -> List.exists (Oid.equal o) set) acc)
               first rest
       in
+      (* Recheck indexed predicates against the fetched (possibly
+         snapshot-resolved) value: postings are removed lazily under
+         MVCC, and a writer's abort can leave new-value postings
+         dangling — both surface here as stale candidates. *)
+      let recheck item =
+        List.for_all
+          (fun (p : Plan.indexed_pred) ->
+            match Value.tuple_get item.Collection.value p.Plan.ip_attr with
+            | Some v -> Eval.cmp_values p.Plan.ip_cmp v p.Plan.ip_constant
+            | None -> false)
+          preds
+      in
       List.filter_map
-        (fun oid -> Option.map (fun item -> [ (s.c_var, item) ]) (fetch_simple env s oid))
+        (fun oid ->
+          match fetch_simple env s oid with
+          | Some item when recheck item -> Some [ (s.c_var, item) ]
+          | Some _ | None -> None)
         (List.sort_uniq Oid.compare candidates)
   | CPath_ind_sel { class_name; var; path; cmp; constant } -> begin
       match Catalog.find_path_index env.Eval.catalog ~class_name ~path with

@@ -100,13 +100,17 @@ let install_snapshot t (snap : Codec.snapshot) =
      their records: their Commit or Abort arrives in the stream and
      resolves them exactly once. *)
   Hashtbl.reset t.pending;
-  List.iter
-    (fun (txn, records) ->
+  Db.without_version_tracking t.db (fun () ->
       List.iter
-        (fun r -> Db.apply_undo t.db (translate_record t r))
-        (List.rev records);
-      Hashtbl.replace t.pending txn (List.rev records))
-    snap.Codec.s_undo;
+        (fun (txn, records) ->
+          List.iter
+            (fun r -> Db.apply_undo t.db (translate_record t r))
+            (List.rev records);
+          Hashtbl.replace t.pending txn (List.rev records))
+        snap.Codec.s_undo);
+  (* The installed image is the primary's state as of the snapshot LSN:
+     align the commit clock so replica snapshots report primary LSNs. *)
+  Db.bump_commit_stamp t.db snap.Codec.s_lsn;
   Catalog.rebuild_indexes (Db.catalog t.db);
   Db.analyze t.db;
   t.cursor <- snap.Codec.s_lsn;
@@ -121,16 +125,18 @@ let buffer_data t txn r =
   let sofar = Option.value ~default:[] (Hashtbl.find_opt t.pending txn) in
   Hashtbl.replace t.pending txn (r :: sofar)
 
-let process t ~committed = function
+let process t ~committed ~lsn = function
   | Wal.Begin txn ->
       if not (Hashtbl.mem t.pending txn) then Hashtbl.replace t.pending txn []
   | Wal.Commit txn -> (
       match Hashtbl.find_opt t.pending txn with
       | None -> () (* read-only, or a class set this replica skips *)
       | Some records ->
-          List.iter
-            (fun r -> Db.apply_redo t.db (translate_record t r))
-            (List.rev records);
+          (* The batch applies as one MVCC unit stamped with the
+             primary's commit LSN: replica snapshot reads are
+             consistent-as-of-applied_lsn and report primary LSNs. *)
+          (* [records] is newest-first; [rev_map] restores log order. *)
+          Db.apply_committed t.db ~lsn (List.rev_map (translate_record t) records);
           t.applied <- t.applied + List.length records;
           t.commits <- t.commits + 1;
           if records <> [] then committed := true;
@@ -157,7 +163,7 @@ let apply_batch t (b : Codec.batch) =
         (* Records at or below the cursor were already processed — a
            retried pull after a torn connection re-delivers them. *)
         if lsn > t.cursor then begin
-          process t ~committed r;
+          process t ~committed ~lsn r;
           t.cursor <- lsn
         end)
       b.Codec.b_records;

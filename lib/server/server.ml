@@ -141,6 +141,21 @@ let abort_txn t (session : Session.t) txn =
    back with the transaction. *)
 let attempt_statement t job ~query sql =
   let session = job.jsession in
+  (* Autocommit read fast path: with MVCC snapshot reads on, a
+     read-only statement outside any transaction needs no WAL
+     Begin/Commit, no log force and no lock transaction — it runs on a
+     throwaway snapshot and can never park. *)
+  if
+    session.Session.txn = None && job.jtxn = None
+    && Db.read_only_text sql
+    && Db.snapshot_reads_enabled t.database
+  then
+    match with_kernel t (fun () -> Db.exec t.database sql) with
+    | Ok (Db.Rows _ as r) -> `Reply (render_result r)
+    | Ok _ when query -> `Reply (Wire.Err "QUERY expects a SELECT statement")
+    | Ok r -> `Reply (render_result r)
+    | Error m -> `Reply (Wire.Err m)
+  else
   let autocommit, txn =
     match session.Session.txn with
     | Some txn -> (false, txn)

@@ -565,3 +565,349 @@ let pp_report ppf r =
     r.r_cycles r.r_steps r.r_commits r.r_aborts r.r_deadlocks r.r_checkpoints
     r.r_torn_pages r.r_lost_frames r.r_lost_log
     (List.length r.r_violations)
+
+(* ------------------------------------------------------------------ *)
+(* MVCC snapshot cycles                                                *)
+
+module Version_store = Mood_storage.Version_store
+
+type mvcc_outcome = {
+  mo_seed : int;
+  mo_crash_point : string;
+  mo_violations : string list;
+  mo_steps : int;
+  mo_commits : int;
+  mo_aborts : int;
+  mo_deadlocks : int;
+  mo_snapshots : int;
+  mo_snapshot_checks : int;
+  mo_gc_runs : int;
+  mo_checkpoints : int;
+}
+
+type mvcc_report = {
+  mr_cycles : int;
+  mr_steps : int;
+  mr_commits : int;
+  mr_aborts : int;
+  mr_deadlocks : int;
+  mr_snapshots : int;
+  mr_snapshot_checks : int;
+  mr_gc_runs : int;
+  mr_checkpoints : int;
+  mr_violations : (int * string) list;
+}
+
+let max_open_snapshots = 4
+
+let render_bindings bindings =
+  String.concat "; "
+    (List.map (fun (k, d) -> Printf.sprintf "%d=%S" k d) bindings)
+
+let run_mvcc_cycle ~seed () =
+  let root = Prng.create ~seed in
+  let p_work = Prng.split root in
+  let p_plan = Prng.split root in
+  let store = Store.create ~buffer_capacity:(4 + Prng.int p_plan ~bound:12) () in
+  (* No disk faults and no WAL write accounting here: a flush always
+     survives, so every commit the oracle records is durable and the
+     crash is a clean cut at the step budget. The fault-injection
+     cycles ([run_cycle]) already cover torn logs; these cycles pin the
+     MVCC read protocol — every open snapshot keeps reading its capture
+     state while history commits, aborts, checkpoints and GC runs
+     around it, and version chains rebuild consistently after a
+     restart. *)
+  let wal = Store.wal store in
+  let locks = Store.locks store in
+  let vs = Store.versions store in
+  Version_store.set_tracking vs true;
+  let table = Table.create ~store () in
+  let model = Model.create () in
+  let open_txns : txn_state list ref = ref [] in
+  let open_views : Version_store.view list ref = ref [] in
+  let cp : Table.checkpoint option ref = ref None in
+  let step_budget = 40 + Prng.int p_plan ~bound:200 in
+  let steps = ref 0 in
+  let commits = ref 0 in
+  let aborts = ref 0 in
+  let deadlocks = ref 0 in
+  let snapshots = ref 0 in
+  let snapshot_checks = ref 0 in
+  let gc_runs = ref 0 in
+  let checkpoints = ref 0 in
+  let violations = ref [] in
+  let violation fmt =
+    Printf.ksprintf (fun m -> violations := m :: !violations) fmt
+  in
+  let check_view view =
+    incr snapshot_checks;
+    let id = Version_store.view_id view in
+    let got = Version_store.with_view vs view (fun () -> Table.contents table) in
+    match Model.snapshot_expected model id with
+    | None -> violation "snapshot %d: oracle lost its expectation" id
+    | Some want ->
+        if got <> want then
+          violation "snapshot %d (stamp %d) diverged: read {%s} want {%s}" id
+            (Version_store.view_stamp view)
+            (render_bindings got) (render_bindings want)
+  in
+  let open_view () =
+    if List.length !open_views < max_open_snapshots then begin
+      let view = Version_store.open_snapshot vs () in
+      Model.register_snapshot model (Version_store.view_id view);
+      open_views := view :: !open_views;
+      incr snapshots;
+      (* A snapshot must agree with the oracle from its first read. *)
+      check_view view
+    end
+  in
+  let close_view view =
+    check_view view;
+    Version_store.close_snapshot vs view;
+    Version_store.drain_removals vs;
+    Model.forget_snapshot model (Version_store.view_id view);
+    open_views := List.filter (fun v -> v != view) !open_views
+  in
+  let release st =
+    Lock.release_all locks st.tx_lock;
+    open_txns := List.filter (fun s -> s != st) !open_txns
+  in
+  let do_abort st =
+    (* Compensation restores the heap; the version store pops the
+       chains itself — tracking the compensating writes would instead
+       push bogus new versions. *)
+    Version_store.without_tracking vs (fun () -> Table.abort table ~txn:st.tx_id);
+    Version_store.abort vs ~txn:st.tx_id;
+    Model.abort model st.tx_id;
+    incr aborts;
+    release st
+  in
+  let do_commit st =
+    let lsn = Wal.append wal (Wal.Commit st.tx_id) in
+    Wal.flush wal;
+    Version_store.commit vs ~txn:st.tx_id ~lsn;
+    Model.commit model st.tx_id;
+    incr commits;
+    release st
+  in
+  let do_checkpoint () =
+    let active = List.map (fun st -> st.tx_id) !open_txns in
+    cp := Some (Table.checkpoint table ~active);
+    incr checkpoints;
+    (* GC rides along with the checkpoint, exactly like [Db.checkpoint];
+       chains an open snapshot still needs must survive it. *)
+    Version_store.gc vs;
+    incr gc_runs;
+    List.iter check_view !open_views
+  in
+  let begin_txn () =
+    let tx_lock = Lock.begin_txn locks in
+    let st = { tx_id = Lock.txn_id tx_lock; tx_lock; tx_keys = []; tx_ops = 0 } in
+    ignore (Wal.append wal (Wal.Begin st.tx_id));
+    Model.begin_txn model st.tx_id;
+    open_txns := st :: !open_txns;
+    st
+  in
+  let random_data () =
+    Printf.sprintf "v%d-%s"
+      (Prng.int p_work ~bound:1000)
+      (String.make (1 + Prng.int p_work ~bound:24) 'x')
+  in
+  let do_op st =
+    let key = Prng.int p_work ~bound:key_space in
+    let granted =
+      if List.mem key st.tx_keys then `Ok
+      else
+        match
+          Lock.acquire locks st.tx_lock ("key:" ^ string_of_int key)
+            Lock.Exclusive
+        with
+        | Lock.Granted ->
+            st.tx_keys <- key :: st.tx_keys;
+            `Ok
+        | Lock.Would_block -> `Busy
+        | Lock.Deadlock -> `Deadlock
+    in
+    match granted with
+    | `Busy -> ()
+    | `Deadlock ->
+        incr deadlocks;
+        do_abort st
+    | `Ok -> (
+        st.tx_ops <- st.tx_ops + 1;
+        match Model.find_live model key with
+        | None ->
+            let data = random_data () in
+            Table.insert table ~txn:st.tx_id ~key ~data;
+            Model.insert model ~txn:st.tx_id ~key ~data
+        | Some _ ->
+            if Prng.bool p_work then begin
+              let data = random_data () in
+              Table.update table ~txn:st.tx_id ~key ~data;
+              Model.update model ~txn:st.tx_id ~key ~data
+            end
+            else begin
+              Table.delete table ~txn:st.tx_id ~key;
+              Model.delete model ~txn:st.tx_id ~key
+            end)
+  in
+  (try
+     while true do
+       if !steps >= step_budget then raise Disk.Crash;
+       incr steps;
+       match Prng.int p_work ~bound:24 with
+       | 0 -> do_checkpoint ()
+       | 1 | 2 -> open_view ()
+       | 3 when !open_views <> [] ->
+           close_view
+             (List.nth !open_views
+                (Prng.int p_work ~bound:(List.length !open_views)))
+       | 4 ->
+           (* Repeatable read mid-history: every live snapshot still
+              answers with its capture state. *)
+           List.iter check_view !open_views
+       | 5 ->
+           Version_store.gc vs;
+           incr gc_runs;
+           List.iter check_view !open_views
+       | _ ->
+           if
+             !open_txns = []
+             || List.length !open_txns < max_open_txns
+                && Prng.int p_work ~bound:4 = 0
+           then ignore (begin_txn ());
+           let st =
+             List.nth !open_txns
+               (Prng.int p_work ~bound:(List.length !open_txns))
+           in
+           if st.tx_ops > 0 && Prng.int p_work ~bound:6 = 0 then
+             if Prng.int p_work ~bound:4 = 0 then do_abort st else do_commit st
+           else do_op st
+     done
+   with Disk.Crash -> ());
+  let crash_point =
+    Printf.sprintf "step=%d/%d open_txns=[%s] open_snapshots=%d" !steps
+      step_budget
+      (String.concat ","
+         (List.map (fun st -> string_of_int st.tx_id) !open_txns))
+      (List.length !open_views)
+  in
+  (* The crash: dirty frames and the unpersisted log tail are gone, and
+     with them every version chain and open snapshot (both live only in
+     memory). Every commit above flushed before the oracle recorded it,
+     so there is no commit limbo to resolve. *)
+  ignore (Buffer_pool.crash (Store.buffer store));
+  ignore (Wal.lose_unpersisted wal);
+  Model.crash model;
+  let post =
+    try
+      let recovered, _analysis = Table.recover ~wal ~checkpoint:!cp () in
+      let want = Model.committed_bindings model in
+      let got = Table.contents recovered in
+      let mismatch =
+        if got = want then []
+        else
+          [ Printf.sprintf
+              "recovered state diverges from oracle: recovered {%s} oracle {%s}"
+              (render_bindings got) (render_bindings want) ]
+      in
+      (* Version chains must rebuild consistently: a snapshot opened on
+         the recovered store reads exactly the committed state, and
+         keeps reading it across a post-recovery write. *)
+      let rstore = Table.store recovered in
+      let rvs = Store.versions rstore in
+      Version_store.set_tracking rvs true;
+      let view = Version_store.open_snapshot rvs () in
+      let first =
+        Version_store.with_view rvs view (fun () -> Table.contents recovered)
+      in
+      let txn = 1_000_000 + seed in
+      ignore (Wal.append wal (Wal.Begin txn));
+      (match Table.get recovered 0 with
+      | Some _ -> Table.update recovered ~txn ~key:0 ~data:"post-recovery"
+      | None -> Table.insert recovered ~txn ~key:0 ~data:"post-recovery");
+      let lsn = Wal.append wal (Wal.Commit txn) in
+      Wal.flush wal;
+      Version_store.commit rvs ~txn ~lsn;
+      let second =
+        Version_store.with_view rvs view (fun () -> Table.contents recovered)
+      in
+      Version_store.close_snapshot rvs view;
+      let chain =
+        (if first = want then []
+         else
+           [ Printf.sprintf
+               "post-recovery snapshot diverges: read {%s} committed {%s}"
+               (render_bindings first) (render_bindings want) ])
+        @
+        if second = first then []
+        else
+          [ Printf.sprintf
+              "post-recovery snapshot not repeatable across a write: first \
+               {%s} then {%s}"
+              (render_bindings first) (render_bindings second) ]
+      in
+      mismatch @ chain @ Table.check recovered
+    with e -> [ Printf.sprintf "recovery raised %s" (Printexc.to_string e) ]
+  in
+  {
+    mo_seed = seed;
+    mo_crash_point = crash_point;
+    mo_violations = List.rev !violations @ post;
+    mo_steps = !steps;
+    mo_commits = !commits;
+    mo_aborts = !aborts;
+    mo_deadlocks = !deadlocks;
+    mo_snapshots = !snapshots;
+    mo_snapshot_checks = !snapshot_checks;
+    mo_gc_runs = !gc_runs;
+    mo_checkpoints = !checkpoints;
+  }
+
+let run_mvcc ?(quota = 200) ~base_seed () =
+  let empty =
+    {
+      mr_cycles = 0;
+      mr_steps = 0;
+      mr_commits = 0;
+      mr_aborts = 0;
+      mr_deadlocks = 0;
+      mr_snapshots = 0;
+      mr_snapshot_checks = 0;
+      mr_gc_runs = 0;
+      mr_checkpoints = 0;
+      mr_violations = [];
+    }
+  in
+  let add r o =
+    {
+      mr_cycles = r.mr_cycles + 1;
+      mr_steps = r.mr_steps + o.mo_steps;
+      mr_commits = r.mr_commits + o.mo_commits;
+      mr_aborts = r.mr_aborts + o.mo_aborts;
+      mr_deadlocks = r.mr_deadlocks + o.mo_deadlocks;
+      mr_snapshots = r.mr_snapshots + o.mo_snapshots;
+      mr_snapshot_checks = r.mr_snapshot_checks + o.mo_snapshot_checks;
+      mr_gc_runs = r.mr_gc_runs + o.mo_gc_runs;
+      mr_checkpoints = r.mr_checkpoints + o.mo_checkpoints;
+      mr_violations =
+        r.mr_violations
+        @ List.map
+            (fun v ->
+              (o.mo_seed, Printf.sprintf "[%s] %s" o.mo_crash_point v))
+            o.mo_violations;
+    }
+  in
+  let rec go r i =
+    if i >= quota then r
+    else go (add r (run_mvcc_cycle ~seed:(base_seed + i) ())) (i + 1)
+  in
+  go empty 0
+
+let pp_mvcc_report ppf r =
+  Format.fprintf ppf
+    "%d cycles: %d steps, %d commits, %d aborts, %d deadlock victims,@ %d \
+     snapshots (%d reads checked), %d GC runs, %d checkpoints,@ %d violations"
+    r.mr_cycles r.mr_steps r.mr_commits r.mr_aborts r.mr_deadlocks
+    r.mr_snapshots r.mr_snapshot_checks r.mr_gc_runs r.mr_checkpoints
+    (List.length r.mr_violations)

@@ -9,10 +9,17 @@ type t = {
   mutable committed : string IntMap.t;
   mutable live : string IntMap.t;
   pending : (int, op list) Hashtbl.t; (* txn -> ops, newest first *)
+  snapshots : (int, string IntMap.t) Hashtbl.t;
+      (* snapshot id -> committed state at capture: what an MVCC
+         snapshot read must keep returning for its whole lifetime *)
 }
 
 let create () =
-  { committed = IntMap.empty; live = IntMap.empty; pending = Hashtbl.create 8 }
+  { committed = IntMap.empty;
+    live = IntMap.empty;
+    pending = Hashtbl.create 8;
+    snapshots = Hashtbl.create 8
+  }
 
 let begin_txn t txn = Hashtbl.replace t.pending txn []
 
@@ -56,8 +63,16 @@ let abort t txn =
 
 let crash t =
   Hashtbl.reset t.pending;
+  Hashtbl.reset t.snapshots;
   t.live <- t.committed
 
 let committed_bindings t = IntMap.bindings t.committed
+
+let register_snapshot t id = Hashtbl.replace t.snapshots id t.committed
+
+let snapshot_expected t id =
+  Option.map IntMap.bindings (Hashtbl.find_opt t.snapshots id)
+
+let forget_snapshot t id = Hashtbl.remove t.snapshots id
 
 let committed_count t = IntMap.cardinal t.committed

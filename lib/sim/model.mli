@@ -42,3 +42,19 @@ val committed_bindings : t -> (int * string) list
     reproduce. *)
 
 val committed_count : t -> int
+
+(** {2 Per-snapshot expectations (MVCC cycles)}
+
+    An MVCC snapshot must keep returning the committed state as of its
+    capture, however much history commits after it. The oracle records
+    that state per snapshot id; [crash] forgets all of them (snapshots
+    do not survive a restart). *)
+
+val register_snapshot : t -> int -> unit
+(** Captures the current committed map under the given snapshot id. *)
+
+val snapshot_expected : t -> int -> (int * string) list option
+(** The bindings the snapshot must read, ascending by key; [None] for
+    an unknown (or forgotten) id. *)
+
+val forget_snapshot : t -> int -> unit

@@ -26,6 +26,8 @@ let create ~store () =
     data_index = Store.new_hash_index store ~bucket_capacity:4 ();
   }
 
+let store t = t.store
+
 let data_of_value = function
   | Value.Str s -> s
   | v -> failwith ("Sim.Table: non-string payload " ^ Value.to_string v)

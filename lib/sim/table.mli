@@ -16,6 +16,10 @@ type checkpoint = {
 
 val create : store:Mood_storage.Store.t -> unit -> t
 
+val store : t -> Mood_storage.Store.t
+(** The store the table lives in — the MVCC harness reaches its
+    version store through this (a recovered table builds a fresh one). *)
+
 val insert : t -> txn:int -> key:int -> data:string -> unit
 (** Raises [Invalid_argument] when the key is live. *)
 

@@ -31,11 +31,18 @@ let decode payload =
 let log t record =
   ignore (Wal.append (Store.wal t.store) record)
 
+let versions t = Store.versions t.store
+
+let record_version t ?txn slot before =
+  Version_store.record_write (versions t) ?txn ~file:(Heap_file.file_id t.file)
+    ~slot ~before ()
+
 let insert_encoded t ?txn slot value =
   let payload = encode slot value in
   let rid = Heap_file.insert t.file payload in
   Hashtbl.replace t.directory slot rid;
   t.total_bytes <- t.total_bytes + String.length payload;
+  record_version t ?txn slot (fun () -> None);
   begin
     match txn with
     | Some txn -> log t (Wal.Insert { txn; file = Heap_file.file_id t.file; rid; payload })
@@ -54,7 +61,7 @@ let insert_at t ?txn ~slot value =
   if slot >= t.next_slot then t.next_slot <- slot + 1;
   insert_encoded t ?txn slot value
 
-let get t slot =
+let raw_get t slot =
   match Hashtbl.find_opt t.directory slot with
   | None -> None
   | Some rid -> begin
@@ -62,6 +69,16 @@ let get t slot =
       | None -> None
       | Some payload -> Some (snd (decode payload))
     end
+
+let get t slot =
+  match Version_store.active_view (versions t) with
+  | None -> raw_get t slot
+  | Some _ when Version_store.is_empty (versions t) -> raw_get t slot
+  | Some view ->
+      (* Consulted even on a directory miss: a committed delete leaves
+         a version only the chain remembers. *)
+      Version_store.read (versions t) view ~file:(Heap_file.file_id t.file)
+        ~slot ~heap:(fun () -> raw_get t slot)
 
 let update t ?txn ~slot value =
   match Hashtbl.find_opt t.directory slot with
@@ -83,6 +100,7 @@ let update t ?txn ~slot value =
           in
           if ok then begin
             t.total_bytes <- t.total_bytes + String.length after - String.length before;
+            record_version t ?txn slot (fun () -> Some (snd (decode before)));
             match txn with
             | Some txn ->
                 log t
@@ -102,7 +120,9 @@ let delete t ?txn slot =
         Hashtbl.remove t.directory slot;
         begin
           match before with
-          | Some payload -> t.total_bytes <- t.total_bytes - String.length payload
+          | Some payload ->
+              t.total_bytes <- t.total_bytes - String.length payload;
+              record_version t ?txn slot (fun () -> Some (snd (decode payload)))
           | None -> ()
         end;
         match txn, before with
@@ -113,9 +133,32 @@ let delete t ?txn slot =
       ok
 
 let scan t ~f =
-  Heap_file.scan t.file ~f:(fun _rid payload ->
-      let slot, value = decode payload in
-      f slot value)
+  let view =
+    match Version_store.active_view (versions t) with
+    | Some _
+      when not (Version_store.has_file (versions t) ~file:(Heap_file.file_id t.file))
+      ->
+        None
+    | v -> v
+  in
+  match view with
+  | None ->
+      Heap_file.scan t.file ~f:(fun _rid payload ->
+          let slot, value = decode payload in
+          f slot value)
+  | Some view ->
+      let vs = versions t in
+      let file = Heap_file.file_id t.file in
+      Heap_file.scan t.file ~f:(fun _rid payload ->
+          let slot, value = decode payload in
+          match Version_store.read vs view ~file ~slot ~heap:(fun () -> Some value) with
+          | Some v -> f slot v
+          | None -> ());
+      (* Slots the snapshot can still see but the heap no longer holds
+         (committed deletes since the snapshot opened). *)
+      List.iter
+        (fun (slot, v) -> f slot v)
+        (Version_store.hidden_slots vs view ~file ~present:(Hashtbl.mem t.directory))
 
 let fold t ~init ~f =
   let acc = ref init in
@@ -136,6 +179,7 @@ let mean_object_size t =
 
 let clear t =
   Heap_file.clear t.file;
+  Version_store.drop_file (versions t) ~file:(Heap_file.file_id t.file);
   Hashtbl.reset t.directory;
   t.next_slot <- 0;
   t.total_bytes <- 0

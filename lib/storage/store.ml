@@ -3,6 +3,7 @@ type t = {
   buffer : Buffer_pool.t;
   locks : Lock_manager.t;
   wal : Wal.t;
+  versions : Version_store.t;
   mutable next_file : int;
 }
 
@@ -14,6 +15,7 @@ let create ?(disk_params = Disk.default_params) ?(buffer_capacity = 256) () =
     buffer = Buffer_pool.create ~disk ~capacity:buffer_capacity;
     locks = Lock_manager.create ();
     wal = Wal.create ();
+    versions = Version_store.create ();
     next_file = 0
   }
 
@@ -24,6 +26,8 @@ let buffer t = t.buffer
 let locks t = t.locks
 
 let wal t = t.wal
+
+let versions t = t.versions
 
 let page_capacity t = (Disk.params t.disk).Disk.block_size - page_header
 

@@ -16,6 +16,10 @@ val locks : t -> Lock_manager.t
 
 val wal : t -> Wal.t
 
+val versions : t -> Version_store.t
+(** Version chains for MVCC snapshot reads. Tracking starts disabled
+    (a bare store behaves exactly as before); [Db] enables it. *)
+
 val page_capacity : t -> int
 (** Usable record bytes per page: block size minus a fixed header. *)
 

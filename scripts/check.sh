@@ -19,10 +19,13 @@ echo "== bench smoke (json) =="
 MOOD_BENCH_QUOTA="${MOOD_BENCH_QUOTA:-0.02}" dune exec bench/main.exe -- json
 
 echo "== crash/recover harness =="
-# MOOD_SIM_QUOTA seeded workload/crash/recover/check cycles (fixed
-# seeds, so CI is deterministic). A violation fails the build and
-# prints the seed and crash point needed to reproduce it.
-MOOD_SIM_QUOTA="${MOOD_SIM_QUOTA:-200}" dune exec bin/crash_sim.exe
+# MOOD_SIM_QUOTA seeded workload/crash/recover/check cycles plus
+# MOOD_SIM_MVCC_QUOTA snapshot-visibility cycles (fixed seeds, so CI
+# is deterministic). A violation fails the build and prints the seed
+# and crash point needed to reproduce it.
+MOOD_SIM_QUOTA="${MOOD_SIM_QUOTA:-200}" \
+MOOD_SIM_MVCC_QUOTA="${MOOD_SIM_MVCC_QUOTA:-200}" \
+  dune exec bin/crash_sim.exe
 
 echo "== EXPLAIN ANALYZE smoke =="
 # The est-vs-actual surface end to end: plan, trace, render. Greps for
@@ -69,6 +72,45 @@ kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" || { echo "server shutdown was not clean"; exit 1; }
 rm -f "$SMOKE_PORT_FILE"
 test -s BENCH_server.json || { echo "BENCH_server.json missing or empty"; exit 1; }
+
+echo "== snapshot-read smoke (MVCC, read-heavy) =="
+# A default-mode server (snapshot reads on) under the read-heavy mix:
+# reads must ride the lock-free path — zero busy retries and zero
+# deadlock aborts attributable to reads — and the mvcc.* counters must
+# surface through STATS. A marker write after the run proves snapshot
+# reads did not cost writers anything: it lands and reads back.
+MVCC_PORT_FILE="$(mktemp)"
+./_build/default/bin/mood_server.exe --demo --port 0 \
+  --port-file "$MVCC_PORT_FILE" &
+MVCC_PID=$!
+tries=0
+while [ ! -s "$MVCC_PORT_FILE" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -le 100 ] || { echo "server never published its port"; exit 1; }
+  kill -0 "$MVCC_PID" 2>/dev/null || { echo "server died on startup"; exit 1; }
+  sleep 0.1
+done
+MPORT="$(cat "$MVCC_PORT_FILE")"
+MOOD_LOAD_QUOTA="${MOOD_LOAD_QUOTA:-160}" ./_build/default/bin/load_gen.exe \
+  --port "$MPORT" --sessions 8 --read-ratio 95
+grep -q '"busy_retries_read": 0' BENCH_server.json \
+  || { echo "snapshot reads bounced BUSY"; exit 1; }
+grep -q '"deadlock_aborts": 0' BENCH_server.json \
+  || { echo "snapshot-read run deadlocked"; exit 1; }
+./_build/default/bin/mood_cli.exe top "127.0.0.1:$MPORT" > /tmp/mood_mvcc_top.$$
+grep -q "^mvcc.snapshot_reads " /tmp/mood_mvcc_top.$$ \
+  || { echo "STATS: no mvcc counters"; exit 1; }
+grep -q "^mvcc.versions_created " /tmp/mood_mvcc_top.$$ \
+  || { echo "STATS: no mvcc version counters"; exit 1; }
+rm -f /tmp/mood_mvcc_top.$$
+./_build/default/bin/mood_cli.exe sql "127.0.0.1:$MPORT" \
+  "NEW VehicleEngine <990003, 8>" > /dev/null
+MARKER="$(./_build/default/bin/mood_cli.exe sql "127.0.0.1:$MPORT" \
+  "SELECT e FROM VehicleEngine e WHERE e.size = 990003" | wc -l)"
+[ "$MARKER" -eq 1 ] || { echo "marker write lost under snapshot reads"; exit 1; }
+kill -TERM "$MVCC_PID"
+wait "$MVCC_PID" || { echo "server shutdown was not clean"; exit 1; }
+rm -f "$MVCC_PORT_FILE"
 
 echo "== replication smoke (bootstrap, catch-up, promotion) =="
 # A demo-seeded primary and a streaming replica on ephemeral ports.
@@ -124,10 +166,14 @@ while :; do
   [ "$tries" -le 100 ] || { echo "replica never caught up ($RCOUNT/$COMMITTED rows)"; exit 1; }
   sleep 0.1
 done
-# The replica's STATS surface carries the lag gauges.
+# The replica's STATS surface carries the lag gauges, and the
+# catch-up SELECTs above opened snapshots — record the stamp of the
+# newest one for the monotonicity check after promotion.
 ./_build/default/bin/mood_cli.exe top "127.0.0.1:$RPORT" > /tmp/mood_repl_top.$$
 grep -q "^repl.applied_lsn " /tmp/mood_repl_top.$$ || { echo "STATS: no repl.applied_lsn"; exit 1; }
 grep -q "^repl.lag_records " /tmp/mood_repl_top.$$ || { echo "STATS: no repl.lag_records"; exit 1; }
+SNAP_BEFORE="$(awk '$1 == "mvcc.last_snapshot_lsn" { print $2 }' /tmp/mood_repl_top.$$)"
+[ -n "$SNAP_BEFORE" ] || { echo "STATS: no mvcc.last_snapshot_lsn on replica"; exit 1; }
 rm -f /tmp/mood_repl_top.$$
 kill -TERM "$PRIMARY_PID"
 wait "$PRIMARY_PID" || { echo "primary shutdown was not clean"; exit 1; }
@@ -139,6 +185,17 @@ PROMOTED="$(./_build/default/bin/mood_cli.exe sql "127.0.0.1:$RPORT" \
 # The promoted node takes writes.
 ./_build/default/bin/mood_cli.exe sql "127.0.0.1:$RPORT" \
   "NEW VehicleEngine <990002, 2>" > /dev/null
+# Snapshot LSNs must never regress across failover: the promoted
+# node's fresh WAL restarts near LSN 1, but the commit clock keeps
+# counting from the shipped stream, so a snapshot opened after
+# promotion (the SELECT above) stamps at or above any opened before.
+./_build/default/bin/mood_cli.exe sql "127.0.0.1:$RPORT" \
+  "SELECT e FROM VehicleEngine e" > /dev/null
+SNAP_AFTER="$(./_build/default/bin/mood_cli.exe top "127.0.0.1:$RPORT" \
+  | awk '$1 == "mvcc.last_snapshot_lsn" { print $2 }')"
+[ -n "$SNAP_AFTER" ] || { echo "STATS: no mvcc.last_snapshot_lsn after promotion"; exit 1; }
+[ "$SNAP_AFTER" -ge "$SNAP_BEFORE" ] \
+  || { echo "snapshot LSN regressed across promotion ($SNAP_BEFORE -> $SNAP_AFTER)"; exit 1; }
 kill -TERM "$REPLICA_PID"
 wait "$REPLICA_PID" || { echo "replica shutdown was not clean"; exit 1; }
 rm -f "$PRIMARY_PORT_FILE" "$REPLICA_PORT_FILE"

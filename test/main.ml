@@ -4,4 +4,4 @@ let () =
    @ Test_funcmgr.suites @ Test_sql.suites @ Test_algebra.suites @ Test_cost.suites
    @ Test_optimizer.suites @ Test_executor.suites @ Test_core.suites
    @ Test_moodview.suites @ Test_workload.suites @ Test_sim.suites
-   @ Test_server.suites @ Test_obs.suites @ Test_repl.suites)
+   @ Test_server.suites @ Test_obs.suites @ Test_repl.suites @ Test_mvcc.suites)

@@ -298,6 +298,10 @@ let test_is_null_execution () =
 
 let test_statement_level_locking () =
   let db = fresh () in
+  (* Baseline (pre-MVCC) mode: SELECTs take shared statement locks.
+     With snapshot reads on, reads bypass the lock manager entirely —
+     covered by the mvcc suite. *)
+  Db.set_snapshot_reads db false;
   Mood_workload.Vehicle.define_schema (Db.catalog db);
   ignore (ok db "new Vehicle <1, 1000, NULL, NULL>");
   (* an administrative exclusive lock on the extent blocks queries *)
